@@ -1,0 +1,51 @@
+// Webdis-bench regenerates the WEBDIS paper's figures and the derived
+// experiments as text reports (see DESIGN.md's experiment index and
+// EXPERIMENTS.md for the recorded outcomes).
+//
+// Usage:
+//
+//	webdis-bench -list
+//	webdis-bench -exp campus
+//	webdis-bench -exp all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"webdis/internal/experiments"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list available experiments")
+	exp := flag.String("exp", "all", "experiment to run, or 'all'")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-12s %-24s %s\n", e.Name, e.Paper, e.Brief)
+		}
+		return
+	}
+	run := func(e experiments.Experiment) {
+		fmt.Printf("════ %s (%s) ════\n", e.Name, e.Paper)
+		if err := e.Run(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "webdis-bench: %s: %v\n", e.Name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+	if *exp == "all" {
+		for _, e := range experiments.All() {
+			run(e)
+		}
+		return
+	}
+	e, ok := experiments.Lookup(*exp)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "webdis-bench: unknown experiment %q (try -list)\n", *exp)
+		os.Exit(2)
+	}
+	run(e)
+}

@@ -1,0 +1,113 @@
+// Webdis is the WEBDIS user-site client: it submits a DISQL query to a
+// deployment of webdisd daemons over TCP, collects results on its own
+// listening socket (the paper's Result Collector), and prints the result
+// tables after the Current Hosts Table protocol detects completion.
+//
+// Usage:
+//
+//	webdis -peers peers.txt -listen 127.0.0.1:7300 -query 'select d.url from ...'
+//	webdis -peers peers.txt -listen 127.0.0.1:7300 -file query.disql
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"os/user"
+	"strings"
+	"time"
+
+	"webdis/internal/client"
+	"webdis/internal/disql"
+	"webdis/internal/netsim"
+	"webdis/internal/server"
+	"webdis/internal/webserver"
+)
+
+func main() {
+	peersPath := flag.String("peers", "", "peers file shared with the daemons (required)")
+	listen := flag.String("listen", "127.0.0.1:7300", "host:port for the result collector")
+	query := flag.String("query", "", "DISQL query text")
+	file := flag.String("file", "", "file containing the DISQL query")
+	timeout := flag.Duration("timeout", time.Minute, "give up after this long (0 = wait forever)")
+	hybrid := flag.Bool("hybrid", false, "process clones for sites without a daemon centrally (needs doc addresses in the peers file)")
+	flag.Parse()
+
+	if *peersPath == "" || (*query == "" && *file == "") {
+		flag.Usage()
+		os.Exit(2)
+	}
+	src := *query
+	if *file != "" {
+		data, err := os.ReadFile(*file)
+		if err != nil {
+			fatal(err)
+		}
+		src = string(data)
+	}
+	w, err := disql.Parse(src)
+	if err != nil {
+		fatal(err)
+	}
+
+	tr := netsim.NewTCP()
+	if err := registerPeers(tr, *peersPath); err != nil {
+		fatal(err)
+	}
+
+	username := "webdis"
+	if u, err := user.Current(); err == nil && u.Username != "" {
+		username = u.Username
+	}
+	c := client.New(tr, username, "tcp://"+*listen)
+	c.SetHybrid(*hybrid)
+
+	fmt.Printf("webdis: %s\n", w)
+	start := time.Now()
+	q, err := c.Submit(w)
+	if err != nil {
+		fatal(err)
+	}
+	if err := q.Wait(*timeout); err != nil {
+		fatal(err)
+	}
+	for _, table := range q.Results() {
+		fmt.Printf("\nnode-query q%d: %s\n", table.Stage+1, strings.Join(table.Cols, ", "))
+		for _, row := range table.Rows {
+			fmt.Printf("  %q\n", row)
+		}
+	}
+	st := q.Stats()
+	fmt.Printf("\ncompleted in %v (CHT: %d entries, %d result messages)\n",
+		time.Since(start).Round(time.Millisecond), st.EntriesAdded, st.ResultMsgs)
+}
+
+func registerPeers(tr *netsim.TCPTransport, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return fmt.Errorf("bad peers line %q", line)
+		}
+		tr.Register(server.Endpoint(fields[0]), fields[1])
+		if len(fields) > 2 {
+			tr.Register(webserver.Endpoint(fields[0]), fields[2])
+		}
+	}
+	return sc.Err()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "webdis:", err)
+	os.Exit(1)
+}

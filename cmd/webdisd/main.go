@@ -1,0 +1,153 @@
+// Webdisd is the WEBDIS query-server daemon: one per participating web
+// site, exactly like the paper's per-site Java daemon. It serves the
+// documents of its site (from a deterministic generated web, so every
+// daemon regenerates the same corpus) and processes web-query clones
+// arriving on its TCP endpoint.
+//
+// A deployment is described by a peers file with one line per site:
+//
+//	<site-host> <query-addr> [<doc-addr>]
+//
+// e.g.
+//
+//	csa.iisc.ernet.in               127.0.0.1:7101 127.0.0.1:7201
+//	dsl.serc.iisc.ernet.in          127.0.0.1:7102 127.0.0.1:7202
+//
+// Start one daemon per line:
+//
+//	webdisd -web campus -peers peers.txt -site dsl.serc.iisc.ernet.in
+//
+// and query the deployment with the webdis client.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"webdis/internal/netsim"
+	"webdis/internal/nodeproc"
+	"webdis/internal/server"
+	"webdis/internal/webgraph"
+	"webdis/internal/webserver"
+)
+
+func main() {
+	spec := flag.String("web", "campus", "web specification shared by all daemons")
+	seed := flag.Int64("seed", 1, "generator seed shared by all daemons")
+	peersPath := flag.String("peers", "", "peers file: '<site> <query-addr> [doc-addr]' per line (required)")
+	site := flag.String("site", "", "site this daemon serves (required; must appear in the peers file)")
+	dedup := flag.String("dedup", "subsume", "log table mode: off, exact, subsume, strong")
+	verbose := flag.Bool("v", false, "trace query processing to stderr")
+	flag.Parse()
+
+	if *peersPath == "" || *site == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	web, err := webgraph.FromSpec(*spec, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	peers, err := readPeers(*peersPath)
+	if err != nil {
+		fatal(err)
+	}
+	me, ok := peers[*site]
+	if !ok {
+		fatal(fmt.Errorf("site %q not in peers file", *site))
+	}
+	if len(web.URLsAt(*site)) == 0 {
+		fatal(fmt.Errorf("web %q has no pages at site %q", *spec, *site))
+	}
+
+	tr := netsim.NewTCP()
+	for host, p := range peers {
+		tr.Register(server.Endpoint(host), p.query)
+		if p.docs != "" {
+			tr.Register(webserver.Endpoint(host), p.docs)
+		}
+	}
+
+	host := webserver.NewHost(*site, web)
+	if me.docs != "" {
+		if err := host.Start(tr); err != nil {
+			fatal(err)
+		}
+		defer host.Stop()
+	}
+
+	opts := server.Options{DedupSet: true}
+	switch *dedup {
+	case "off":
+		opts.Dedup = nodeproc.DedupOff
+		opts.MaxHops = 64
+	case "exact":
+		opts.Dedup = nodeproc.DedupExact
+	case "subsume":
+		opts.Dedup = nodeproc.DedupSubsume
+	case "strong":
+		opts.Dedup = nodeproc.DedupStrong
+	default:
+		fatal(fmt.Errorf("unknown dedup mode %q", *dedup))
+	}
+	if *verbose {
+		opts.Trace = func(e server.Event) {
+			fmt.Fprintf(os.Stderr, "[%s] %-40s %-12s %s %s\n", e.Site, e.Node, e.State, e.Action, e.Detail)
+		}
+	}
+
+	met := &server.Metrics{}
+	s := server.New(*site, host, tr, met, opts)
+	if err := s.Start(); err != nil {
+		fatal(err)
+	}
+	defer s.Stop()
+	fmt.Printf("webdisd: serving %s (%d pages) on %s\n", *site, len(web.URLsAt(*site)), me.query)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	m := met.Snapshot()
+	fmt.Printf("webdisd: shutting down; evaluations=%d forwards=%d duplicates=%d dead-ends=%d\n",
+		m.Evaluations, m.ClonesForwarded+m.LocalClones, m.DupDropped, m.DeadEnds)
+}
+
+type peer struct {
+	query, docs string
+}
+
+func readPeers(path string) (map[string]peer, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := make(map[string]peer)
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("bad peers line %q", line)
+		}
+		p := peer{query: fields[1]}
+		if len(fields) > 2 {
+			p.docs = fields[2]
+		}
+		out[fields[0]] = p
+	}
+	return out, sc.Err()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "webdisd:", err)
+	os.Exit(1)
+}

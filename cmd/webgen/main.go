@@ -1,0 +1,82 @@
+// Webgen generates a synthetic web and reports on it: summary statistics,
+// a Graphviz DOT rendering of its link graph, or the HTML of a single
+// page.
+//
+// Usage:
+//
+//	webgen -web campus -stats
+//	webgen -web tree:f=3,d=4,pps=4 -dot > web.dot
+//	webgen -web figure1 -dump http://s4.example/n4.html
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"webdis/internal/index"
+	"webdis/internal/webgraph"
+)
+
+func main() {
+	spec := flag.String("web", "campus", "web specification (see webgraph.FromSpec)")
+	seed := flag.Int64("seed", 1, "generator seed")
+	stats := flag.Bool("stats", false, "print summary statistics")
+	dot := flag.Bool("dot", false, "print the link graph in Graphviz DOT syntax")
+	dump := flag.String("dump", "", "print the HTML of the page at this URL")
+	list := flag.Bool("list", false, "list all page URLs")
+	search := flag.String("search", "", "query the web's search index for this term")
+	flag.Parse()
+
+	web, err := webgraph.FromSpec(*spec, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "webgen:", err)
+		os.Exit(2)
+	}
+	did := false
+	if *stats {
+		did = true
+		fmt.Printf("web %q: %d pages on %d sites, %d bytes total, start node %s\n",
+			*spec, web.NumPages(), web.NumSites(), web.TotalBytes(), web.First())
+		for _, host := range web.Hosts() {
+			fmt.Printf("  %-40s %d pages\n", host, len(web.URLsAt(host)))
+		}
+	}
+	if *list {
+		did = true
+		for _, u := range web.URLs() {
+			fmt.Println(u)
+		}
+	}
+	if *dot {
+		did = true
+		fmt.Print(web.DOT())
+	}
+	if *search != "" {
+		did = true
+		ix, err := index.Build(web)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "webgen:", err)
+			os.Exit(1)
+		}
+		hits := ix.Lookup(*search, 10)
+		fmt.Printf("index(%q): %d documents, %d terms, top %d hits:\n",
+			*search, ix.Docs(), ix.Terms(), len(hits))
+		for _, h := range hits {
+			fmt.Printf("  %4d  %s\n", h.Score, h.URL)
+		}
+	}
+	if *dump != "" {
+		did = true
+		html, ok := web.HTML(*dump)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "webgen: no page at %s\n", *dump)
+			os.Exit(1)
+		}
+		os.Stdout.Write(html)
+	}
+	if !did {
+		fmt.Printf("web %q: %d pages on %d sites (use -stats, -list, -dot or -dump)\n",
+			*spec, web.NumPages(), web.NumSites())
+	}
+}

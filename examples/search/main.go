@@ -1,0 +1,67 @@
+// Search demonstrates the paper's Section 1.1 automated StartNode path:
+// instead of supplying URLs from domain knowledge, the query names a
+// search-index term — `index("laboratories department")` — which the
+// user-site resolves against the deployment's index before shipping the
+// query. It also shows anytime results: the query's progress and partial
+// answer are sampled while it runs.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"webdis"
+)
+
+func main() {
+	d, err := webdis.NewDeployment(webdis.Config{
+		Web: webdis.CampusWeb(),
+		Net: webdis.NetOptions{Latency: 2 * time.Millisecond},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer d.Close()
+
+	// Peek at what the index would resolve (webgen -search does the same).
+	ix, err := d.Index()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("search index: %d documents, %d terms\n", ix.Docs(), ix.Terms())
+	for _, hit := range ix.Lookup("laboratories department", 3) {
+		fmt.Printf("  score %-3d %s\n", hit.Score, hit.URL)
+	}
+
+	// The convener query, started from the index instead of a URL.
+	q, err := d.SubmitDISQL(`
+select d0.url, d1.url, r.text
+from document d0 such that index("laboratories department") N d0,
+where d0.title contains "lab"
+     document d1 such that d0 G·(L*1) d1,
+     relinfon r such that r.delimiter = "hr",
+where (r.text contains "convener")`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Sample the anytime answer while the query runs.
+	for !q.Done() {
+		fmt.Printf("  … %2d rows so far, progress %3.0f%%\n", q.RowCount(), 100*q.Progress())
+		time.Sleep(3 * time.Millisecond)
+	}
+	if err := q.Wait(webdis.Forever); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\nconveners found:")
+	for _, table := range q.Results() {
+		if table.Stage != 1 {
+			continue
+		}
+		for _, row := range table.Rows {
+			fmt.Printf("  %s\n    %s\n", row[0], row[1])
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module webdis
+
+go 1.22

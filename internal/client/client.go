@@ -1,0 +1,514 @@
+// Package client implements the WEBDIS user-site: it dispatches a
+// web-query to the query servers of its StartNodes, collects results on a
+// per-query listening endpoint (the paper's Result Collector socket), and
+// detects query completion with the Current Hosts Table protocol of
+// Section 2.7.1.
+//
+// The CHT is maintained as a counting multiset of (node, state) entries:
+// the client adds entries for the StartNodes before dispatching (Figure 2,
+// send_query), every query server adds entries for the clones it forwards
+// before it forwards them, and every server report — a processed node, a
+// purged duplicate, or a failed forward — retires exactly one entry.
+//
+// Counts are signed: because result dispatch is asynchronous, a clone's
+// own report can overtake its parent's update that announced it, driving
+// the entry's count transiently negative. The query is complete exactly
+// when every count is zero. This is sound: each clone contributes one +1
+// (in its parent's update) and one −1 (in its own report), clone creation
+// is a DAG in time, so no nonempty subset of outstanding reports sums to
+// zero — the counts cannot all read zero while any clone remains live.
+//
+// Cancellation is passive, exactly as in Section 2.8: Cancel closes the
+// query's listening endpoint; when a server later fails to deliver results
+// on that endpoint it purges the query locally instead of forwarding it,
+// so no termination messages ever chase clones across the web.
+package client
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"webdis/internal/disql"
+	"webdis/internal/netsim"
+	"webdis/internal/nodeproc"
+	"webdis/internal/server"
+	"webdis/internal/webgraph"
+	"webdis/internal/wire"
+)
+
+// ErrCancelled is returned by Wait after Cancel.
+var ErrCancelled = errors.New("client: query cancelled")
+
+// ErrTimeout is returned by Wait when the deadline passes first.
+var ErrTimeout = errors.New("client: wait timed out")
+
+// Client is a WEBDIS user-site. It can run many queries, each with its own
+// Result Collector endpoint ("<base>/q<n>").
+type Client struct {
+	tr      netsim.Transport
+	user    string
+	base    string
+	hybrid  bool
+	resolve func(term string) []string
+
+	mu   sync.Mutex
+	next int
+}
+
+// New returns a client for the given user dialing from endpoints under
+// base (e.g. "user").
+func New(tr netsim.Transport, user, base string) *Client {
+	return &Client{tr: tr, user: user, base: base}
+}
+
+// SetHybrid enables the Section 7.1 migration path for queries submitted
+// afterwards: clones addressed to sites without a query server — bounced
+// back by servers or refused at submission — are evaluated centrally at
+// the user-site by downloading their documents, and re-enter distributed
+// processing at the next participating site.
+func (c *Client) SetHybrid(on bool) { c.hybrid = on }
+
+// SetIndexResolver installs the search-index lookup used to resolve
+// `index("term")` StartNode sources (the paper's Section 1.1 automated
+// StartNode selection). Queries with an index source fail without one.
+func (c *Client) SetIndexResolver(resolve func(term string) []string) {
+	c.resolve = resolve
+}
+
+// ResultTable is the merged result of one node-query across all answering
+// nodes.
+type ResultTable struct {
+	Stage int
+	Cols  []string
+	Rows  [][]string
+}
+
+// Stats describes one query's CHT protocol activity.
+type Stats struct {
+	ResultMsgs     int           // result/CHT messages received
+	EntriesAdded   int           // CHT entries entered (StartNodes + children)
+	EntriesRetired int           // entries retired by reports
+	GhostReports   int           // reports for entries not live (late/purged)
+	PeakLive       int           // maximum simultaneously live entries
+	Duration       time.Duration // submit to completion
+}
+
+// Query is one in-flight or finished web-query at the user-site.
+type Query struct {
+	id  wire.QueryID
+	web *disql.WebQuery
+	tr  netsim.Transport
+
+	ln     net.Listener
+	doneCh chan struct{}
+
+	hybrid bool
+
+	mu      sync.Mutex
+	counts  map[string]int // signed CHT entry counts
+	nonzero int            // number of keys with a nonzero count
+	tables  map[int]*ResultTable
+	rowSeen map[int]map[string]bool
+	stats   Stats
+	fstats  FallbackStats
+	fb      *fallback // lazily created on first hybrid work
+	started time.Time
+	err     error
+	done    bool
+}
+
+// ID returns the query's global identifier.
+func (q *Query) ID() wire.QueryID { return q.id }
+
+// Submit translates, dispatches and begins collecting a web-query. It
+// implements send_query of Figure 2: CHT entries for the StartNodes are
+// entered first, then the query is dispatched to each StartNode's site
+// (batched per site, Section 3.2 item 4).
+func (c *Client) Submit(w *disql.WebQuery) (*Query, error) {
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	start := w.Start
+	if w.StartTerm != "" {
+		if c.resolve == nil {
+			return nil, fmt.Errorf("client: query uses index(%q) but no index resolver is installed", w.StartTerm)
+		}
+		start = c.resolve(w.StartTerm)
+		if len(start) == 0 {
+			return nil, fmt.Errorf("client: index(%q) matched no documents", w.StartTerm)
+		}
+	}
+	c.mu.Lock()
+	c.next++
+	num := c.next
+	c.mu.Unlock()
+
+	endpoint := fmt.Sprintf("%s/q%d", c.base, num)
+	ln, err := c.tr.Listen(endpoint)
+	if err != nil {
+		return nil, fmt.Errorf("client: result collector: %w", err)
+	}
+	q := &Query{
+		id:      wire.QueryID{User: c.user, Site: endpoint, Num: num},
+		web:     w,
+		tr:      c.tr,
+		hybrid:  c.hybrid,
+		ln:      ln,
+		doneCh:  make(chan struct{}),
+		counts:  make(map[string]int),
+		tables:  make(map[int]*ResultTable),
+		rowSeen: make(map[int]map[string]bool),
+		started: time.Now(),
+	}
+	go q.collect()
+
+	stages := make([]disql.Stage, len(w.Stages))
+	copy(stages, w.Stages)
+	state := wire.State{NumQ: len(stages), Rem: stages[0].PRE.String()}
+
+	// Group StartNodes by site and enter their CHT entries before any
+	// dispatch.
+	bySite := make(map[string][]wire.DestNode)
+	var sites []string
+	var seq int64
+	q.mu.Lock()
+	for _, node := range start {
+		site := webgraph.Host(node)
+		if _, ok := bySite[site]; !ok {
+			sites = append(sites, site)
+		}
+		seq++
+		dest := wire.DestNode{URL: node, Origin: endpoint, Seq: seq}
+		bySite[site] = append(bySite[site], dest)
+		q.addEntry(wire.CHTEntry{Node: node, State: state, Origin: dest.Origin, Seq: dest.Seq})
+	}
+	q.mu.Unlock()
+	sort.Strings(sites)
+
+	var firstErr error
+	for _, site := range sites {
+		msg := &wire.CloneMsg{
+			ID:     q.id,
+			Dest:   bySite[site],
+			Rem:    state.Rem,
+			Base:   0,
+			Stages: nodeproc.EncodeStages(stages),
+		}
+		if err := q.dispatch(site, msg); err != nil {
+			if q.hybrid {
+				// The StartNode's site does not participate: process its
+				// clone centrally (Section 7.1).
+				q.bounced(msg)
+				continue
+			}
+			if firstErr == nil {
+				firstErr = err
+			}
+			// The site is unreachable: retire its entries so completion
+			// detection is not wedged on clones that never existed.
+			q.mu.Lock()
+			for _, dest := range bySite[site] {
+				q.retire(wire.CHTEntry{Node: dest.URL, State: state, Origin: dest.Origin, Seq: dest.Seq})
+			}
+			q.maybeComplete()
+			q.mu.Unlock()
+		}
+	}
+	if firstErr != nil && len(sites) == 1 {
+		q.Cancel()
+		return nil, firstErr
+	}
+	return q, nil
+}
+
+// bounced routes a clone into the query's hybrid fallback processor,
+// creating it on first use. Non-hybrid queries retire the clone's entries
+// instead (servers only bounce when their Hybrid option is set, so this
+// mismatch indicates misconfiguration, not data loss).
+func (q *Query) bounced(c *wire.CloneMsg) {
+	q.mu.Lock()
+	if q.done {
+		q.mu.Unlock()
+		return
+	}
+	q.fstats.Bounces++
+	if q.fb == nil {
+		q.fb = newFallback(q)
+	}
+	fb := q.fb
+	q.mu.Unlock()
+	fb.enqueue(c)
+}
+
+// FallbackStats returns the query's hybrid fallback counters.
+func (q *Query) FallbackStats() FallbackStats {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.fstats
+}
+
+func (q *Query) dispatch(site string, msg *wire.CloneMsg) error {
+	conn, err := q.tr.Dial(q.id.Site, server.Endpoint(site))
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	return wire.Send(conn, msg)
+}
+
+// collect is the Result Collector: it accepts connections on the query's
+// endpoint and merges every ResultMsg.
+func (q *Query) collect() {
+	for {
+		conn, err := q.ln.Accept()
+		if err != nil {
+			return
+		}
+		go func() {
+			defer conn.Close()
+			for {
+				msg, err := wire.Receive(conn)
+				if err != nil {
+					return
+				}
+				switch m := msg.(type) {
+				case *wire.ResultMsg:
+					if m.ID.Num == q.id.Num {
+						q.merge(m)
+					}
+				case *wire.BounceMsg:
+					if m.Clone.ID.Num == q.id.Num && q.hybrid {
+						q.bounced(m.Clone)
+					}
+				}
+			}
+		}()
+	}
+}
+
+// merge implements receive_results of Figure 2 under the counting-CHT
+// refinement: retire the processed entry, enter the children, and check
+// for completion.
+func (q *Query) merge(rm *wire.ResultMsg) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.done {
+		return
+	}
+	q.stats.ResultMsgs++
+	for _, t := range rm.Tables {
+		q.mergeTable(t)
+	}
+	for _, u := range rm.Updates {
+		q.retire(u.Processed)
+		for _, child := range u.Children {
+			q.addEntry(child)
+		}
+	}
+	q.maybeComplete()
+}
+
+// addEntry and retire maintain the signed counting multiset. Callers hold
+// q.mu.
+func (q *Query) addEntry(e wire.CHTEntry) {
+	q.bump(e.Key(), +1)
+	q.stats.EntriesAdded++
+	if q.nonzero > q.stats.PeakLive {
+		q.stats.PeakLive = q.nonzero
+	}
+}
+
+func (q *Query) retire(e wire.CHTEntry) {
+	key := e.Key()
+	if q.counts[key] <= 0 {
+		// The report overtook the update announcing the entry.
+		q.stats.GhostReports++
+	}
+	q.bump(key, -1)
+	q.stats.EntriesRetired++
+}
+
+func (q *Query) bump(key string, delta int) {
+	old := q.counts[key]
+	now := old + delta
+	if now == 0 {
+		delete(q.counts, key)
+		if old != 0 {
+			q.nonzero--
+		}
+	} else {
+		q.counts[key] = now
+		if old == 0 {
+			q.nonzero++
+		}
+	}
+}
+
+func (q *Query) mergeTable(t wire.NodeTable) {
+	rt := q.tables[t.Stage]
+	if rt == nil {
+		rt = &ResultTable{Stage: t.Stage, Cols: t.Cols}
+		q.tables[t.Stage] = rt
+		q.rowSeen[t.Stage] = make(map[string]bool)
+	}
+	seen := q.rowSeen[t.Stage]
+	for _, row := range t.Rows {
+		key := rowKey(row)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		rt.Rows = append(rt.Rows, row)
+	}
+}
+
+func rowKey(row []string) string {
+	out := ""
+	for _, v := range row {
+		out += v + "\x00"
+	}
+	return out
+}
+
+// maybeComplete finishes the query when every CHT count is zero. Callers
+// hold q.mu.
+func (q *Query) maybeComplete() {
+	if q.done || q.nonzero != 0 {
+		return
+	}
+	q.finish(nil)
+}
+
+// finish marks the query done. Callers hold q.mu.
+func (q *Query) finish(err error) {
+	if q.done {
+		return
+	}
+	q.done = true
+	q.err = err
+	q.stats.Duration = time.Since(q.started)
+	close(q.doneCh)
+	// Closing the collector endpoint releases the name and makes any
+	// straggler report fail fast at its sender.
+	q.ln.Close()
+	if q.fb != nil {
+		q.fb.close()
+	}
+}
+
+// Cancel abandons the query: the collector endpoint is closed and every
+// server that later tries to report results purges the query locally —
+// the paper's passive, bounded termination.
+func (q *Query) Cancel() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.finish(ErrCancelled)
+}
+
+// Wait blocks until the query completes, is cancelled, or the timeout
+// elapses (timeout <= 0 waits forever). It returns nil on normal
+// completion.
+func (q *Query) Wait(timeout time.Duration) error {
+	var timer <-chan time.Time
+	if timeout > 0 {
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		timer = t.C
+	}
+	select {
+	case <-q.doneCh:
+		q.mu.Lock()
+		defer q.mu.Unlock()
+		return q.err
+	case <-timer:
+		return ErrTimeout
+	}
+}
+
+// Done reports whether the query has finished.
+func (q *Query) Done() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.done
+}
+
+// LiveEntries returns the number of CHT entries with a nonzero count.
+func (q *Query) LiveEntries() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.nonzero
+}
+
+// Progress estimates how much of the query has executed, as the fraction
+// of CHT entries already retired (0 when nothing has reported, 1 at
+// completion). Because results stream to the user-site as they are found
+// (Section 2.6), Results called before completion returns the answers
+// gathered so far — together with Progress this gives anytime,
+// approximate answers: cancel at a deadline and keep the partial result.
+func (q *Query) Progress() float64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.done {
+		return 1
+	}
+	if q.stats.EntriesAdded == 0 {
+		return 0
+	}
+	return float64(q.stats.EntriesRetired) / float64(q.stats.EntriesAdded)
+}
+
+// RowCount returns the number of result rows gathered so far, across all
+// stages.
+func (q *Query) RowCount() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	n := 0
+	for _, t := range q.tables {
+		n += len(t.Rows)
+	}
+	return n
+}
+
+// Stats returns a copy of the query's protocol statistics.
+func (q *Query) Stats() Stats {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.stats
+}
+
+// Results returns the merged result tables ordered by stage, with rows
+// sorted for deterministic presentation.
+func (q *Query) Results() []ResultTable {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	stages := make([]int, 0, len(q.tables))
+	for s := range q.tables {
+		stages = append(stages, s)
+	}
+	sort.Ints(stages)
+	out := make([]ResultTable, 0, len(stages))
+	for _, s := range stages {
+		t := q.tables[s]
+		rows := make([][]string, len(t.Rows))
+		copy(rows, t.Rows)
+		sortRows(rows)
+		out = append(out, ResultTable{Stage: t.Stage, Cols: t.Cols, Rows: rows})
+	}
+	return out
+}
+
+func sortRows(rows [][]string) {
+	sort.Slice(rows, func(i, j int) bool {
+		a, b := rows[i], rows[j]
+		for k := 0; k < len(a) && k < len(b); k++ {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return len(a) < len(b)
+	})
+}

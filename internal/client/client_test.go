@@ -1,0 +1,344 @@
+package client
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"webdis/internal/disql"
+	"webdis/internal/netsim"
+	"webdis/internal/server"
+	"webdis/internal/wire"
+)
+
+// fakeServer accepts clones at a site endpoint and lets the test send
+// hand-crafted ResultMsgs back to the query's collector.
+type fakeServer struct {
+	t    *testing.T
+	net  *netsim.Network
+	site string
+
+	clones chan *wire.CloneMsg
+}
+
+func newFakeServer(t *testing.T, n *netsim.Network, site string) *fakeServer {
+	f := &fakeServer{t: t, net: n, site: site, clones: make(chan *wire.CloneMsg, 16)}
+	ln, err := n.Listen(server.Endpoint(site))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer conn.Close()
+				for {
+					msg, err := wire.Receive(conn)
+					if err != nil {
+						return
+					}
+					if c, ok := msg.(*wire.CloneMsg); ok {
+						f.clones <- c
+					}
+				}
+			}()
+		}
+	}()
+	return f
+}
+
+func (f *fakeServer) recv() *wire.CloneMsg {
+	select {
+	case c := <-f.clones:
+		return c
+	case <-time.After(5 * time.Second):
+		f.t.Fatal("no clone received")
+		return nil
+	}
+}
+
+func (f *fakeServer) reply(id wire.QueryID, msg *wire.ResultMsg) error {
+	conn, err := f.net.Dial(server.Endpoint(f.site), id.Site)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	return wire.Send(conn, msg)
+}
+
+const oneStage = `select d.url from document d such that "http://a.example/x.html" G·L d where d.url contains "a"`
+
+func TestSubmitEntersCHTAndDispatches(t *testing.T) {
+	n := netsim.New(netsim.Options{})
+	f := newFakeServer(t, n, "a.example")
+	c := New(n, "maya", "user")
+
+	q, err := c.Submit(disql.MustParse(oneStage))
+	if err != nil {
+		t.Fatal(err)
+	}
+	clone := f.recv()
+	if len(clone.Dest) != 1 || clone.Dest[0].URL != "http://a.example/x.html" {
+		t.Fatalf("clone = %+v", clone)
+	}
+	if clone.Rem != "G·L" || len(clone.Stages) != 1 || clone.Base != 0 {
+		t.Errorf("clone = %+v", clone)
+	}
+	if clone.ID.User != "maya" || clone.ID.Site != "user/q1" {
+		t.Errorf("id = %+v", clone.ID)
+	}
+	if q.LiveEntries() != 1 || q.Done() {
+		t.Errorf("live = %d done = %v", q.LiveEntries(), q.Done())
+	}
+
+	// A processing report with no children completes the query.
+	st := clone.State()
+	err = f.reply(clone.ID, &wire.ResultMsg{
+		ID: clone.ID,
+		Updates: []wire.CHTUpdate{{
+			Processed: wire.CHTEntry{Node: clone.Dest[0].URL, State: st, Origin: clone.Dest[0].Origin, Seq: clone.Dest[0].Seq},
+		}},
+		Tables: []wire.NodeTable{{Node: clone.Dest[0].URL, Stage: 0, Cols: []string{"d.url"}, Rows: [][]string{{"http://a.example/x.html"}}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Wait(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	res := q.Results()
+	if len(res) != 1 || len(res[0].Rows) != 1 {
+		t.Fatalf("results = %+v", res)
+	}
+	stats := q.Stats()
+	if stats.EntriesAdded != 1 || stats.EntriesRetired != 1 || stats.ResultMsgs != 1 {
+		t.Errorf("stats = %+v", stats)
+	}
+}
+
+func TestChildrenKeepQueryAlive(t *testing.T) {
+	n := netsim.New(netsim.Options{})
+	f := newFakeServer(t, n, "a.example")
+	c := New(n, "u", "user")
+	q, err := c.Submit(disql.MustParse(oneStage))
+	if err != nil {
+		t.Fatal(err)
+	}
+	clone := f.recv()
+	st := clone.State()
+	parent := wire.CHTEntry{Node: clone.Dest[0].URL, State: st, Origin: clone.Dest[0].Origin, Seq: clone.Dest[0].Seq}
+	child := wire.CHTEntry{Node: "http://b.example/y.html", State: wire.State{NumQ: 1, Rem: "L"}, Origin: "a.example/query", Seq: 1}
+	if err := f.reply(clone.ID, &wire.ResultMsg{
+		ID:      clone.ID,
+		Updates: []wire.CHTUpdate{{Processed: parent, Children: []wire.CHTEntry{child}}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Wait(50 * time.Millisecond); err != ErrTimeout {
+		t.Fatalf("Wait = %v, want timeout while child is live", err)
+	}
+	if q.LiveEntries() != 1 {
+		t.Errorf("live = %d", q.LiveEntries())
+	}
+	// Retiring the child completes the query.
+	if err := f.reply(clone.ID, &wire.ResultMsg{
+		ID:      clone.ID,
+		Updates: []wire.CHTUpdate{{Processed: child}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Wait(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOutOfOrderReportsStillComplete(t *testing.T) {
+	// The child's report arrives before the parent's update that
+	// announced it: counts dip negative, then settle to zero.
+	n := netsim.New(netsim.Options{})
+	f := newFakeServer(t, n, "a.example")
+	c := New(n, "u", "user")
+	q, err := c.Submit(disql.MustParse(oneStage))
+	if err != nil {
+		t.Fatal(err)
+	}
+	clone := f.recv()
+	st := clone.State()
+	parent := wire.CHTEntry{Node: clone.Dest[0].URL, State: st, Origin: clone.Dest[0].Origin, Seq: clone.Dest[0].Seq}
+	child := wire.CHTEntry{Node: "http://b.example/y.html", State: wire.State{NumQ: 1, Rem: "L"}, Origin: "a.example/query", Seq: 1}
+
+	// Child report first.
+	if err := f.reply(clone.ID, &wire.ResultMsg{ID: clone.ID,
+		Updates: []wire.CHTUpdate{{Processed: child}}}); err != nil {
+		t.Fatal(err)
+	}
+	waitStats(t, q, func(s Stats) bool { return s.ResultMsgs == 1 })
+	if q.Done() {
+		t.Fatal("query completed with the parent update outstanding")
+	}
+	// Parent update second.
+	if err := f.reply(clone.ID, &wire.ResultMsg{ID: clone.ID,
+		Updates: []wire.CHTUpdate{{Processed: parent, Children: []wire.CHTEntry{child}}}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Wait(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if q.Stats().GhostReports != 1 {
+		t.Errorf("ghost reports = %d", q.Stats().GhostReports)
+	}
+}
+
+func waitStats(t *testing.T, q *Query, ok func(Stats) bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if ok(q.Stats()) {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("condition never reached")
+}
+
+func TestCancelClosesCollector(t *testing.T) {
+	n := netsim.New(netsim.Options{})
+	f := newFakeServer(t, n, "a.example")
+	c := New(n, "u", "user")
+	q, err := c.Submit(disql.MustParse(oneStage))
+	if err != nil {
+		t.Fatal(err)
+	}
+	clone := f.recv()
+	q.Cancel()
+	if err := q.Wait(time.Second); err != ErrCancelled {
+		t.Fatalf("Wait = %v", err)
+	}
+	// The passive termination signal: the server's reply now fails.
+	if err := f.reply(clone.ID, &wire.ResultMsg{ID: clone.ID}); err == nil {
+		t.Fatal("reply after cancel should fail")
+	}
+	// Cancel twice is fine.
+	q.Cancel()
+}
+
+func TestSubmitFailsWhenNoServer(t *testing.T) {
+	n := netsim.New(netsim.Options{})
+	c := New(n, "u", "user")
+	if _, err := c.Submit(disql.MustParse(oneStage)); err == nil {
+		t.Fatal("Submit should fail when the only start site is down")
+	}
+	// The collector endpoint was released: a new submit can reuse names.
+	if _, err := n.Listen("user/q1"); err != nil {
+		t.Fatalf("endpoint not released: %v", err)
+	}
+}
+
+func TestSubmitInvalidQuery(t *testing.T) {
+	n := netsim.New(netsim.Options{})
+	c := New(n, "u", "user")
+	if _, err := c.Submit(&disql.WebQuery{}); err == nil {
+		t.Fatal("invalid web-query should be rejected")
+	}
+}
+
+func TestPartialStartSiteFailure(t *testing.T) {
+	n := netsim.New(netsim.Options{})
+	f := newFakeServer(t, n, "a.example")
+	// b.example has no server.
+	c := New(n, "u", "user")
+	q, err := c.Submit(disql.MustParse(
+		`select d.url from document d such that ("http://a.example/x.html", "http://b.example/y.html") G d where d.url contains "a"`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	clone := f.recv()
+	// Only the reachable site's entry is live.
+	if q.LiveEntries() != 1 {
+		t.Errorf("live = %d", q.LiveEntries())
+	}
+	st := clone.State()
+	if err := f.reply(clone.ID, &wire.ResultMsg{ID: clone.ID,
+		Updates: []wire.CHTUpdate{{Processed: wire.CHTEntry{
+			Node: clone.Dest[0].URL, State: st, Origin: clone.Dest[0].Origin, Seq: clone.Dest[0].Seq,
+		}}}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Wait(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResultRowDedupAcrossMessages(t *testing.T) {
+	n := netsim.New(netsim.Options{})
+	f := newFakeServer(t, n, "a.example")
+	c := New(n, "u", "user")
+	q, err := c.Submit(disql.MustParse(oneStage))
+	if err != nil {
+		t.Fatal(err)
+	}
+	clone := f.recv()
+	st := clone.State()
+	tbl := wire.NodeTable{Node: "n", Stage: 0, Cols: []string{"d.url"},
+		Rows: [][]string{{"http://same.example/"}, {"http://same.example/"}}}
+	child := wire.CHTEntry{Node: "m", State: st, Origin: "x", Seq: 1}
+	f.reply(clone.ID, &wire.ResultMsg{ID: clone.ID,
+		Updates: []wire.CHTUpdate{{Processed: wire.CHTEntry{Node: clone.Dest[0].URL, State: st, Origin: clone.Dest[0].Origin, Seq: clone.Dest[0].Seq}, Children: []wire.CHTEntry{child}}},
+		Tables:  []wire.NodeTable{tbl}})
+	f.reply(clone.ID, &wire.ResultMsg{ID: clone.ID,
+		Updates: []wire.CHTUpdate{{Processed: child}},
+		Tables:  []wire.NodeTable{tbl}})
+	if err := q.Wait(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	res := q.Results()
+	if len(res) != 1 || len(res[0].Rows) != 1 {
+		t.Fatalf("results = %+v", res)
+	}
+}
+
+func TestQueryIDsAreUnique(t *testing.T) {
+	n := netsim.New(netsim.Options{})
+	newFakeServer(t, n, "a.example")
+	c := New(n, "u", "user")
+	q1, err := c.Submit(disql.MustParse(oneStage))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2, err := c.Submit(disql.MustParse(oneStage))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q1.ID() == q2.ID() {
+		t.Error("IDs must differ")
+	}
+	if !strings.HasPrefix(q2.ID().Site, "user/q") {
+		t.Errorf("site = %s", q2.ID().Site)
+	}
+	q1.Cancel()
+	q2.Cancel()
+}
+
+// Guard: the collector must ignore messages for other query IDs.
+func TestCollectorIgnoresForeignIDs(t *testing.T) {
+	n := netsim.New(netsim.Options{})
+	f := newFakeServer(t, n, "a.example")
+	c := New(n, "u", "user")
+	q, err := c.Submit(disql.MustParse(oneStage))
+	if err != nil {
+		t.Fatal(err)
+	}
+	clone := f.recv()
+	foreign := clone.ID
+	foreign.Num += 99
+	f.reply(clone.ID, &wire.ResultMsg{ID: foreign,
+		Updates: []wire.CHTUpdate{{Processed: wire.CHTEntry{Node: clone.Dest[0].URL, State: clone.State(), Origin: clone.Dest[0].Origin, Seq: clone.Dest[0].Seq}}}})
+	if err := q.Wait(50 * time.Millisecond); err != ErrTimeout {
+		t.Fatalf("foreign message should not complete the query: %v", err)
+	}
+	q.Cancel()
+}

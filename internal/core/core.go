@@ -1,0 +1,183 @@
+// Package core assembles complete WEBDIS deployments: it takes a
+// (synthetic) web, starts one document host and one query server per site
+// on a shared transport, and exposes a user-site client — everything
+// needed to run the paper's distributed query processing end to end in
+// one process, with full traffic accounting.
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"webdis/internal/client"
+	"webdis/internal/disql"
+	"webdis/internal/index"
+	"webdis/internal/netsim"
+	"webdis/internal/server"
+	"webdis/internal/webgraph"
+	"webdis/internal/webserver"
+)
+
+// Config describes a deployment.
+type Config struct {
+	// Web is the document corpus; one query server and one document host
+	// start per site. Required.
+	Web *webgraph.Web
+	// Net configures the simulated fabric (latency, bandwidth).
+	Net netsim.Options
+	// Server configures every query server (dedup mode, batching, trace).
+	Server server.Options
+	// User names the user submitting queries; defaults to "user".
+	User string
+	// NoDocService skips starting the per-site fetch services; the
+	// distributed engine reads documents co-located, so only runs that
+	// also use the centralized baseline need them.
+	NoDocService bool
+	// Participate, when non-nil, selects which sites run a query server —
+	// the paper's Section 7.1 world where only some of the web has
+	// adopted WEBDIS. Non-participating sites keep their document host,
+	// servers bounce undeliverable clones back to the user-site, and the
+	// client's hybrid fallback processes them centrally. Incompatible
+	// with NoDocService (the fallback must be able to download).
+	Participate func(site string) bool
+}
+
+// Deployment is a running WEBDIS installation over a simulated web.
+type Deployment struct {
+	web     *webgraph.Web
+	network *netsim.Network
+	metrics *server.Metrics
+	hosts   map[string]*webserver.Host
+	servers map[string]*server.Server
+	client  *client.Client
+	user    string
+
+	ixOnce sync.Once
+	ix     *index.Index
+	ixErr  error
+}
+
+// NewDeployment builds and starts a deployment.
+func NewDeployment(cfg Config) (*Deployment, error) {
+	if cfg.Web == nil {
+		return nil, fmt.Errorf("core: Config.Web is required")
+	}
+	if cfg.Participate != nil && cfg.NoDocService {
+		return nil, fmt.Errorf("core: Participate requires the document service (the hybrid fallback downloads)")
+	}
+	user := cfg.User
+	if user == "" {
+		user = "user"
+	}
+	srvOpts := cfg.Server
+	if cfg.Participate != nil {
+		srvOpts.Hybrid = true
+	}
+	d := &Deployment{
+		web:     cfg.Web,
+		network: netsim.New(cfg.Net),
+		metrics: &server.Metrics{},
+		hosts:   make(map[string]*webserver.Host),
+		servers: make(map[string]*server.Server),
+		user:    user,
+	}
+	for _, site := range cfg.Web.Hosts() {
+		h := webserver.NewHost(site, cfg.Web)
+		d.hosts[site] = h
+		if !cfg.NoDocService {
+			if err := h.Start(d.network); err != nil {
+				d.Close()
+				return nil, err
+			}
+		}
+		if cfg.Participate != nil && !cfg.Participate(site) {
+			continue // the site hosts documents but runs no query server
+		}
+		s := server.New(site, h, d.network, d.metrics, srvOpts)
+		d.servers[site] = s
+		if err := s.Start(); err != nil {
+			d.Close()
+			return nil, err
+		}
+	}
+	d.client = client.New(d.network, user, user)
+	if cfg.Participate != nil {
+		d.client.SetHybrid(true)
+	}
+	// Resolve index("term") StartNode sources against the deployment's
+	// search index, built lazily on first use.
+	d.client.SetIndexResolver(func(term string) []string {
+		ix, err := d.Index()
+		if err != nil {
+			return nil
+		}
+		return ix.URLs(term, 0)
+	})
+	return d, nil
+}
+
+// Index returns the deployment's search index over its web, building it
+// on first use — the "existing search-index" that resolves index("term")
+// StartNode sources.
+func (d *Deployment) Index() (*index.Index, error) {
+	d.ixOnce.Do(func() {
+		d.ix, d.ixErr = index.Build(d.web)
+	})
+	return d.ix, d.ixErr
+}
+
+// Submit dispatches a parsed web-query from the deployment's user-site.
+func (d *Deployment) Submit(w *disql.WebQuery) (*client.Query, error) {
+	return d.client.Submit(w)
+}
+
+// SubmitDISQL parses and dispatches a DISQL query.
+func (d *Deployment) SubmitDISQL(src string) (*client.Query, error) {
+	w, err := disql.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return d.Submit(w)
+}
+
+// Run submits a DISQL query and waits for completion (timeout <= 0 waits
+// forever), returning the finished query.
+func (d *Deployment) Run(src string, timeout time.Duration) (*client.Query, error) {
+	q, err := d.SubmitDISQL(src)
+	if err != nil {
+		return nil, err
+	}
+	if err := q.Wait(timeout); err != nil {
+		return q, err
+	}
+	return q, nil
+}
+
+// Web returns the deployment's document corpus.
+func (d *Deployment) Web() *webgraph.Web { return d.web }
+
+// Network returns the simulated fabric (for stats and failure injection).
+func (d *Deployment) Network() *netsim.Network { return d.network }
+
+// Metrics returns the shared engine metrics.
+func (d *Deployment) Metrics() *server.Metrics { return d.metrics }
+
+// Client returns the deployment's user-site client.
+func (d *Deployment) Client() *client.Client { return d.client }
+
+// Server returns the query server of site, or nil.
+func (d *Deployment) Server(site string) *server.Server { return d.servers[site] }
+
+// Host returns the document host of site, or nil.
+func (d *Deployment) Host(site string) *webserver.Host { return d.hosts[site] }
+
+// Close stops every server and document host.
+func (d *Deployment) Close() {
+	for _, s := range d.servers {
+		s.Stop()
+	}
+	for _, h := range d.hosts {
+		h.Stop()
+	}
+}

@@ -1,0 +1,312 @@
+package disql
+
+import (
+	"strings"
+	"testing"
+
+	"webdis/internal/nodequery"
+)
+
+// exampleQuery1 is the paper's Example Query 1: extract all global links on
+// the DSL web-server starting from the lab's homepage.
+const exampleQuery1 = `
+select a.base, a.href
+from document d such that "http://dsl.serc.iisc.ernet.in" L* d,
+     anchor a
+where a.ltype = "G"
+`
+
+// exampleQuery2 is the paper's Example Query 2: the convener query.
+const exampleQuery2 = `
+select d0.url, d1.url, r.text
+from document d0 such that "http://csa.iisc.ernet.in" L d0,
+where d0.title contains "lab"
+     document d1 such that d0 G·(L*1) d1,
+     relinfon r such that r.delimiter = "hr",
+where (r.text contains "convener")
+`
+
+func TestParseExampleQuery1(t *testing.T) {
+	w, err := Parse(exampleQuery1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Start) != 1 || w.Start[0] != "http://dsl.serc.iisc.ernet.in" {
+		t.Errorf("Start = %v", w.Start)
+	}
+	if len(w.Stages) != 1 {
+		t.Fatalf("stages = %d", len(w.Stages))
+	}
+	s := w.Stages[0]
+	if s.PRE.String() != "L*" {
+		t.Errorf("PRE = %s", s.PRE)
+	}
+	q := s.Query
+	if len(q.Vars) != 2 || q.Vars[0].Name != "d" || q.Vars[1].Name != "a" {
+		t.Errorf("vars = %+v", q.Vars)
+	}
+	if len(q.Select) != 2 || q.Select[0].String() != "a.base" || q.Select[1].String() != "a.href" {
+		t.Errorf("select = %+v", q.Select)
+	}
+	if got := q.Where.String(); got != `a.ltype = "G"` {
+		t.Errorf("where = %q", got)
+	}
+}
+
+func TestParseExampleQuery2(t *testing.T) {
+	w, err := Parse(exampleQuery2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Stages) != 2 {
+		t.Fatalf("stages = %d", len(w.Stages))
+	}
+	q1, q2 := w.Stages[0], w.Stages[1]
+	if q1.PRE.String() != "L" {
+		t.Errorf("p1 = %s", q1.PRE)
+	}
+	if q2.PRE.String() != "G·L*1" {
+		t.Errorf("p2 = %s", q2.PRE)
+	}
+	// q1 is: select d0.url from document d0 where d0.title contains "lab"
+	if len(q1.Query.Select) != 1 || q1.Query.Select[0].String() != "d0.url" {
+		t.Errorf("q1 select = %+v", q1.Query.Select)
+	}
+	if got := q1.Query.Where.String(); got != `d0.title contains "lab"` {
+		t.Errorf("q1 where = %q", got)
+	}
+	// q2 is: select d1.url, r.text from document d1, relinfon r such that
+	// r.delimiter = "hr" where r.text contains "convener"
+	if len(q2.Query.Select) != 2 || q2.Query.Select[0].String() != "d1.url" || q2.Query.Select[1].String() != "r.text" {
+		t.Errorf("q2 select = %+v", q2.Query.Select)
+	}
+	if len(q2.Query.Vars) != 2 || q2.Query.Vars[1].Rel != "relinfon" {
+		t.Errorf("q2 vars = %+v", q2.Query.Vars)
+	}
+	if got := q2.Query.Vars[1].Cond.String(); got != `r.delimiter = "hr"` {
+		t.Errorf("q2 relinfon cond = %q", got)
+	}
+	if got := q2.Query.Where.String(); got != `r.text contains "convener"` {
+		t.Errorf("q2 where = %q", got)
+	}
+	if got := w.String(); !strings.Contains(got, "L q1 G·L*1 q2") {
+		t.Errorf("String() = %q", got)
+	}
+	if w.NumQ() != 2 {
+		t.Errorf("NumQ = %d", w.NumQ())
+	}
+}
+
+func TestParseMultipleStartNodes(t *testing.T) {
+	w, err := Parse(`select d.url from document d such that ("http://a.example", "http://b.example") G d`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Start) != 2 || w.Start[0] != "http://a.example" || w.Start[1] != "http://b.example" {
+		t.Errorf("Start = %v", w.Start)
+	}
+}
+
+func TestParseASCIIDotConcat(t *testing.T) {
+	w, err := Parse(`select d1.url from document d0 such that "http://x.example" L d0, document d1 such that d0 G.(L*2) d1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Stages[1].PRE.String() != "G·L*2" {
+		t.Errorf("PRE = %s", w.Stages[1].PRE)
+	}
+}
+
+func TestParseBooleanWhere(t *testing.T) {
+	w, err := Parse(`select d.url from document d such that "http://x.example" L* d
+		where d.title contains "lab" and not (d.length < "100" or d.text contains "draft")`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := w.Stages[0].Query.Where.String()
+	want := `(d.title contains "lab" and not (d.length < "100" or d.text contains "draft"))`
+	if got != want {
+		t.Errorf("where = %q, want %q", got, want)
+	}
+}
+
+func TestParseNotContains(t *testing.T) {
+	w, err := Parse(`select d.url from document d such that "http://x.example" L d where d.text not contains "spam"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := w.Stages[0].Query.Where.String(); got != `d.text not contains "spam"` {
+		t.Errorf("where = %q", got)
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	w, err := Parse(`-- find labs
+select d.url -- the URL
+from document d such that "http://x.example" L d`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Stages) != 1 {
+		t.Errorf("stages = %d", len(w.Stages))
+	}
+}
+
+func TestParseNumericOperand(t *testing.T) {
+	w, err := Parse(`select d.url from document d such that "http://x.example" L d where d.length > 4096`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := w.Stages[0].Query.Where
+	if p.Op != nodequery.Gt || p.Right.Lit != "4096" {
+		t.Errorf("where = %+v", p)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		frag string // expected error substring
+	}{
+		{``, "expected"},
+		{`select`, "expected column reference"},
+		{`select d.url`, `expected "from"`},
+		{`select d.url from anchor a`, "before any document"},
+		{`select d.url from document d`, "such that"},
+		{`select d.url from document d such that L d`, "StartNode"},
+		{`select d.url from document d such that "u" L x`, "must end at"},
+		{`select d.url from document d such that "u" d`, "empty PRE"},
+		{`select x.url from document d such that "u" L d`, "undeclared variable"},
+		{`select d.url from document d such that "u" L d, document d such that d L d`, "declared in both"},
+		{`select d1.url from document d0 such that "u" L d0, document d1 such that "v" L d1`, "must start from the previous"},
+		{`select d1.url from document d0 such that "u" L d0, document d1 such that d9 L d1`, "must chain"},
+		{`select d.url from where d.url = "x"`, "before any relation"},
+		{`select d.url from document L such that "u" L L`, "variable name"},
+		{`select d.url from document d such that "u" L d where d.title`, "operator"},
+		{`select d.url from document d such that "u" L d where d.title = `, "operand"},
+		{`select d.url from document d such that "u" L*x d`, "path must end"},
+		{`select d.nosuch from document d such that "u" L d`, "no attribute"},
+		{`select d.url from document d such that "unterminated`, "unterminated"},
+		{`select d.url from document d such that "u" L d where d.title ~ "x"`, "unexpected character"},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.src)
+		if err == nil {
+			t.Errorf("Parse(%q) succeeded, want error containing %q", c.src, c.frag)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("Parse(%q) error = %q, want substring %q", c.src, err, c.frag)
+		}
+	}
+}
+
+func TestParseWhereBindsToOpenStage(t *testing.T) {
+	// Both where clauses must land on their own stages.
+	w := MustParse(`
+select d0.url, d1.url
+from document d0 such that "http://x.example" L d0,
+where d0.title contains "one"
+     document d1 such that d0 G d1
+where d1.title contains "two"`)
+	if got := w.Stages[0].Query.Where.String(); !strings.Contains(got, "one") {
+		t.Errorf("stage 1 where = %q", got)
+	}
+	if got := w.Stages[1].Query.Where.String(); !strings.Contains(got, "two") {
+		t.Errorf("stage 2 where = %q", got)
+	}
+}
+
+func TestParseEmptySelectForStage(t *testing.T) {
+	// A stage may contribute nothing to the select list: it then acts as a
+	// pure filter along the path.
+	w := MustParse(`
+select d1.url
+from document d0 such that "http://x.example" L d0,
+where d0.title contains "lab"
+     document d1 such that d0 G d1`)
+	if len(w.Stages[0].Query.Select) != 0 {
+		t.Errorf("stage 1 select = %+v", w.Stages[0].Query.Select)
+	}
+	if len(w.Stages[1].Query.Select) != 1 {
+		t.Errorf("stage 2 select = %+v", w.Stages[1].Query.Select)
+	}
+}
+
+func TestWebQueryValidate(t *testing.T) {
+	w := &WebQuery{}
+	if err := w.Validate(); err == nil {
+		t.Error("empty web-query should not validate")
+	}
+	w = &WebQuery{Start: []string{"http://x.example"}}
+	if err := w.Validate(); err == nil {
+		t.Error("web-query without stages should not validate")
+	}
+}
+
+func TestParseIndexSource(t *testing.T) {
+	w, err := Parse(`select d.url from document d such that index("database lab") L* d`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.StartTerm != "database lab" || len(w.Start) != 0 {
+		t.Errorf("w = %+v", w)
+	}
+	if !strings.Contains(w.String(), `index("database lab")`) {
+		t.Errorf("String = %q", w.String())
+	}
+	// Round-trips through the formatter.
+	again, err := Parse(Format(w))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.StartTerm != w.StartTerm {
+		t.Errorf("round trip lost the index term: %+v", again)
+	}
+	// Errors.
+	for _, src := range []string{
+		`select d.url from document d such that index(notastring) L d`,
+		`select d.url from document d such that index("x" L d`,
+		`select index.url from document index such that "u" L index`,
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestParseCorrelatedStages(t *testing.T) {
+	w := MustParse(`
+select d1.url
+from document d0 such that "http://h.example/" G d0,
+where d0.title contains "Topic"
+     document d1 such that d0 L d1
+where d1.title contains d0.title and d1.length > d0.length`)
+	if len(w.Stages[0].Export) != 2 || w.Stages[0].Export[0] != "length" || w.Stages[0].Export[1] != "title" {
+		t.Errorf("export = %v", w.Stages[0].Export)
+	}
+	outer := w.Stages[1].Query.Outer
+	if len(outer) != 2 {
+		t.Fatalf("outer = %v", outer)
+	}
+	// The first stage itself has no outer references.
+	if len(w.Stages[0].Query.Outer) != 0 {
+		t.Errorf("stage 1 outer = %v", w.Stages[0].Query.Outer)
+	}
+	// Referencing a later stage's variable fails (undeclared at stage 1).
+	if _, err := Parse(`
+select d0.url
+from document d0 such that "http://h.example/" G d0,
+where d0.title contains d1.title
+     document d1 such that d0 L d1`); err == nil {
+		t.Error("forward reference should fail")
+	}
+	// Cross-stage references are limited to document attributes.
+	if _, err := Parse(`
+select d1.url
+from document d0 such that "http://h.example/" G d0,
+     document d1 such that d0 L d1
+where d1.title contains d0.nosuch`); err == nil {
+		t.Error("bad outer attribute should fail")
+	}
+}

@@ -1,0 +1,84 @@
+package disql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"webdis/internal/nodequery"
+)
+
+// Format renders a web-query back into canonical DISQL text. The output
+// always re-parses to an equivalent web-query (Parse(Format(w)) yields
+// the same stages, PREs and predicates), which the round-trip tests
+// assert; it is used by tools that manipulate queries programmatically
+// and want to ship or display them as DISQL.
+//
+// The formal object does not retain the user's variable names for the
+// path chain, so document variables are printed as d0, d1, …; anchor and
+// relinfon variables keep their parsed names (they are stored in the
+// node-queries).
+func Format(w *WebQuery) string {
+	var b strings.Builder
+	b.WriteString("select ")
+	first := true
+	for _, s := range w.Stages {
+		for _, c := range s.Query.Select {
+			if !first {
+				b.WriteString(", ")
+			}
+			first = false
+			b.WriteString(c.String())
+		}
+	}
+	if first {
+		// A web-query always projects something somewhere; Validate
+		// guarantees stages exist, but guard empty selects anyway.
+		b.WriteString("d0.url")
+	}
+	b.WriteString("\nfrom ")
+	for i, s := range w.Stages {
+		docVar := s.Query.Vars[0].Name
+		if i == 0 {
+			source := quoteList(w.Start)
+			if w.StartTerm != "" {
+				source = fmt.Sprintf("index(%s)", strconv.Quote(w.StartTerm))
+			}
+			fmt.Fprintf(&b, "document %s such that %s %s %s", docVar, source, s.PRE, docVar)
+		} else {
+			prev := w.Stages[i-1].Query.Vars[0].Name
+			fmt.Fprintf(&b, "     document %s such that %s %s %s", docVar, prev, s.PRE, docVar)
+		}
+		for _, v := range s.Query.Vars[1:] {
+			b.WriteString(",\n     ")
+			fmt.Fprintf(&b, "%s %s", v.Rel, v.Name)
+			if v.Cond != nil && v.Cond.Kind != nodequery.True {
+				fmt.Fprintf(&b, " such that %s", formatPred(v.Cond))
+			}
+		}
+		if s.Query.Where != nil && s.Query.Where.Kind != nodequery.True {
+			fmt.Fprintf(&b, "\nwhere %s", formatPred(s.Query.Where))
+		}
+		if i < len(w.Stages)-1 {
+			b.WriteString(",\n")
+		}
+	}
+	return b.String()
+}
+
+func quoteList(urls []string) string {
+	if len(urls) == 1 {
+		return strconv.Quote(urls[0])
+	}
+	quoted := make([]string, len(urls))
+	for i, u := range urls {
+		quoted[i] = strconv.Quote(u)
+	}
+	return "(" + strings.Join(quoted, ", ") + ")"
+}
+
+// formatPred renders a predicate in DISQL's condition syntax. It differs
+// from Pred.String only in parenthesization details; both re-parse.
+func formatPred(p *nodequery.Pred) string {
+	return p.String()
+}

@@ -1,0 +1,77 @@
+package disql
+
+import (
+	"strings"
+	"testing"
+
+	"webdis/internal/pre"
+)
+
+// equivalent reports whether two web-queries have the same starts, PREs,
+// node-queries and projections.
+func equivalent(t *testing.T, a, b *WebQuery) bool {
+	t.Helper()
+	if strings.Join(a.Start, "|") != strings.Join(b.Start, "|") {
+		t.Logf("starts differ: %v vs %v", a.Start, b.Start)
+		return false
+	}
+	if len(a.Stages) != len(b.Stages) {
+		t.Logf("stage counts differ")
+		return false
+	}
+	for i := range a.Stages {
+		if !pre.Equal(a.Stages[i].PRE, b.Stages[i].PRE) {
+			t.Logf("stage %d PRE: %s vs %s", i, a.Stages[i].PRE, b.Stages[i].PRE)
+			return false
+		}
+		if a.Stages[i].Query.String() != b.Stages[i].Query.String() {
+			t.Logf("stage %d query:\n%s\n%s", i, a.Stages[i].Query, b.Stages[i].Query)
+			return false
+		}
+	}
+	return true
+}
+
+func TestFormatRoundTrip(t *testing.T) {
+	srcs := []string{
+		exampleQuery1,
+		exampleQuery2,
+		`select d.url from document d such that ("http://a.example/x", "http://b.example/y") G|L d where d.title contains "z"`,
+		`select d.url, a.href from document d such that "http://a.example/" N|(L|G)*3 d, anchor a where a.ltype = "G" and not (d.length < 100 or d.text contains "draft")`,
+		`select d1.url from document d0 such that "http://a.example/" L d0, document d1 such that d0 G·(L*2) d1 where d1.text not contains "spam"`,
+	}
+	for _, src := range srcs {
+		orig, err := Parse(src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", src, err)
+		}
+		text := Format(orig)
+		again, err := Parse(text)
+		if err != nil {
+			t.Fatalf("re-Parse of formatted query failed: %v\n%s", err, text)
+		}
+		if !equivalent(t, orig, again) {
+			t.Errorf("round trip changed the query:\noriginal: %s\nformatted:\n%s", src, text)
+		}
+		// Formatting is a fixpoint after one round.
+		if Format(again) != text {
+			t.Errorf("Format is not stable:\n%s\nvs\n%s", text, Format(again))
+		}
+	}
+}
+
+func TestFormatCampusLooksLikeThePaper(t *testing.T) {
+	w := MustParse(exampleQuery2)
+	text := Format(w)
+	for _, frag := range []string{
+		"select d0.url, d1.url, r.text",
+		`document d0 such that "http://csa.iisc.ernet.in" L d0`,
+		"document d1 such that d0 G·L*1 d1",
+		`relinfon r such that r.delimiter = "hr"`,
+		`where r.text contains "convener"`,
+	} {
+		if !strings.Contains(text, frag) {
+			t.Errorf("formatted query missing %q:\n%s", frag, text)
+		}
+	}
+}

@@ -1,0 +1,122 @@
+// Package disql implements DISQL, the SQL-like declarative query language
+// of the WEBDIS system (paper Section 2.3), and its translation into the
+// formal web-query Q = S p1 q1 p2 q2 … pn qn. A DISQL query is a single
+// select clause followed by a sequence of sub-queries; each sub-query
+// declares one document variable reached through a Path Regular Expression
+// (PRE) plus any number of anchor/relinfon variables, and maps to one
+// (PRE, node-query) stage of the web-query. The original system generated
+// its parser with JavaCC; this one is a hand-written lexer and recursive
+// descent parser.
+package disql
+
+import (
+	"fmt"
+	"strings"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokString
+	tokNumber
+	tokPunct // one of , . ( ) = | * · < > ! and the two-char <= >= != <>
+)
+
+type token struct {
+	kind tokenKind
+	text string // identifier (original case), string value, number, or punct
+	pos  int    // byte offset, for error messages
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of query"
+	case tokString:
+		return fmt.Sprintf("%q", t.text)
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+// lex tokenizes an entire DISQL query. String literals are double-quoted
+// with backslash escapes; -- starts a comment through end of line.
+func lex(src string) ([]token, error) {
+	var toks []token
+	i := 0
+	n := len(src)
+	for i < n {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '-' && i+1 < n && src[i+1] == '-':
+			for i < n && src[i] != '\n' {
+				i++
+			}
+		case strings.HasPrefix(src[i:], "·"):
+			toks = append(toks, token{tokPunct, "·", i})
+			i += len("·")
+		case c == '"':
+			start := i
+			i++
+			var b strings.Builder
+			for i < n && src[i] != '"' {
+				if src[i] == '\\' && i+1 < n {
+					i++
+				}
+				b.WriteByte(src[i])
+				i++
+			}
+			if i >= n {
+				return nil, fmt.Errorf("disql: unterminated string at offset %d", start)
+			}
+			i++
+			toks = append(toks, token{tokString, b.String(), start})
+		case isIdentStart(rune(c)):
+			start := i
+			for i < n && isIdentChar(rune(src[i])) {
+				i++
+			}
+			toks = append(toks, token{tokIdent, src[start:i], start})
+		case c >= '0' && c <= '9':
+			start := i
+			for i < n && src[i] >= '0' && src[i] <= '9' {
+				i++
+			}
+			toks = append(toks, token{tokNumber, src[start:i], start})
+		default:
+			start := i
+			// two-character operators
+			if i+1 < n {
+				two := src[i : i+2]
+				switch two {
+				case "<=", ">=", "!=", "<>":
+					toks = append(toks, token{tokPunct, two, start})
+					i += 2
+					continue
+				}
+			}
+			switch c {
+			case ',', '.', '(', ')', '=', '|', '*', '<', '>':
+				toks = append(toks, token{tokPunct, string(c), start})
+				i++
+			default:
+				return nil, fmt.Errorf("disql: unexpected character %q at offset %d", c, i)
+			}
+		}
+	}
+	toks = append(toks, token{tokEOF, "", n})
+	return toks, nil
+}
+
+// Identifiers are ASCII: anything beyond ASCII would be scanned bytewise
+// and could split multi-byte runes such as the · operator.
+func isIdentStart(r rune) bool {
+	return r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r == '_'
+}
+
+func isIdentChar(r rune) bool {
+	return isIdentStart(r) || r >= '0' && r <= '9'
+}

@@ -1,0 +1,560 @@
+package disql
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"webdis/internal/nodequery"
+	"webdis/internal/pre"
+	"webdis/internal/relmodel"
+)
+
+// Parse translates a DISQL query into the formal web-query. The grammar
+// (reconstructed from the paper's examples and the DISCOVER thesis it
+// cites) is:
+//
+//	query      := SELECT colref (',' colref)* FROM item+
+//	item       := WHERE orExpr
+//	           |  relname var [SUCH THAT suchclause]  [',']
+//	relname    := DOCUMENT | ANCHOR | RELINFON
+//	suchclause := pathclause | orExpr
+//	pathclause := source PRE var
+//	source     := string | '(' string (',' string)* ')' | var
+//	orExpr     := andExpr (OR andExpr)*
+//	andExpr    := notExpr (AND notExpr)*
+//	notExpr    := NOT notExpr | '(' orExpr ')' | cmp
+//	cmp        := operand ('='|'!='|'<>'|'<'|'<='|'>'|'>='|CONTAINS|NOT CONTAINS) operand
+//	operand    := string | number | colref
+//	colref     := var '.' attr
+//
+// Every `document d such that <source> <PRE> d` clause opens a new
+// sub-query (one stage of the web-query); the source of the first stage is
+// the StartNode URL set, and the source of each later stage must be the
+// document variable of the immediately preceding stage (the paper's
+// query-forwarding chain). A WHERE item attaches to the sub-query that is
+// open when it appears. The select list is split across stages by the
+// variables it references (paper Section 2.3).
+func Parse(src string) (*WebQuery, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	w, err := p.query()
+	if err != nil {
+		return nil, err
+	}
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// MustParse is Parse, panicking on error; for tests and fixed queries.
+func MustParse(src string) *WebQuery {
+	w, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) isKeyword(kw string) bool {
+	t := p.cur()
+	return t.kind == tokIdent && strings.EqualFold(t.text, kw)
+}
+
+func (p *parser) acceptKeyword(kw string) bool {
+	if p.isKeyword(kw) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.acceptKeyword(kw) {
+		return fmt.Errorf("disql: expected %q, found %s at offset %d", kw, p.cur(), p.cur().pos)
+	}
+	return nil
+}
+
+func (p *parser) acceptPunct(s string) bool {
+	t := p.cur()
+	if t.kind == tokPunct && t.text == s {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+// subquery accumulates one stage while parsing.
+type subquery struct {
+	pre       pre.Expr
+	docVar    string
+	srcVar    string   // document variable of the previous stage, or ""
+	starts    []string // StartNode URLs (first stage only)
+	startTerm string   // index("term") source (first stage only)
+	vars      []nodequery.VarDecl
+	where     *nodequery.Pred
+	selects   []nodequery.ColRef
+}
+
+var relNames = map[string]bool{"document": true, "anchor": true, "relinfon": true}
+var preSymbols = map[string]bool{"I": true, "L": true, "G": true, "N": true}
+
+func (p *parser) query() (*WebQuery, error) {
+	if err := p.expectKeyword("select"); err != nil {
+		return nil, err
+	}
+	var selects []nodequery.ColRef
+	for {
+		c, err := p.colref()
+		if err != nil {
+			return nil, err
+		}
+		selects = append(selects, c)
+		if !p.acceptPunct(",") {
+			break
+		}
+	}
+	if err := p.expectKeyword("from"); err != nil {
+		return nil, err
+	}
+	var subs []*subquery
+	current := func() *subquery {
+		if len(subs) == 0 {
+			return nil
+		}
+		return subs[len(subs)-1]
+	}
+	for p.cur().kind != tokEOF {
+		if p.acceptPunct(",") {
+			continue
+		}
+		if p.acceptKeyword("where") {
+			pred, err := p.orExpr()
+			if err != nil {
+				return nil, err
+			}
+			sq := current()
+			if sq == nil {
+				return nil, fmt.Errorf("disql: where clause before any relation declaration")
+			}
+			sq.where = nodequery.Conj(sq.where, pred)
+			continue
+		}
+		t := p.cur()
+		if t.kind != tokIdent || !relNames[strings.ToLower(t.text)] {
+			return nil, fmt.Errorf("disql: expected relation name or where, found %s at offset %d", t, t.pos)
+		}
+		rel := strings.ToLower(p.next().text)
+		nameTok := p.next()
+		if nameTok.kind != tokIdent {
+			return nil, fmt.Errorf("disql: expected variable name after %q, found %s at offset %d", rel, nameTok, nameTok.pos)
+		}
+		name := nameTok.text
+		if preSymbols[name] || relNames[strings.ToLower(name)] || strings.EqualFold(name, "index") {
+			return nil, fmt.Errorf("disql: %q cannot be used as a variable name at offset %d", name, nameTok.pos)
+		}
+		hasSuch := false
+		if p.acceptKeyword("such") {
+			if err := p.expectKeyword("that"); err != nil {
+				return nil, err
+			}
+			hasSuch = true
+		}
+		if rel == "document" {
+			if !hasSuch {
+				return nil, fmt.Errorf("disql: document variable %q needs a `such that <path>` clause at offset %d", name, nameTok.pos)
+			}
+			sq, err := p.pathClause(name)
+			if err != nil {
+				return nil, err
+			}
+			subs = append(subs, sq)
+			continue
+		}
+		sq := current()
+		if sq == nil {
+			return nil, fmt.Errorf("disql: %s variable %q declared before any document variable", rel, name)
+		}
+		decl := nodequery.VarDecl{Name: name, Rel: rel}
+		if hasSuch {
+			pred, err := p.orExpr()
+			if err != nil {
+				return nil, err
+			}
+			decl.Cond = pred
+		}
+		sq.vars = append(sq.vars, decl)
+	}
+	return assemble(subs, selects)
+}
+
+// pathClause parses `<source> <PRE> <targetVar>` for the document variable
+// docVar and returns the new sub-query it opens.
+func (p *parser) pathClause(docVar string) (*subquery, error) {
+	sq := &subquery{docVar: docVar}
+	t := p.cur()
+	switch {
+	case t.kind == tokString:
+		sq.starts = []string{p.next().text}
+	case t.kind == tokPunct && t.text == "(" && p.toks[p.pos+1].kind == tokString:
+		p.next() // '('
+		for {
+			st := p.next()
+			if st.kind != tokString {
+				return nil, fmt.Errorf("disql: expected StartNode URL, found %s at offset %d", st, st.pos)
+			}
+			sq.starts = append(sq.starts, st.text)
+			if p.acceptPunct(",") {
+				continue
+			}
+			break
+		}
+		if !p.acceptPunct(")") {
+			return nil, fmt.Errorf("disql: missing ')' after StartNode list at offset %d", p.cur().pos)
+		}
+	case t.kind == tokIdent && strings.EqualFold(t.text, "index") &&
+		p.toks[p.pos+1].kind == tokPunct && p.toks[p.pos+1].text == "(":
+		p.next() // index
+		p.next() // '('
+		term := p.next()
+		if term.kind != tokString {
+			return nil, fmt.Errorf("disql: index() needs a quoted term, found %s at offset %d", term, term.pos)
+		}
+		if !p.acceptPunct(")") {
+			return nil, fmt.Errorf("disql: missing ')' after index term at offset %d", p.cur().pos)
+		}
+		sq.startTerm = term.text
+	case t.kind == tokIdent && !preSymbols[t.text]:
+		sq.srcVar = p.next().text
+	default:
+		return nil, fmt.Errorf("disql: expected StartNode URL or document variable, found %s at offset %d", t, t.pos)
+	}
+	// Gather the PRE tokens: everything up to the target variable.
+	var parts []string
+	for {
+		t := p.cur()
+		switch {
+		case t.kind == tokIdent && preSymbols[t.text]:
+			parts = append(parts, p.next().text)
+		case t.kind == tokNumber:
+			parts = append(parts, p.next().text)
+		case t.kind == tokPunct && (t.text == "(" || t.text == ")" || t.text == "|" || t.text == "*" || t.text == "·" || t.text == "."):
+			parts = append(parts, p.next().text)
+		case t.kind == tokIdent:
+			if t.text != docVar {
+				return nil, fmt.Errorf("disql: path must end at the declared variable %q, found %s at offset %d", docVar, t, t.pos)
+			}
+			p.next()
+			if len(parts) == 0 {
+				return nil, fmt.Errorf("disql: empty PRE in path to %q at offset %d", docVar, t.pos)
+			}
+			expr, err := pre.Parse(strings.Join(parts, " "))
+			if err != nil {
+				return nil, fmt.Errorf("disql: bad PRE %q: %w", strings.Join(parts, " "), err)
+			}
+			sq.pre = expr
+			sq.vars = append([]nodequery.VarDecl{{Name: docVar, Rel: "document"}}, sq.vars...)
+			return sq, nil
+		default:
+			return nil, fmt.Errorf("disql: unexpected %s in PRE at offset %d", t, t.pos)
+		}
+	}
+}
+
+func (p *parser) colref() (nodequery.ColRef, error) {
+	t := p.next()
+	if t.kind != tokIdent {
+		return nodequery.ColRef{}, fmt.Errorf("disql: expected column reference, found %s at offset %d", t, t.pos)
+	}
+	if !p.acceptPunct(".") {
+		return nodequery.ColRef{}, fmt.Errorf("disql: expected '.' after %q at offset %d", t.text, p.cur().pos)
+	}
+	a := p.next()
+	if a.kind != tokIdent {
+		return nodequery.ColRef{}, fmt.Errorf("disql: expected attribute name, found %s at offset %d", a, a.pos)
+	}
+	return nodequery.ColRef{Var: t.text, Col: strings.ToLower(a.text)}, nil
+}
+
+func (p *parser) orExpr() (*nodequery.Pred, error) {
+	left, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	kids := []*nodequery.Pred{left}
+	for p.acceptKeyword("or") {
+		right, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		kids = append(kids, right)
+	}
+	if len(kids) == 1 {
+		return left, nil
+	}
+	return &nodequery.Pred{Kind: nodequery.Or, Kids: kids}, nil
+}
+
+func (p *parser) andExpr() (*nodequery.Pred, error) {
+	left, err := p.notExpr()
+	if err != nil {
+		return nil, err
+	}
+	kids := []*nodequery.Pred{left}
+	for p.acceptKeyword("and") {
+		right, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		kids = append(kids, right)
+	}
+	if len(kids) == 1 {
+		return left, nil
+	}
+	return &nodequery.Pred{Kind: nodequery.And, Kids: kids}, nil
+}
+
+func (p *parser) notExpr() (*nodequery.Pred, error) {
+	if p.acceptKeyword("not") {
+		inner, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &nodequery.Pred{Kind: nodequery.Not, Kids: []*nodequery.Pred{inner}}, nil
+	}
+	if p.acceptPunct("(") {
+		inner, err := p.orExpr()
+		if err != nil {
+			return nil, err
+		}
+		if !p.acceptPunct(")") {
+			return nil, fmt.Errorf("disql: missing ')' at offset %d", p.cur().pos)
+		}
+		return inner, nil
+	}
+	return p.cmp()
+}
+
+func (p *parser) cmp() (*nodequery.Pred, error) {
+	left, err := p.operand()
+	if err != nil {
+		return nil, err
+	}
+	if p.acceptKeyword("contains") {
+		right, err := p.operand()
+		if err != nil {
+			return nil, err
+		}
+		return nodequery.Compare(left, nodequery.Contains, right), nil
+	}
+	if p.isKeyword("not") {
+		p.pos++
+		if err := p.expectKeyword("contains"); err != nil {
+			return nil, err
+		}
+		right, err := p.operand()
+		if err != nil {
+			return nil, err
+		}
+		return nodequery.Compare(left, nodequery.NotContains, right), nil
+	}
+	t := p.next()
+	if t.kind != tokPunct {
+		return nil, fmt.Errorf("disql: expected comparison operator, found %s at offset %d", t, t.pos)
+	}
+	var op nodequery.CmpOp
+	switch t.text {
+	case "=":
+		op = nodequery.Eq
+	case "!=", "<>":
+		op = nodequery.Ne
+	case "<":
+		op = nodequery.Lt
+	case "<=":
+		op = nodequery.Le
+	case ">":
+		op = nodequery.Gt
+	case ">=":
+		op = nodequery.Ge
+	default:
+		return nil, fmt.Errorf("disql: unknown operator %q at offset %d", t.text, t.pos)
+	}
+	right, err := p.operand()
+	if err != nil {
+		return nil, err
+	}
+	return nodequery.Compare(left, op, right), nil
+}
+
+func (p *parser) operand() (nodequery.Operand, error) {
+	t := p.cur()
+	switch t.kind {
+	case tokString, tokNumber:
+		p.pos++
+		return nodequery.LitOperand(t.text), nil
+	case tokIdent:
+		c, err := p.colref()
+		if err != nil {
+			return nodequery.Operand{}, err
+		}
+		return nodequery.Operand{IsCol: true, Col: c}, nil
+	}
+	return nodequery.Operand{}, fmt.Errorf("disql: expected operand, found %s at offset %d", t, t.pos)
+}
+
+// assemble chains the parsed sub-queries into a WebQuery and splits the
+// select list across stages.
+func assemble(subs []*subquery, selects []nodequery.ColRef) (*WebQuery, error) {
+	if len(subs) == 0 {
+		return nil, fmt.Errorf("disql: query declares no document variable")
+	}
+	byVar := make(map[string]int) // variable -> stage index
+	for i, sq := range subs {
+		if i == 0 {
+			if len(sq.starts) == 0 && sq.startTerm == "" {
+				return nil, fmt.Errorf("disql: first path must start from a StartNode URL or index() term, not variable %q", sq.srcVar)
+			}
+		} else {
+			if sq.srcVar == "" {
+				return nil, fmt.Errorf("disql: stage %d must start from the previous document variable, not a URL", i+1)
+			}
+			if sq.srcVar != subs[i-1].docVar {
+				return nil, fmt.Errorf("disql: stage %d starts from %q; it must chain from the previous document variable %q",
+					i+1, sq.srcVar, subs[i-1].docVar)
+			}
+		}
+		for _, v := range sq.vars {
+			if prev, dup := byVar[v.Name]; dup {
+				return nil, fmt.Errorf("disql: variable %q declared in both stage %d and stage %d", v.Name, prev+1, i+1)
+			}
+			byVar[v.Name] = i
+		}
+	}
+	// Split the select list: each column goes to the stage declaring its
+	// variable, preserving the user's order within each stage.
+	for _, c := range selects {
+		i, ok := byVar[c.Var]
+		if !ok {
+			return nil, fmt.Errorf("disql: select references undeclared variable %q", c.Var)
+		}
+		subs[i].selects = append(subs[i].selects, c)
+	}
+	// Correlated stages (the paper's footnote-2 extension): a later
+	// stage's predicates may reference an *earlier* stage's document
+	// variable. Such references become the stage's Outer list, and the
+	// referenced columns become the earlier stage's Export list, carried
+	// downstream in the clone's environment.
+	exports := make([]map[string]bool, len(subs))
+	outers := make([][]nodequery.ColRef, len(subs))
+	for i := range subs {
+		exports[i] = make(map[string]bool)
+	}
+	docStage := make(map[string]int, len(subs))
+	for i, sq := range subs {
+		docStage[sq.docVar] = i
+	}
+	for i, sq := range subs {
+		local := make(map[string]bool, len(sq.vars))
+		for _, v := range sq.vars {
+			local[v.Name] = true
+		}
+		seen := make(map[string]bool)
+		record := func(c nodequery.ColRef) error {
+			if local[c.Var] || seen[c.String()] {
+				return nil
+			}
+			j, ok := docStage[c.Var]
+			if !ok || j >= i {
+				return nil // nodequery.Validate reports undeclared variables
+			}
+			if !documentCol(c.Col) {
+				return fmt.Errorf("disql: %s: document variable %q (stage %d) has no attribute %q", c, c.Var, j+1, c.Col)
+			}
+			seen[c.String()] = true
+			outers[i] = append(outers[i], c)
+			exports[j][c.Col] = true
+			return nil
+		}
+		preds := []*nodequery.Pred{sq.where}
+		for _, v := range sq.vars {
+			preds = append(preds, v.Cond)
+		}
+		for _, p := range preds {
+			if err := walkColRefs(p, record); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	w := &WebQuery{Start: subs[0].starts, StartTerm: subs[0].startTerm}
+	for i, sq := range subs {
+		var export []string
+		for col := range exports[i] {
+			export = append(export, col)
+		}
+		sort.Strings(export)
+		w.Stages = append(w.Stages, Stage{
+			PRE:    sq.pre,
+			Export: export,
+			Query: &nodequery.Query{
+				Vars:   sq.vars,
+				Where:  sq.where,
+				Select: sq.selects,
+				Outer:  outers[i],
+			},
+		})
+	}
+	return w, nil
+}
+
+// documentCol reports whether col is an attribute of the DOCUMENT virtual
+// relation (the only relation whose values may cross stages: it has
+// exactly one tuple per node, so the binding is single-valued).
+func documentCol(col string) bool {
+	for _, c := range relmodel.Schemas[relmodel.RelDocument] {
+		if c == col {
+			return true
+		}
+	}
+	return false
+}
+
+// walkColRefs invokes fn on every column reference of a predicate tree.
+func walkColRefs(p *nodequery.Pred, fn func(nodequery.ColRef) error) error {
+	if p == nil {
+		return nil
+	}
+	switch p.Kind {
+	case nodequery.Cmp:
+		if p.Left.IsCol {
+			if err := fn(p.Left.Col); err != nil {
+				return err
+			}
+		}
+		if p.Right.IsCol {
+			if err := fn(p.Right.Col); err != nil {
+				return err
+			}
+		}
+	case nodequery.And, nodequery.Or, nodequery.Not:
+		for _, k := range p.Kids {
+			if err := walkColRefs(k, fn); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,84 @@
+package disql
+
+import (
+	"fmt"
+	"strings"
+
+	"webdis/internal/nodequery"
+	"webdis/internal/pre"
+)
+
+// Stage is one (PRE, node-query) pair of a web-query: traverse paths
+// matching PRE, then evaluate Query at the nodes reached.
+//
+// Export lists the columns of this stage's document variable that later
+// stages' predicates reference (the correlated-stage extension): when the
+// stage's node-query succeeds and the query advances, those values are
+// copied into the clone's environment and travel with it.
+type Stage struct {
+	PRE    pre.Expr
+	Query  *nodequery.Query
+	Export []string
+}
+
+// WebQuery is the formal query object of the paper, Q = S p1 q1 … pn qn:
+// a set of StartNodes and a sequence of stages. Clones of the WebQuery
+// migrate from site to site; each clone tracks which stage it is in and
+// how much of that stage's PRE remains.
+//
+// The StartNodes come either from explicit URLs (Start) or from a
+// search-index term (StartTerm, the `index("…")` source) which the
+// user-site resolves against its search index before dispatch — the
+// paper's Section 1.1 "obtained from existing search-indices" path.
+// Exactly one of the two is set.
+type WebQuery struct {
+	Start     []string // StartNode URLs
+	StartTerm string   // search-index term resolving to the StartNodes
+	Stages    []Stage
+}
+
+// NumQ returns the number of node-queries (the initial num_q of the CHT
+// protocol's query state).
+func (w *WebQuery) NumQ() int { return len(w.Stages) }
+
+// String renders the formalism compactly, e.g.
+// "Q = {url} L q1 G·L*1 q2" (node-queries abbreviated by position).
+func (w *WebQuery) String() string {
+	var b strings.Builder
+	b.WriteString("Q = {")
+	if w.StartTerm != "" {
+		fmt.Fprintf(&b, "index(%q)", w.StartTerm)
+	} else {
+		b.WriteString(strings.Join(w.Start, ", "))
+	}
+	b.WriteString("}")
+	for i, s := range w.Stages {
+		fmt.Fprintf(&b, " %s q%d", s.PRE, i+1)
+	}
+	return b.String()
+}
+
+// Validate checks every stage for internal consistency.
+func (w *WebQuery) Validate() error {
+	if len(w.Start) == 0 && w.StartTerm == "" {
+		return fmt.Errorf("disql: web-query has no StartNodes")
+	}
+	if len(w.Start) > 0 && w.StartTerm != "" {
+		return fmt.Errorf("disql: web-query has both explicit StartNodes and an index term")
+	}
+	if len(w.Stages) == 0 {
+		return fmt.Errorf("disql: web-query has no node-queries")
+	}
+	for i, s := range w.Stages {
+		if s.PRE == nil {
+			return fmt.Errorf("disql: stage %d has no PRE", i+1)
+		}
+		if s.Query == nil {
+			return fmt.Errorf("disql: stage %d has no node-query", i+1)
+		}
+		if err := s.Query.Validate(); err != nil {
+			return fmt.Errorf("disql: stage %d: %w", i+1, err)
+		}
+	}
+	return nil
+}

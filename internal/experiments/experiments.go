@@ -1,0 +1,207 @@
+// Package experiments regenerates the WEBDIS paper's figures and the
+// quantitative experiments derived from its claims (see DESIGN.md's
+// experiment index). Each experiment writes a human-readable report to an
+// io.Writer and returns structured numbers so the benchmark suite can
+// assert the expected shapes. The cmd/webdis-bench tool is a thin CLI
+// over this package.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"webdis/internal/centralized"
+	"webdis/internal/client"
+	"webdis/internal/core"
+	"webdis/internal/disql"
+	"webdis/internal/netsim"
+	"webdis/internal/server"
+	"webdis/internal/webgraph"
+)
+
+// Experiment is one registered, runnable experiment.
+type Experiment struct {
+	Name  string
+	Paper string // figure/section of the paper it reproduces
+	Brief string
+	Run   func(w io.Writer) error
+}
+
+// All lists every experiment in presentation order.
+func All() []Experiment {
+	return []Experiment{
+		{"f1", "Figure 1", "traversal roles: PureRouters, ServerRouters, dead ends, duplicate arrivals", func(w io.Writer) error { _, err := Figure1(w); return err }},
+		{"f5", "Figure 5 / §3.1", "multiple visits to a node: log-table suppression of equivalent arrivals", func(w io.Writer) error { _, err := Figure5(w); return err }},
+		{"campus", "Figures 7 & 8 / §5", "the sample campus execution: traversal states and result rows", func(w io.Writer) error { _, err := Campus(w); return err }},
+		{"shipping", "§1, §3.2", "query shipping vs data shipping: bytes and messages vs web size", func(w io.Writer) error { _, err := Shipping(w); return err }},
+		{"latency", "§1", "response time under per-hop latency: distributed vs centralized", func(w io.Writer) error { _, err := Latency(w); return err }},
+		{"dedup", "§3.1 ablation", "node-query log table modes: off / exact / subsume / strong", func(w io.Writer) error { _, err := Dedup(w); return err }},
+		{"batching", "§3.2 items 3-4 ablation", "per-site clone batching on/off: message counts", func(w io.Writer) error { _, err := Batching(w); return err }},
+		{"cht", "§2.7", "CHT protocol cost: entries, bytes, completion detection latency", func(w io.Writer) error { _, err := CHT(w); return err }},
+		{"migration", "§7.1", "hybrid migration path: participation fraction vs traffic and placement of work", func(w io.Writer) error { _, err := Migration(w); return err }},
+		{"termination", "§2.8", "passive termination: work done after cancel, no anti-messages", func(w io.Writer) error { _, err := Termination(w); return err }},
+		{"workers", "§4.4 ablation", "query-processor concurrency: the sequential design choice quantified", func(w io.Writer) error { _, err := Workers(w); return err }},
+		{"rewrite", "§3.1.1", "star-bound subsumption and the query-multiple-rewrite rule", func(w io.Writer) error { _, err := Rewrite(w); return err }},
+		{"anytime", "§2.6 / §7.1", "progressive results: partial answers accumulate before completion", func(w io.Writer) error { _, err := Anytime(w); return err }},
+		{"deadends", "§2.5 semantics", "dead-end scope: paper's examples vs literal Figure-4 pseudocode", func(w io.Writer) error { _, err := DeadEnds(w); return err }},
+	}
+}
+
+// Lookup returns the named experiment.
+func Lookup(name string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.Name == name {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// runOut bundles everything one distributed run produces.
+type runOut struct {
+	query   *client.Query
+	results []client.ResultTable
+	qstats  client.Stats
+	metrics server.Snapshot
+	net     netsim.Counters
+	toUser  netsim.Counters // traffic into the user-site's result collector
+	trace   []server.Event
+	elapsed time.Duration
+}
+
+// runDistributed executes src over web with the given options and full
+// instrumentation.
+func runDistributed(web *webgraph.Web, netOpts netsim.Options, srvOpts server.Options, src string) (*runOut, error) {
+	var mu sync.Mutex
+	var trace []server.Event
+	prev := srvOpts.Trace
+	srvOpts.Trace = func(e server.Event) {
+		mu.Lock()
+		trace = append(trace, e)
+		mu.Unlock()
+		if prev != nil {
+			prev(e)
+		}
+	}
+	d, err := core.NewDeployment(core.Config{Web: web, Net: netOpts, Server: srvOpts, NoDocService: true})
+	if err != nil {
+		return nil, err
+	}
+	defer d.Close()
+	start := time.Now()
+	q, err := d.Run(src, 30*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	sn := d.Network().Stats().Snapshot()
+	out := &runOut{
+		query:   q,
+		results: q.Results(),
+		qstats:  q.Stats(),
+		metrics: d.Metrics().Snapshot(),
+		net:     sn.Total(),
+		toUser:  sn.To(q.ID().Site),
+		elapsed: time.Since(start),
+	}
+	mu.Lock()
+	out.trace = append(out.trace, trace...)
+	mu.Unlock()
+	return out, nil
+}
+
+// centOut bundles a centralized run's instrumentation.
+type centOut struct {
+	res     *centralized.Result
+	net     netsim.Counters
+	elapsed time.Duration
+}
+
+// runCentralized executes src by data shipping over a fresh fabric
+// hosting web's documents.
+func runCentralized(web *webgraph.Web, netOpts netsim.Options, opts centralized.Options, src string) (*centOut, error) {
+	w, err := disql.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	d, err := core.NewDeployment(core.Config{Web: web, Net: netOpts})
+	if err != nil {
+		return nil, err
+	}
+	defer d.Close()
+	d.Network().Stats().Reset()
+	start := time.Now()
+	res, err := centralized.Run(d.Network(), "user/central", w, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &centOut{
+		res:     res,
+		net:     d.Network().Stats().Snapshot().Total(),
+		elapsed: time.Since(start),
+	}, nil
+}
+
+// table prints an aligned text table.
+func table(w io.Writer, header []string, rows [][]string) {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				fmt.Fprint(w, "  ")
+			}
+			fmt.Fprintf(w, "%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w)
+	}
+	line(header)
+	sep := make([]string, len(header))
+	for i := range sep {
+		for j := 0; j < widths[i]; j++ {
+			sep[i] += "-"
+		}
+	}
+	line(sep)
+	for _, r := range rows {
+		line(r)
+	}
+}
+
+func fmtBytes(n int64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(n)/(1<<10))
+	}
+	return fmt.Sprintf("%d B", n)
+}
+
+// eventsByNode groups non-virtual trace events per node, preserving order.
+func eventsByNode(events []server.Event) map[string][]server.Event {
+	out := make(map[string][]server.Event)
+	for _, e := range events {
+		if e.Detail == "virtual" {
+			continue
+		}
+		if e.Node == "" {
+			continue
+		}
+		out[e.Node] = append(out[e.Node], e)
+	}
+	return out
+}
+
+// netZero is the default instant fabric.
+func netZero() netsim.Options { return netsim.Options{} }

@@ -1,0 +1,311 @@
+package experiments
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+// The experiment suite doubles as the repository's shape regression tests:
+// each test asserts the qualitative outcome the paper predicts.
+
+func TestFigure1Shape(t *testing.T) {
+	out, err := Figure1(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range []int{1, 2, 3} {
+		if out.Roles[i] != "PureRouter" {
+			t.Errorf("node %d role = %q", i, out.Roles[i])
+		}
+	}
+	if !strings.Contains(out.Roles[4], "q1") || !strings.Contains(out.Roles[4], "q2") {
+		t.Errorf("node 4 must act twice: %q", out.Roles[4])
+	}
+	if !strings.Contains(out.Roles[7], "dead-end") {
+		t.Errorf("node 7 must dead-end: %q", out.Roles[7])
+	}
+	if !strings.Contains(out.Roles[8], "duplicate-dropped") {
+		t.Errorf("node 8 must drop a duplicate: %q", out.Roles[8])
+	}
+	if out.Q1Rows != 3 || out.Q2Rows != 2 || out.Drops != 1 {
+		t.Errorf("q1=%d q2=%d drops=%d", out.Q1Rows, out.Q2Rows, out.Drops)
+	}
+}
+
+func TestFigure5Shape(t *testing.T) {
+	out, err := Figure5(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.ArrivalsAtX != 5 {
+		t.Errorf("arrivals = %d, want 5 (a..e)", out.ArrivalsAtX)
+	}
+	if out.ProcessedAtX != 3 || out.DroppedAtX != 2 {
+		t.Errorf("processed=%d dropped=%d, want 3 and 2", out.ProcessedAtX, out.DroppedAtX)
+	}
+	if out.EvalsNoDedup != 4 {
+		t.Errorf("evals without dedup = %d, want 4 (b..e)", out.EvalsNoDedup)
+	}
+}
+
+func TestCampusShape(t *testing.T) {
+	out, err := Campus(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Q1Rows != 1 || out.Q2Rows != 3 {
+		t.Fatalf("q1=%d q2=%d", out.Q1Rows, out.Q2Rows)
+	}
+	for url, text := range out.Conveners {
+		if !strings.Contains(strings.ToLower(text), "convener") {
+			t.Errorf("%s: %q", url, text)
+		}
+	}
+}
+
+func TestShippingShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep is slow")
+	}
+	out, err := Shipping(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rows := range [][]ShippingRow{out.Selective, out.Gather} {
+		for _, r := range rows {
+			if r.BytesRatio <= 1.5 {
+				t.Errorf("depth %d: reduction %.2f, want query shipping to win clearly", r.Depth, r.BytesRatio)
+			}
+		}
+	}
+	// The reduction must grow with document size.
+	sizes := out.BySize
+	if len(sizes) < 3 {
+		t.Fatal("missing size sweep")
+	}
+	if !(sizes[len(sizes)-1].BytesRatio > 2*sizes[0].BytesRatio) {
+		t.Errorf("size sweep ratios do not grow: first %.1f last %.1f",
+			sizes[0].BytesRatio, sizes[len(sizes)-1].BytesRatio)
+	}
+}
+
+func TestDedupShape(t *testing.T) {
+	out, err := Dedup(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 4 {
+		t.Fatalf("rows = %d", len(out))
+	}
+	off, exact, subsume, strong := out[0], out[1], out[2], out[3]
+	// Identical answers in every mode.
+	for _, r := range out {
+		if r.Rows != off.Rows {
+			t.Errorf("mode %s rows = %d, want %d", r.Mode, r.Rows, off.Rows)
+		}
+	}
+	// Monotonic work reduction.
+	if !(off.Evals > 2*exact.Evals) {
+		t.Errorf("exact should cut evaluations sharply: off=%d exact=%d", off.Evals, exact.Evals)
+	}
+	if !(exact.Evals > subsume.Evals) {
+		t.Errorf("subsumption should beat exact: exact=%d subsume=%d", exact.Evals, subsume.Evals)
+	}
+	if strong.Evals > subsume.Evals {
+		t.Errorf("strong should not do more work than subsume: %d vs %d", strong.Evals, subsume.Evals)
+	}
+	if subsume.Drops == 0 {
+		t.Error("subsumption mode should drop covered arrivals")
+	}
+	// Rewrite counts are timing-dependent here (a superset arrival must
+	// race in after a smaller bound was logged); their determinism is
+	// covered by the T7 replay and the log-table unit tests.
+}
+
+func TestBatchingShape(t *testing.T) {
+	out, err := Batching(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batched, unbatched := out[0], out[1]
+	if !(float64(unbatched.CloneMsgs) >= 2*float64(batched.CloneMsgs)) {
+		t.Errorf("batching should cut dispatches: %d vs %d", batched.CloneMsgs, unbatched.CloneMsgs)
+	}
+	if !(unbatched.Bytes > batched.Bytes) {
+		t.Errorf("batching should cut bytes: %d vs %d", batched.Bytes, unbatched.Bytes)
+	}
+}
+
+func TestCHTShape(t *testing.T) {
+	out, err := CHT(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range out {
+		if o.Entries <= 0 || o.Peak <= 0 || o.ResultMsgs <= 0 {
+			t.Errorf("degenerate CHT run: %+v", o)
+		}
+		if o.Peak > o.Entries {
+			t.Errorf("peak %d exceeds entries %d", o.Peak, o.Entries)
+		}
+	}
+}
+
+func TestTerminationShape(t *testing.T) {
+	out, err := Termination(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.FullEvals != 50 {
+		t.Errorf("full run evals = %d", out.FullEvals)
+	}
+	if out.CancelEvals >= out.FullEvals {
+		t.Errorf("cancel had no effect: %d", out.CancelEvals)
+	}
+	if out.TerminatedAt == 0 {
+		t.Error("no server observed the passive termination signal")
+	}
+	if out.ExtraMsgs != 0 {
+		t.Error("passive termination must send no messages")
+	}
+}
+
+func TestRewriteShape(t *testing.T) {
+	out, err := Rewrite(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]string{
+		"L*2·G": "process", // first arrival
+		"L*1·G": "drop",
+		"L*4·G": "rewrite",
+		"L*3·G": "drop",
+		"L*·G":  "rewrite",
+		"G·L":   "process",
+	}
+	seen := map[string]bool{}
+	for _, c := range out {
+		if seen[c.Arrives] {
+			continue // the duplicate L*2·G row
+		}
+		seen[c.Arrives] = true
+		if w, ok := want[c.Arrives]; ok && c.Action != w {
+			t.Errorf("%s: action %s, want %s", c.Arrives, c.Action, w)
+		}
+	}
+}
+
+func TestDeadEndsShape(t *testing.T) {
+	out, err := DeadEnds(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.WeakQ2Rows != 3 || out.StrictQ2Rows != 1 {
+		t.Errorf("weak=%d strict=%d", out.WeakQ2Rows, out.StrictQ2Rows)
+	}
+}
+
+func TestLatencyShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing sweep")
+	}
+	out, err := Latency(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := out[len(out)-1]
+	if last.Cent < 3*last.Dist {
+		t.Errorf("at %v latency centralized should be much slower: dist=%v cent=%v",
+			last.Latency, last.Dist, last.Cent)
+	}
+}
+
+func TestAllRegistered(t *testing.T) {
+	names := map[string]bool{}
+	for _, e := range All() {
+		if names[e.Name] {
+			t.Errorf("duplicate experiment %q", e.Name)
+		}
+		names[e.Name] = true
+		if e.Paper == "" || e.Brief == "" || e.Run == nil {
+			t.Errorf("incomplete experiment %+v", e)
+		}
+	}
+	if _, ok := Lookup("campus"); !ok {
+		t.Error("Lookup(campus) failed")
+	}
+	if _, ok := Lookup("nosuch"); ok {
+		t.Error("Lookup(nosuch) should fail")
+	}
+}
+
+func TestMigrationShape(t *testing.T) {
+	out, err := Migration(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 5 {
+		t.Fatalf("rows = %d", len(out))
+	}
+	for i := 1; i < len(out); i++ {
+		prev, cur := out[i-1], out[i]
+		if cur.Bytes >= prev.Bytes {
+			t.Errorf("bytes must fall with participation: %d%% %d vs %d%% %d",
+				prev.Percent, prev.Bytes, cur.Percent, cur.Bytes)
+		}
+		if cur.ServerEvals < prev.ServerEvals || cur.UserEvals > prev.UserEvals {
+			t.Errorf("work must migrate to the servers: %+v -> %+v", prev, cur)
+		}
+	}
+	full := out[len(out)-1]
+	if full.UserEvals != 0 || full.Fetches != 0 || full.Bounces != 0 {
+		t.Errorf("full participation should need no fallback: %+v", full)
+	}
+	none := out[0]
+	if none.ServerEvals != 0 {
+		t.Errorf("zero participation should use no servers: %+v", none)
+	}
+}
+
+func TestWorkersShape(t *testing.T) {
+	out, err := Workers(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 4 {
+		t.Fatalf("rows = %d", len(out))
+	}
+	for _, r := range out[1:] {
+		if r.Rows != out[0].Rows || r.Evals != out[0].Evals {
+			t.Errorf("answers must be invariant under processor concurrency: %+v vs %+v", out[0], r)
+		}
+	}
+}
+
+func TestAnytimeShape(t *testing.T) {
+	out, err := Anytime(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.FinalRows == 0 {
+		t.Fatal("no final rows")
+	}
+	prev := 0
+	sawPartial := false
+	for _, s := range out.Samples {
+		if s.Rows < prev {
+			t.Errorf("row count regressed: %d -> %d", prev, s.Rows)
+		}
+		prev = s.Rows
+		if s.Rows > 0 && s.Rows < out.FinalRows {
+			sawPartial = true
+		}
+		if s.Progress < 0 || s.Progress > 1 {
+			t.Errorf("progress out of range: %v", s.Progress)
+		}
+	}
+	if !sawPartial {
+		t.Error("never observed a partial answer; latency too low to sample?")
+	}
+}

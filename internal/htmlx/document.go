@@ -1,0 +1,240 @@
+package htmlx
+
+import (
+	"fmt"
+	"net/url"
+	"strings"
+
+	"webdis/internal/pre"
+)
+
+// Anchor is one hyperlink of a document, corresponding to a tuple of the
+// ANCHOR virtual relation: the hypertext label, the URL of the containing
+// document (base), the resolved destination (href) and the WEBDIS link
+// category (ltype).
+type Anchor struct {
+	Label string
+	Base  string
+	Href  string
+	Type  pre.Link
+}
+
+// RelInfon is a group of related information inside a document, identified
+// by the HTML tag that delimits it (Lakshmanan et al.'s rel-infon concept,
+// Section 2.2 of the paper). For paired tags such as <b>…</b> the text is
+// the enclosed content; for the unpaired <hr> tag the text is the segment
+// preceding the rule, matching the paper's "the name of the convener is
+// usually succeeded by a horizontal line" usage.
+type RelInfon struct {
+	Delimiter string
+	Text      string
+}
+
+// Document is the analyzed form of one web resource — everything the
+// Database Constructor needs to populate the DOCUMENT, ANCHOR and RELINFON
+// virtual relations.
+type Document struct {
+	URL     string
+	Title   string
+	Text    string
+	Length  int // length of the raw HTML in bytes
+	Anchors []Anchor
+	Infons  []RelInfon
+}
+
+// relInfonTags are the paired delimiters whose content forms a rel-infon.
+var relInfonTags = map[string]bool{
+	"b": true, "i": true, "em": true, "strong": true, "u": true,
+	"h1": true, "h2": true, "h3": true, "h4": true, "h5": true, "h6": true,
+	"code": true, "blockquote": true, "li": true, "td": true, "th": true,
+	"address": true, "cite": true, "caption": true,
+}
+
+// Parse analyzes the HTML of the resource at baseURL. It never fails on
+// malformed markup — the tokenizer degrades to text — but it does reject an
+// unparseable base URL, since link classification is impossible without it.
+func Parse(baseURL string, src []byte) (*Document, error) {
+	base, err := url.Parse(baseURL)
+	if err != nil {
+		return nil, fmt.Errorf("htmlx: bad document URL %q: %w", baseURL, err)
+	}
+	doc := &Document{URL: baseURL, Length: len(src)}
+
+	type open struct {
+		tag   string
+		start int // offset into the text accumulator
+	}
+	var (
+		text    strings.Builder
+		stack   []open
+		inTitle bool
+		inRaw   bool // inside <script> or <style>
+		title   strings.Builder
+		hrStart int // text offset where the current <hr> segment began
+		curA    *Anchor
+		aStart  int
+	)
+	flushHR := func(end int) {
+		seg := strings.TrimSpace(text.String()[hrStart:end])
+		if seg != "" {
+			doc.Infons = append(doc.Infons, RelInfon{Delimiter: "hr", Text: seg})
+		}
+	}
+	z := NewTokenizer(src)
+	for {
+		tok, ok := z.Next()
+		if !ok {
+			break
+		}
+		switch tok.Type {
+		case TextToken:
+			if inRaw {
+				continue
+			}
+			if inTitle {
+				title.WriteString(tok.Data)
+				continue
+			}
+			appendText(&text, tok.Data)
+		case StartTagToken, SelfClosingTag:
+			switch tok.Data {
+			case "title":
+				if tok.Type == StartTagToken {
+					inTitle = true
+				}
+			case "script", "style":
+				if tok.Type == StartTagToken {
+					inRaw = true
+				}
+			case "a":
+				if href, ok := tok.Attr("href"); ok && href != "" {
+					a := classify(base, href)
+					curA = &a
+					aStart = text.Len()
+				}
+			case "hr":
+				flushHR(text.Len())
+				hrStart = text.Len()
+			case "br", "p", "div", "tr":
+				appendText(&text, " ")
+			}
+			if tok.Type == StartTagToken && relInfonTags[tok.Data] {
+				stack = append(stack, open{tok.Data, text.Len()})
+			}
+		case EndTagToken:
+			switch tok.Data {
+			case "title":
+				inTitle = false
+			case "script", "style":
+				inRaw = false
+			case "a":
+				if curA != nil {
+					curA.Label = strings.TrimSpace(text.String()[aStart:])
+					doc.Anchors = append(doc.Anchors, *curA)
+					curA = nil
+				}
+			}
+			if relInfonTags[tok.Data] {
+				// close the nearest matching open tag
+				for i := len(stack) - 1; i >= 0; i-- {
+					if stack[i].tag == tok.Data {
+						seg := strings.TrimSpace(text.String()[stack[i].start:])
+						if seg != "" {
+							doc.Infons = append(doc.Infons, RelInfon{Delimiter: tok.Data, Text: seg})
+						}
+						stack = append(stack[:i], stack[i+1:]...)
+						break
+					}
+				}
+			}
+		}
+	}
+	if curA != nil { // unclosed <a>
+		curA.Label = strings.TrimSpace(text.String()[aStart:])
+		doc.Anchors = append(doc.Anchors, *curA)
+	}
+	doc.Title = strings.TrimSpace(collapseSpace(title.String()))
+	doc.Text = strings.TrimSpace(text.String())
+	return doc, nil
+}
+
+// appendText streams data into the accumulator with whitespace runs
+// collapsed to single spaces (including across token boundaries), so that
+// offsets recorded by anchors and rel-infons stay consistent. It works
+// bytewise: the collapsed characters are all ASCII, and multi-byte UTF-8
+// sequences never contain ASCII-range bytes, so they pass through intact.
+// This is the document parser's hottest path — it must not allocate per
+// token.
+func appendText(b *strings.Builder, data string) {
+	for i := 0; i < len(data); i++ {
+		c := data[i]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\f' {
+			if cur := b.String(); len(cur) > 0 && cur[len(cur)-1] != ' ' {
+				b.WriteByte(' ')
+			}
+			continue
+		}
+		b.WriteByte(c)
+	}
+}
+
+func collapseSpace(s string) string {
+	var b strings.Builder
+	space := false
+	for _, r := range s {
+		if r == ' ' || r == '\t' || r == '\n' || r == '\r' || r == '\f' {
+			space = true
+			continue
+		}
+		if space && b.Len() > 0 {
+			b.WriteByte(' ')
+		} else if space {
+			b.WriteByte(' ')
+		}
+		space = false
+		b.WriteRune(r)
+	}
+	if space {
+		b.WriteByte(' ')
+	}
+	return b.String()
+}
+
+// classify resolves href against base and assigns the WEBDIS link category:
+// interior if the destination is within the same resource (a fragment),
+// local if it is on the same server, global otherwise.
+func classify(base *url.URL, href string) Anchor {
+	a := Anchor{Base: base.String(), Href: href}
+	if strings.HasPrefix(href, "#") {
+		a.Type = pre.Interior
+		a.Href = base.String() + href
+		return a
+	}
+	ref, err := url.Parse(href)
+	if err != nil {
+		a.Type = pre.Global
+		return a
+	}
+	res := base.ResolveReference(ref)
+	a.Href = res.String()
+	switch {
+	case res.Host == base.Host && res.Path == base.Path && res.Fragment != "":
+		a.Type = pre.Interior
+	case res.Host == base.Host:
+		a.Type = pre.Local
+	default:
+		a.Type = pre.Global
+	}
+	return a
+}
+
+// LinksOf returns the anchors of category t, preserving document order.
+func (d *Document) LinksOf(t pre.Link) []Anchor {
+	var out []Anchor
+	for _, a := range d.Anchors {
+		if a.Type == t {
+			out = append(out, a)
+		}
+	}
+	return out
+}

@@ -1,0 +1,336 @@
+// Package htmlx is a small, from-scratch HTML tokenizer and document
+// analyzer sufficient for the WEBDIS relational document model: it extracts
+// the title, the visible text, the hyperlink anchors with their WEBDIS link
+// classification (interior / local / global), and the tag-delimited
+// rel-infons of Lakshmanan et al. that the paper adds to the Mendelzon
+// document model.
+//
+// It is not a general-purpose HTML5 parser; it handles the well-formed
+// HTML that the webgraph generator emits plus the common sloppiness of
+// 1990s hand-written pages (unclosed tags, uppercase tag names, unquoted
+// attribute values, character entities).
+package htmlx
+
+import (
+	"strings"
+)
+
+// TokenType identifies a lexical element of an HTML byte stream.
+type TokenType int
+
+// Token types produced by the Tokenizer.
+const (
+	TextToken      TokenType = iota // a run of character data
+	StartTagToken                   // <name attr=...>
+	EndTagToken                     // </name>
+	SelfClosingTag                  // <name ... />
+	CommentToken                    // <!-- ... --> and <!doctype ...>
+)
+
+// Attr is a single name="value" attribute; names are lower-cased.
+type Attr struct {
+	Key, Val string
+}
+
+// Token is one lexical element. Data holds the tag name (lower-cased) for
+// tag tokens and the decoded text for text tokens.
+type Token struct {
+	Type  TokenType
+	Data  string
+	Attrs []Attr
+}
+
+// Attr returns the value of the named attribute and whether it is present.
+func (t *Token) Attr(name string) (string, bool) {
+	for _, a := range t.Attrs {
+		if a.Key == name {
+			return a.Val, true
+		}
+	}
+	return "", false
+}
+
+// Tokenizer scans an HTML document into Tokens. The zero value is not
+// usable; construct with NewTokenizer.
+type Tokenizer struct {
+	src []byte
+	pos int
+	// rawtext holds the tag name whose raw content is pending (script,
+	// style): everything up to the matching close tag is one text token.
+	rawtext string
+}
+
+// NewTokenizer returns a Tokenizer reading from src.
+func NewTokenizer(src []byte) *Tokenizer {
+	return &Tokenizer{src: src}
+}
+
+// Next returns the next token, or false when the input is exhausted.
+func (z *Tokenizer) Next() (Token, bool) {
+	if z.pos >= len(z.src) {
+		return Token{}, false
+	}
+	if z.rawtext != "" {
+		return z.scanRawText(), true
+	}
+	if z.src[z.pos] == '<' {
+		return z.scanTag()
+	}
+	return z.scanText(), true
+}
+
+func (z *Tokenizer) scanText() Token {
+	start := z.pos
+	for z.pos < len(z.src) && z.src[z.pos] != '<' {
+		z.pos++
+	}
+	return Token{Type: TextToken, Data: DecodeEntities(string(z.src[start:z.pos]))}
+}
+
+// scanRawText consumes everything through the close tag of a script/style
+// element, returning the raw content as a single text token.
+func (z *Tokenizer) scanRawText() Token {
+	close := "</" + z.rawtext
+	lower := strings.ToLower(string(z.src[z.pos:]))
+	idx := strings.Index(lower, close)
+	var data string
+	if idx < 0 {
+		data = string(z.src[z.pos:])
+		z.pos = len(z.src)
+	} else {
+		data = string(z.src[z.pos : z.pos+idx])
+		z.pos += idx
+	}
+	z.rawtext = ""
+	return Token{Type: TextToken, Data: data}
+}
+
+func (z *Tokenizer) scanTag() (Token, bool) {
+	// invariant: src[pos] == '<'
+	if z.pos+1 >= len(z.src) {
+		z.pos = len(z.src)
+		return Token{Type: TextToken, Data: "<"}, true
+	}
+	switch c := z.src[z.pos+1]; {
+	case c == '!' || c == '?':
+		return z.scanCommentOrDecl(), true
+	case c == '/':
+		return z.scanEndTag(), true
+	case isNameStart(c):
+		return z.scanStartTag(), true
+	default:
+		// A stray '<' is character data.
+		z.pos++
+		return Token{Type: TextToken, Data: "<"}, true
+	}
+}
+
+func isNameStart(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+func isNameChar(c byte) bool {
+	return isNameStart(c) || c >= '0' && c <= '9' || c == '-' || c == '_' || c == ':'
+}
+
+func (z *Tokenizer) scanCommentOrDecl() Token {
+	if strings.HasPrefix(string(z.src[z.pos:]), "<!--") {
+		end := strings.Index(string(z.src[z.pos+4:]), "-->")
+		var data string
+		if end < 0 {
+			data = string(z.src[z.pos+4:])
+			z.pos = len(z.src)
+		} else {
+			data = string(z.src[z.pos+4 : z.pos+4+end])
+			z.pos += 4 + end + 3
+		}
+		return Token{Type: CommentToken, Data: data}
+	}
+	// <!doctype ...> or <? ... >: skip to '>'
+	end := strings.IndexByte(string(z.src[z.pos:]), '>')
+	var data string
+	if end < 0 {
+		data = string(z.src[z.pos+1:])
+		z.pos = len(z.src)
+	} else {
+		data = string(z.src[z.pos+1 : z.pos+end])
+		z.pos += end + 1
+	}
+	return Token{Type: CommentToken, Data: data}
+}
+
+func (z *Tokenizer) scanEndTag() Token {
+	z.pos += 2 // consume "</"
+	start := z.pos
+	for z.pos < len(z.src) && isNameChar(z.src[z.pos]) {
+		z.pos++
+	}
+	name := strings.ToLower(string(z.src[start:z.pos]))
+	for z.pos < len(z.src) && z.src[z.pos] != '>' {
+		z.pos++
+	}
+	if z.pos < len(z.src) {
+		z.pos++ // consume '>'
+	}
+	return Token{Type: EndTagToken, Data: name}
+}
+
+func (z *Tokenizer) scanStartTag() Token {
+	z.pos++ // consume '<'
+	start := z.pos
+	for z.pos < len(z.src) && isNameChar(z.src[z.pos]) {
+		z.pos++
+	}
+	tok := Token{Type: StartTagToken, Data: strings.ToLower(string(z.src[start:z.pos]))}
+	for {
+		z.skipSpace()
+		if z.pos >= len(z.src) {
+			break
+		}
+		c := z.src[z.pos]
+		if c == '>' {
+			z.pos++
+			break
+		}
+		if c == '/' {
+			z.pos++
+			z.skipSpace()
+			if z.pos < len(z.src) && z.src[z.pos] == '>' {
+				z.pos++
+				tok.Type = SelfClosingTag
+				break
+			}
+			continue
+		}
+		if !isNameStart(c) {
+			z.pos++
+			continue
+		}
+		tok.Attrs = append(tok.Attrs, z.scanAttr())
+	}
+	if tok.Type == StartTagToken && (tok.Data == "script" || tok.Data == "style") {
+		z.rawtext = tok.Data
+	}
+	return tok
+}
+
+func (z *Tokenizer) scanAttr() Attr {
+	start := z.pos
+	for z.pos < len(z.src) && isNameChar(z.src[z.pos]) {
+		z.pos++
+	}
+	a := Attr{Key: strings.ToLower(string(z.src[start:z.pos]))}
+	z.skipSpace()
+	if z.pos >= len(z.src) || z.src[z.pos] != '=' {
+		return a
+	}
+	z.pos++
+	z.skipSpace()
+	if z.pos >= len(z.src) {
+		return a
+	}
+	if q := z.src[z.pos]; q == '"' || q == '\'' {
+		z.pos++
+		vstart := z.pos
+		for z.pos < len(z.src) && z.src[z.pos] != q {
+			z.pos++
+		}
+		a.Val = DecodeEntities(string(z.src[vstart:z.pos]))
+		if z.pos < len(z.src) {
+			z.pos++
+		}
+		return a
+	}
+	vstart := z.pos
+	for z.pos < len(z.src) && !isSpace(z.src[z.pos]) && z.src[z.pos] != '>' {
+		z.pos++
+	}
+	a.Val = DecodeEntities(string(z.src[vstart:z.pos]))
+	return a
+}
+
+func (z *Tokenizer) skipSpace() {
+	for z.pos < len(z.src) && isSpace(z.src[z.pos]) {
+		z.pos++
+	}
+}
+
+func isSpace(c byte) bool {
+	return c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\f'
+}
+
+// entities is the small set of named character references that 1990s pages
+// actually used; numeric references are handled generically.
+var entities = map[string]rune{
+	"amp": '&', "lt": '<', "gt": '>', "quot": '"', "apos": '\'',
+	"nbsp": ' ', "copy": '©', "reg": '®', "middot": '·', "mdash": '—',
+}
+
+// DecodeEntities replaces character entity references (&amp;, &#65;,
+// &#x41;) with their characters. Unknown references pass through verbatim.
+func DecodeEntities(s string) string {
+	if !strings.ContainsRune(s, '&') {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s))
+	for i := 0; i < len(s); {
+		if s[i] != '&' {
+			b.WriteByte(s[i])
+			i++
+			continue
+		}
+		end := strings.IndexByte(s[i:], ';')
+		if end < 0 || end > 10 {
+			b.WriteByte(s[i])
+			i++
+			continue
+		}
+		name := s[i+1 : i+end]
+		if r, ok := entities[strings.ToLower(name)]; ok {
+			b.WriteRune(r)
+			i += end + 1
+			continue
+		}
+		if strings.HasPrefix(name, "#") {
+			if r, ok := decodeNumeric(name[1:]); ok {
+				b.WriteRune(r)
+				i += end + 1
+				continue
+			}
+		}
+		b.WriteByte(s[i])
+		i++
+	}
+	return b.String()
+}
+
+func decodeNumeric(s string) (rune, bool) {
+	if s == "" {
+		return 0, false
+	}
+	base := 10
+	if s[0] == 'x' || s[0] == 'X' {
+		base = 16
+		s = s[1:]
+	}
+	var n int
+	for _, c := range s {
+		var d int
+		switch {
+		case c >= '0' && c <= '9':
+			d = int(c - '0')
+		case base == 16 && c >= 'a' && c <= 'f':
+			d = int(c-'a') + 10
+		case base == 16 && c >= 'A' && c <= 'F':
+			d = int(c-'A') + 10
+		default:
+			return 0, false
+		}
+		n = n*base + d
+		if n > 0x10FFFF {
+			return 0, false
+		}
+	}
+	return rune(n), true
+}

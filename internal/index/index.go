@@ -1,0 +1,143 @@
+// Package index implements a small inverted index over a synthetic web —
+// the "existing search-indices" of the paper's Sections 1.1 and 7.1, used
+// to obtain a query's StartNodes automatically instead of from the user's
+// domain knowledge. DISQL exposes it through the `index("term")` StartNode
+// source; the user-site resolves the term against the index and dispatches
+// the query to the matching documents' sites.
+//
+// The index is deliberately 1999-grade: case-folded alphanumeric tokens
+// from the title and body text, documents ranked by term frequency with a
+// title boost. It indexes rendered pages, so it sees exactly what the
+// engine's Database Constructor sees.
+package index
+
+import (
+	"sort"
+	"strings"
+
+	"webdis/internal/htmlx"
+	"webdis/internal/webgraph"
+)
+
+// Index is an inverted index from token to posting list.
+type Index struct {
+	postings map[string][]Posting
+	docs     int
+}
+
+// Posting scores one document for one token.
+type Posting struct {
+	URL   string
+	Score int // occurrences; title hits count tenfold
+}
+
+// Build indexes every page of the web.
+func Build(web *webgraph.Web) (*Index, error) {
+	ix := &Index{postings: make(map[string][]Posting)}
+	for _, url := range web.URLs() {
+		html, _ := web.HTML(url)
+		doc, err := htmlx.Parse(url, html)
+		if err != nil {
+			return nil, err
+		}
+		ix.addDocument(url, doc)
+	}
+	return ix, nil
+}
+
+func (ix *Index) addDocument(url string, doc *htmlx.Document) {
+	ix.docs++
+	scores := make(map[string]int)
+	for _, tok := range Tokenize(doc.Title) {
+		scores[tok] += 10
+	}
+	for _, tok := range Tokenize(doc.Text) {
+		scores[tok]++
+	}
+	for tok, n := range scores {
+		ix.postings[tok] = append(ix.postings[tok], Posting{URL: url, Score: n})
+	}
+}
+
+// Docs returns the number of indexed documents.
+func (ix *Index) Docs() int { return ix.docs }
+
+// Terms returns the number of distinct tokens.
+func (ix *Index) Terms() int { return len(ix.postings) }
+
+// Lookup returns the documents matching every token of the query string,
+// best first (summed scores, ties by URL). limit <= 0 returns all.
+func (ix *Index) Lookup(query string, limit int) []Posting {
+	toks := Tokenize(query)
+	if len(toks) == 0 {
+		return nil
+	}
+	acc := make(map[string]int)
+	for i, tok := range toks {
+		hits := ix.postings[tok]
+		if len(hits) == 0 {
+			return nil // conjunctive: a missing term empties the result
+		}
+		next := make(map[string]int, len(hits))
+		for _, p := range hits {
+			if i == 0 {
+				next[p.URL] = p.Score
+			} else if prev, ok := acc[p.URL]; ok {
+				next[p.URL] = prev + p.Score
+			}
+		}
+		acc = next
+		if len(acc) == 0 {
+			return nil
+		}
+	}
+	out := make([]Posting, 0, len(acc))
+	for url, score := range acc {
+		out = append(out, Posting{URL: url, Score: score})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].URL < out[j].URL
+	})
+	if limit > 0 && len(out) > limit {
+		out = out[:limit]
+	}
+	return out
+}
+
+// URLs returns just the URLs of Lookup's result.
+func (ix *Index) URLs(query string, limit int) []string {
+	hits := ix.Lookup(query, limit)
+	out := make([]string, len(hits))
+	for i, h := range hits {
+		out[i] = h.URL
+	}
+	return out
+}
+
+// Tokenize splits text into lower-cased alphanumeric tokens of length
+// at least two.
+func Tokenize(text string) []string {
+	var out []string
+	var b strings.Builder
+	flush := func() {
+		if b.Len() >= 2 {
+			out = append(out, b.String())
+		}
+		b.Reset()
+	}
+	for _, r := range text {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= '0' && r <= '9':
+			b.WriteRune(r)
+		case r >= 'A' && r <= 'Z':
+			b.WriteRune(r + ('a' - 'A'))
+		default:
+			flush()
+		}
+	}
+	flush()
+	return out
+}

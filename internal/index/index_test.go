@@ -1,0 +1,99 @@
+package index
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"webdis/internal/webgraph"
+)
+
+func TestBuildAndLookupCampus(t *testing.T) {
+	ix, err := Build(webgraph.Campus())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Docs() != 15 || ix.Terms() == 0 {
+		t.Fatalf("docs=%d terms=%d", ix.Docs(), ix.Terms())
+	}
+	// Every page carrying "convener" is found.
+	hits := ix.URLs("convener", 0)
+	if len(hits) != len(webgraph.CampusConveners) {
+		t.Fatalf("hits = %v", hits)
+	}
+	for _, u := range hits {
+		if _, ok := webgraph.CampusConveners[u]; !ok {
+			t.Errorf("unexpected hit %s", u)
+		}
+	}
+	// Title terms rank their page first.
+	top := ix.URLs("laboratories department", 1)
+	if len(top) != 1 || top[0] != webgraph.CampusLabs {
+		t.Errorf("top = %v", top)
+	}
+}
+
+func TestLookupConjunctive(t *testing.T) {
+	ix, err := Build(webgraph.Campus())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "database" and "haritsa" co-occur only on the DSL people page.
+	hits := ix.URLs("database haritsa", 0)
+	if len(hits) != 1 || !strings.Contains(hits[0], "dsl.serc") {
+		t.Errorf("hits = %v", hits)
+	}
+	if got := ix.URLs("convener nosuchtoken", 0); len(got) != 0 {
+		t.Errorf("missing term should empty the result: %v", got)
+	}
+	if got := ix.URLs("", 0); len(got) != 0 {
+		t.Errorf("empty query: %v", got)
+	}
+}
+
+func TestLookupLimit(t *testing.T) {
+	ix, err := Build(webgraph.Campus())
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := ix.Lookup("the", 0) // filler words are everywhere
+	if len(all) < 3 {
+		t.Skip("corpus lacks the common token")
+	}
+	if got := ix.Lookup("the", 2); len(got) != 2 {
+		t.Errorf("limit ignored: %d", len(got))
+	}
+	// Scores are non-increasing.
+	for i := 1; i < len(all); i++ {
+		if all[i].Score > all[i-1].Score {
+			t.Errorf("ranking broken at %d: %+v", i, all[i-1:i+1])
+		}
+	}
+}
+
+func TestTokenize(t *testing.T) {
+	got := Tokenize("The CONVENER: Prof. Y.N. Srikant (room 2)")
+	want := []string{"the", "convener", "prof", "srikant", "room"}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Errorf("tokens = %v, want %v", got, want)
+	}
+}
+
+func TestQuickTokenizeLowercaseAlnum(t *testing.T) {
+	f := func(s string) bool {
+		for _, tok := range Tokenize(s) {
+			if len(tok) < 2 {
+				return false
+			}
+			for _, r := range tok {
+				if !(r >= 'a' && r <= 'z' || r >= '0' && r <= '9') {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,326 @@
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// Transport abstracts how WEBDIS components reach each other. Endpoint
+// names are opaque strings (the reproduction uses "host/query" for query
+// servers, "host/web" for document hosts, and "user/results" for the
+// client's Result Collector).
+type Transport interface {
+	// Listen registers the named endpoint and returns its listener.
+	Listen(name string) (net.Listener, error)
+	// Dial opens a connection from the named caller to the named endpoint.
+	Dial(from, to string) (net.Conn, error)
+}
+
+// ErrRefused is returned by Dial when the destination endpoint is not
+// listening or has been failed — the signal WEBDIS's passive termination
+// relies on.
+var ErrRefused = errors.New("netsim: connection refused")
+
+// Options configure the simulated fabric.
+type Options struct {
+	// Latency is the one-way propagation delay applied to each message.
+	Latency time.Duration
+	// BytesPerSecond is the link bandwidth; zero means unlimited.
+	BytesPerSecond int64
+}
+
+// Network is an in-process transport fabric with per-edge instrumentation.
+// It implements Transport. The zero value is not usable; construct with
+// New.
+type Network struct {
+	opts Options
+
+	mu        sync.Mutex
+	listeners map[string]*simListener
+	down      map[string]bool
+	stats     *Stats
+}
+
+// New returns an empty fabric with the given options.
+func New(opts Options) *Network {
+	return &Network{
+		opts:      opts,
+		listeners: make(map[string]*simListener),
+		down:      make(map[string]bool),
+		stats:     NewStats(),
+	}
+}
+
+// Stats returns the fabric's traffic collector.
+func (n *Network) Stats() *Stats { return n.stats }
+
+// SetDown marks an endpoint as unreachable (true) or reachable (false):
+// subsequent Dials to it fail with ErrRefused. Used for failure injection.
+func (n *Network) SetDown(name string, down bool) {
+	n.mu.Lock()
+	n.down[name] = down
+	n.mu.Unlock()
+}
+
+// Listen registers name on the fabric.
+func (n *Network) Listen(name string) (net.Listener, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, exists := n.listeners[name]; exists {
+		return nil, fmt.Errorf("netsim: endpoint %q already listening", name)
+	}
+	l := &simListener{net: n, name: name}
+	l.cond = sync.NewCond(&l.mu)
+	n.listeners[name] = l
+	return l, nil
+}
+
+// Dial connects from to to across the fabric. The returned connection
+// applies the fabric's latency and bandwidth model and records traffic on
+// the (from,to) and (to,from) edges.
+func (n *Network) Dial(from, to string) (net.Conn, error) {
+	n.mu.Lock()
+	l, ok := n.listeners[to]
+	if n.down[to] || n.down[from] {
+		ok = false
+	}
+	n.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s -> %s", ErrRefused, from, to)
+	}
+	cq := newQueue()
+	sq := newQueue()
+	client := &simConn{
+		read: cq, write: sq,
+		local: addr(from), remote: addr(to),
+		net: n, from: from, to: to,
+	}
+	server := &simConn{
+		read: sq, write: cq,
+		local: addr(to), remote: addr(from),
+		net: n, from: to, to: from,
+	}
+	// Hand the server end to the listener. The pending queue is unbounded
+	// (a slow accepter delays dialers' reads, it never refuses them) and
+	// enqueueing checks the closed flag under the listener lock, so a
+	// concurrent Close can never strand a connection.
+	if !l.enqueue(server) {
+		return nil, fmt.Errorf("%w: %s -> %s", ErrRefused, from, to)
+	}
+	n.stats.AddDial(from, to)
+	return client, nil
+}
+
+type simListener struct {
+	net  *Network
+	name string
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	pending []net.Conn
+	closed  bool
+}
+
+// enqueue hands a freshly dialed connection to the listener, reporting
+// false when the listener is closed.
+func (l *simListener) enqueue(c net.Conn) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return false
+	}
+	l.pending = append(l.pending, c)
+	l.cond.Signal()
+	return true
+}
+
+func (l *simListener) Accept() (net.Conn, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for len(l.pending) == 0 && !l.closed {
+		l.cond.Wait()
+	}
+	if l.closed {
+		return nil, net.ErrClosed
+	}
+	c := l.pending[0]
+	l.pending = l.pending[1:]
+	return c, nil
+}
+
+func (l *simListener) Close() error {
+	l.net.mu.Lock()
+	if l.net.listeners[l.name] == l {
+		delete(l.net.listeners, l.name)
+	}
+	l.net.mu.Unlock()
+
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	// Connections delivered but never accepted would otherwise leave
+	// their dialers blocked forever; close them so the peer sees EOF.
+	pending := l.pending
+	l.pending = nil
+	l.cond.Broadcast()
+	l.mu.Unlock()
+	for _, c := range pending {
+		c.Close()
+	}
+	return nil
+}
+
+func (l *simListener) Addr() net.Addr { return addr(l.name) }
+
+type addr string
+
+func (a addr) Network() string { return "netsim" }
+func (a addr) String() string  { return string(a) }
+
+// queue is one direction of a simulated duplex connection: a list of byte
+// chunks, each becoming readable at its delivery time.
+type queue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	chunks []chunk
+	buf    []byte // partially consumed head chunk
+	closed bool
+	// txEnd is when the sender's last transmission finishes; finite
+	// bandwidth serializes transmissions.
+	txEnd time.Time
+}
+
+type chunk struct {
+	data  []byte
+	ready time.Time
+}
+
+func newQueue() *queue {
+	q := &queue{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+func (q *queue) push(data []byte, opts Options) {
+	now := time.Now()
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return
+	}
+	start := now
+	if q.txEnd.After(start) {
+		start = q.txEnd
+	}
+	if opts.BytesPerSecond > 0 {
+		start = start.Add(time.Duration(int64(time.Second) * int64(len(data)) / opts.BytesPerSecond))
+	}
+	q.txEnd = start
+	ready := start.Add(opts.Latency)
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	q.chunks = append(q.chunks, chunk{cp, ready})
+	if ready.After(now) {
+		time.AfterFunc(ready.Sub(now), q.cond.Broadcast)
+	}
+	q.cond.Broadcast()
+}
+
+func (q *queue) pop(p []byte) (int, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for {
+		if len(q.buf) > 0 {
+			n := copy(p, q.buf)
+			q.buf = q.buf[n:]
+			return n, nil
+		}
+		if len(q.chunks) > 0 {
+			head := q.chunks[0]
+			now := time.Now()
+			if !head.ready.After(now) {
+				q.buf = head.data
+				q.chunks = q.chunks[1:]
+				continue
+			}
+			// Not yet deliverable: the AfterFunc armed in push will wake us.
+			q.cond.Wait()
+			continue
+		}
+		if q.closed {
+			return 0, errClosedPipe
+		}
+		q.cond.Wait()
+	}
+}
+
+func (q *queue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}
+
+var errClosedPipe = errors.New("netsim: connection closed")
+
+// simConn is one end of a simulated duplex connection.
+type simConn struct {
+	read, write   *queue
+	local, remote addr
+	net           *Network
+	from, to      string
+	closeOnce     sync.Once
+}
+
+func (c *simConn) Read(p []byte) (int, error) {
+	n, err := c.read.pop(p)
+	if err != nil {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+func (c *simConn) Write(p []byte) (int, error) {
+	c.write.mu.Lock()
+	closed := c.write.closed
+	c.write.mu.Unlock()
+	if closed {
+		return 0, errClosedPipe
+	}
+	c.net.stats.AddBytes(c.from, c.to, len(p))
+	c.write.push(p, c.net.opts)
+	return len(p), nil
+}
+
+// MarkMessage lets the wire layer attribute one framed message of the
+// given kind to this connection's edge.
+func (c *simConn) MarkMessage(kind string) {
+	c.net.stats.AddMessage(c.from, c.to, kind)
+}
+
+func (c *simConn) Close() error {
+	c.closeOnce.Do(func() {
+		c.write.close()
+		c.read.close()
+	})
+	return nil
+}
+
+func (c *simConn) LocalAddr() net.Addr                { return c.local }
+func (c *simConn) RemoteAddr() net.Addr               { return c.remote }
+func (c *simConn) SetDeadline(t time.Time) error      { return nil }
+func (c *simConn) SetReadDeadline(t time.Time) error  { return nil }
+func (c *simConn) SetWriteDeadline(t time.Time) error { return nil }
+
+// MessageMarker is implemented by instrumented connections; the wire layer
+// uses it to count framed messages per edge.
+type MessageMarker interface {
+	MarkMessage(kind string)
+}

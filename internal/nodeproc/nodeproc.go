@@ -1,0 +1,360 @@
+// Package nodeproc implements the per-node processing step shared by the
+// distributed WEBDIS query server and the centralized data-shipping
+// baseline: given one node's virtual-relation database and one clone
+// arrival state, decide whether the node is a ServerRouter or PureRouter,
+// evaluate the node-query if the remaining PRE contains the null link,
+// detect dead ends, and compute the set of next links to traverse
+// (Figures 3 and 4 of the paper, minus the messaging).
+//
+// It also houses the Node-query Log Table of Section 3.1.1, because the
+// duplicate-arrival rules are processing semantics: the centralized
+// baseline applies the same rules to its breadth-first frontier so that
+// both engines compute identical result sets.
+package nodeproc
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"webdis/internal/disql"
+	"webdis/internal/htmlx"
+	"webdis/internal/nodequery"
+	"webdis/internal/pre"
+	"webdis/internal/relmodel"
+	"webdis/internal/wire"
+)
+
+// ParseStages converts wire stages back into parsed form. It is the
+// inverse of EncodeStages.
+func ParseStages(ss []wire.StageMsg) ([]disql.Stage, error) {
+	out := make([]disql.Stage, len(ss))
+	for i, s := range ss {
+		e, err := pre.Parse(s.PRE)
+		if err != nil {
+			return nil, fmt.Errorf("nodeproc: stage %d: %w", i, err)
+		}
+		out[i] = disql.Stage{PRE: e, Query: s.Query, Export: s.Export}
+	}
+	return out, nil
+}
+
+// EncodeStages converts parsed stages into wire form.
+func EncodeStages(ss []disql.Stage) []wire.StageMsg {
+	out := make([]wire.StageMsg, len(ss))
+	for i, s := range ss {
+		out[i] = wire.StageMsg{PRE: s.PRE.String(), Query: s.Query, Export: s.Export}
+	}
+	return out
+}
+
+// Target is one hyperlink the query should be forwarded over.
+type Target struct {
+	URL  string   // destination node (fragments stripped)
+	Link pre.Link // the link category traversed
+}
+
+// StepResult is the outcome of processing one arrival state at one node.
+type StepResult struct {
+	// Evaluated reports whether the node acted as a ServerRouter (the
+	// remaining PRE contained the null link, so the node-query ran).
+	Evaluated bool
+	// Table holds the node-query's rows when Evaluated.
+	Table *nodequery.Table
+	// DeadEnd reports that the node-query ran and found no answer. The
+	// paper's Figure-4 pseudocode then forwards nothing at all, but its
+	// own worked examples (the L*1 hop of the Section 5 campus query, the
+	// "extract all global links" motivation of Example Query 1) require
+	// the continuation of the current PRE to proceed — only the advance to
+	// the next node-query is cancelled. Step therefore always reports
+	// Continue; callers honoring the strict pseudocode discard it when
+	// DeadEnd is set.
+	DeadEnd bool
+	// Continue lists, per derivative, the targets for continuing the
+	// *current* PRE (reaching farther nodes that evaluate the same
+	// node-query).
+	Continue []Forward
+	// Advance reports whether processing should move to the next stage at
+	// this same node (the node-query succeeded and stages remain).
+	Advance bool
+}
+
+// Forward groups targets sharing one derived PRE.
+type Forward struct {
+	Rem     pre.Expr // derivative of the current PRE after the link
+	Targets []Target
+}
+
+// Step processes one arrival (rem within the current stage) at the node
+// whose virtual relations are db. hasNext tells whether another stage
+// follows the current one. env supplies upstream document bindings for
+// correlated node-queries (nil for the common uncorrelated case).
+func Step(db *relmodel.DB, node string, rem pre.Expr, stage disql.Stage, hasNext bool, env map[string]string) (StepResult, error) {
+	var res StepResult
+	if pre.Nullable(rem) {
+		res.Evaluated = true
+		tbl, err := nodequery.EvalEnv(stage.Query, db, env)
+		if err != nil {
+			return res, fmt.Errorf("nodeproc: %s: %w", node, err)
+		}
+		res.Table = tbl
+		if tbl.Empty() {
+			res.DeadEnd = true
+		} else {
+			res.Advance = hasNext
+		}
+	}
+	for _, l := range pre.First(rem) {
+		d := pre.Derive(rem, l)
+		if pre.IsNone(d) {
+			continue
+		}
+		targets := linkTargets(db, node, l)
+		if len(targets) == 0 {
+			continue
+		}
+		res.Continue = append(res.Continue, Forward{Rem: d, Targets: targets})
+	}
+	return res, nil
+}
+
+// linkTargets selects the anchor destinations of category l, stripping
+// fragments (an interior link leads back to the node itself) and removing
+// duplicates while preserving document order.
+func linkTargets(db *relmodel.DB, node string, l pre.Link) []Target {
+	rel := db.Anchor
+	hrefIdx, typeIdx := rel.Col("href"), rel.Col("ltype")
+	seen := make(map[string]bool)
+	var out []Target
+	for _, tup := range rel.Tuples {
+		if tup[typeIdx] != l.String() {
+			continue
+		}
+		url := tup[hrefIdx]
+		if i := strings.IndexByte(url, '#'); i >= 0 {
+			url = url[:i]
+		}
+		if l == pre.Interior {
+			url = node
+		}
+		if url == "" || seen[url] {
+			continue
+		}
+		seen[url] = true
+		out = append(out, Target{URL: url, Link: l})
+	}
+	return out
+}
+
+// ExtendEnv returns env extended with the stage's exported document
+// columns read from db (the single DOCUMENT tuple). It copies — clones
+// carry independent environments. A stage with no exports returns env
+// unchanged.
+func ExtendEnv(env map[string]string, stage disql.Stage, db *relmodel.DB) map[string]string {
+	if len(stage.Export) == 0 {
+		return env
+	}
+	out := make(map[string]string, len(env)+len(stage.Export))
+	for k, v := range env {
+		out[k] = v
+	}
+	docVar := stage.Query.Vars[0].Name
+	tup := db.Document.Tuples[0]
+	for _, col := range stage.Export {
+		if i := db.Document.Col(col); i >= 0 {
+			out[docVar+"."+col] = tup[i]
+		}
+	}
+	return out
+}
+
+// BuildDB parses a document and constructs its virtual relations — the
+// paper's Database Constructor. It exists so server and baseline share the
+// exact same construction (and so both count one parse per document).
+func BuildDB(url string, content []byte) (*relmodel.DB, error) {
+	doc, err := htmlx.Parse(url, content)
+	if err != nil {
+		return nil, err
+	}
+	return relmodel.Build(doc), nil
+}
+
+// ---------------------------------------------------------------------------
+// The Node-query Log Table (Section 3.1.1).
+
+// DedupMode selects how aggressively the log table recognizes equivalent
+// arrivals.
+type DedupMode int
+
+// Dedup modes. DedupSubsume is the paper's scheme and the default.
+const (
+	// DedupOff disables the log table entirely (the ablation baseline —
+	// every arrival is recomputed and re-forwarded).
+	DedupOff DedupMode = iota
+	// DedupExact drops only arrivals whose state is syntactically
+	// identical to a logged one.
+	DedupExact
+	// DedupSubsume adds the paper's star-bound rules: an arrival covered
+	// by a logged PRE is dropped, and an arrival that covers a logged PRE
+	// replaces it and is rewritten (A*m·B → A·A*(m-1)·B) so only the
+	// difference is explored.
+	DedupSubsume
+	// DedupStrong is an extension: full DFA language containment decides
+	// coverage, catching equivalences the syntactic rules miss.
+	DedupStrong
+)
+
+func (m DedupMode) String() string {
+	switch m {
+	case DedupOff:
+		return "off"
+	case DedupExact:
+		return "exact"
+	case DedupSubsume:
+		return "subsume"
+	case DedupStrong:
+		return "strong"
+	}
+	return fmt.Sprintf("DedupMode(%d)", int(m))
+}
+
+// Action is the log table's verdict on an arrival.
+type Action int
+
+// Verdict actions.
+const (
+	Process Action = iota // fresh arrival: process normally
+	Drop                  // duplicate: purge the clone for this node
+	Rewrite               // superset arrival: process with the rewritten PRE
+)
+
+func (a Action) String() string {
+	switch a {
+	case Process:
+		return "process"
+	case Drop:
+		return "drop"
+	case Rewrite:
+		return "rewrite"
+	}
+	return fmt.Sprintf("Action(%d)", int(a))
+}
+
+// Verdict is the outcome of a log-table check. For Rewrite, Rem is the
+// rewritten remaining PRE to process with.
+type Verdict struct {
+	Action Action
+	Rem    pre.Expr
+}
+
+type logEntry struct {
+	numQ  int
+	rem   pre.Expr
+	added time.Time
+}
+
+// LogTable records, per (node, query), the states of previously processed
+// clones, and classifies new arrivals. It is safe for concurrent use. The
+// zero value is not usable; construct with NewLogTable.
+type LogTable struct {
+	mode DedupMode
+
+	mu      sync.Mutex
+	entries map[string][]logEntry // node + query id -> states
+	size    int
+}
+
+// NewLogTable returns an empty log table operating in the given mode.
+func NewLogTable(mode DedupMode) *LogTable {
+	return &LogTable{mode: mode, entries: make(map[string][]logEntry)}
+}
+
+// Mode returns the table's dedup mode.
+func (lt *LogTable) Mode() DedupMode { return lt.mode }
+
+// Len returns the number of logged entries.
+func (lt *LogTable) Len() int {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	return lt.size
+}
+
+func logKey(node string, id wire.QueryID) string { return node + "§" + id.String() }
+
+// Check classifies the arrival of a clone for node in state (numQ, rem)
+// and updates the table per Section 3.1.1: fresh and superset arrivals are
+// logged (superset arrivals replacing the entry they cover), duplicates
+// are not. envKey distinguishes correlated clones: arrivals carrying
+// different upstream bindings are never equivalent (wire.EnvKey computes
+// it; "" for uncorrelated queries).
+func (lt *LogTable) Check(node string, id wire.QueryID, numQ int, rem pre.Expr, envKey string) Verdict {
+	if lt.mode == DedupOff {
+		return Verdict{Action: Process, Rem: rem}
+	}
+	key := logKey(node, id) + "\x00" + envKey
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	entries := lt.entries[key]
+	for i, e := range entries {
+		if e.numQ != numQ {
+			continue
+		}
+		switch lt.mode {
+		case DedupExact:
+			if pre.Equal(e.rem, rem) {
+				return Verdict{Action: Drop}
+			}
+		case DedupSubsume, DedupStrong:
+			switch pre.Compare(e.rem, rem) {
+			case pre.Duplicate, pre.OldCovers:
+				return Verdict{Action: Drop}
+			case pre.NewCovers:
+				// Replace the covered entry with the arrival and rewrite
+				// the query so only the difference is explored.
+				entries[i].rem = rem
+				entries[i].added = time.Now()
+				rw, ok := pre.RewriteSuperset(rem)
+				if !ok {
+					rw = rem
+				}
+				return Verdict{Action: Rewrite, Rem: rw}
+			}
+			if lt.mode == DedupStrong {
+				if covered, err := pre.Contains(e.rem, rem); err == nil && covered {
+					return Verdict{Action: Drop}
+				}
+			}
+		}
+	}
+	lt.entries[key] = append(entries, logEntry{numQ: numQ, rem: rem, added: time.Now()})
+	lt.size++
+	return Verdict{Action: Process, Rem: rem}
+}
+
+// Purge removes entries older than maxAge. The paper purges periodically
+// to bound storage; an over-eager purge only costs recomputation, never
+// correctness.
+func (lt *LogTable) Purge(maxAge time.Duration) int {
+	cutoff := time.Now().Add(-maxAge)
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	removed := 0
+	for key, entries := range lt.entries {
+		kept := entries[:0]
+		for _, e := range entries {
+			if e.added.After(cutoff) {
+				kept = append(kept, e)
+			} else {
+				removed++
+			}
+		}
+		if len(kept) == 0 {
+			delete(lt.entries, key)
+		} else {
+			lt.entries[key] = kept
+		}
+	}
+	lt.size -= removed
+	return removed
+}

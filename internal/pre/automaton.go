@@ -1,0 +1,173 @@
+package pre
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DFA is a deterministic finite automaton over the three-letter link
+// alphabet, compiled from a PRE by CompileDFA. State 0 is the start state.
+// Missing transitions go to an implicit dead state.
+type DFA struct {
+	// Trans[s][i] is the successor of state s on Links[i], or -1.
+	Trans [][3]int
+	// Accept[s] reports whether state s is accepting.
+	Accept []bool
+}
+
+// maxDFAStates bounds subset construction; PREs in queries are tiny, so the
+// bound exists only to keep adversarial inputs from allocating unboundedly.
+const maxDFAStates = 1 << 14
+
+func linkIndex(l Link) int {
+	switch l {
+	case Interior:
+		return 0
+	case Local:
+		return 1
+	case Global:
+		return 2
+	}
+	return -1
+}
+
+// CompileDFA compiles e into a DFA by the derivative method: states are
+// canonical derivative strings, transitions are Derive. The construction
+// terminates because bounded repetitions only shrink and the simplifying
+// constructors keep the derivative set finite.
+func CompileDFA(e Expr) (*DFA, error) {
+	index := map[string]int{}
+	var exprs []Expr
+	intern := func(x Expr) int {
+		s := x.String()
+		if id, ok := index[s]; ok {
+			return id
+		}
+		id := len(exprs)
+		index[s] = id
+		exprs = append(exprs, x)
+		return id
+	}
+	intern(e)
+	d := &DFA{}
+	for state := 0; state < len(exprs); state++ {
+		if len(exprs) > maxDFAStates {
+			return nil, fmt.Errorf("pre: DFA for %q exceeds %d states", e, maxDFAStates)
+		}
+		cur := exprs[state]
+		var row [3]int
+		for i, l := range Links {
+			next := Derive(cur, l)
+			if IsNone(next) {
+				row[i] = -1
+				continue
+			}
+			row[i] = intern(next)
+		}
+		d.Trans = append(d.Trans, row)
+		d.Accept = append(d.Accept, Nullable(cur))
+	}
+	return d, nil
+}
+
+// Step returns the successor state on link l, or -1 for the dead state.
+func (d *DFA) Step(state int, l Link) int {
+	if state < 0 {
+		return -1
+	}
+	return d.Trans[state][linkIndex(l)]
+}
+
+// Accepts reports whether d accepts the given link path.
+func (d *DFA) Accepts(path []Link) bool {
+	s := 0
+	for _, l := range path {
+		s = d.Step(s, l)
+		if s < 0 {
+			return false
+		}
+	}
+	return d.Accept[s]
+}
+
+// Contains reports whether the language of sub is a subset of the language
+// of super: every path matched by sub is also matched by super. It is the
+// decision procedure behind the engine's optional strong duplicate-
+// detection mode, which generalizes the paper's syntactic star-bound test.
+func Contains(super, sub Expr) (bool, error) {
+	a, err := CompileDFA(super)
+	if err != nil {
+		return false, err
+	}
+	b, err := CompileDFA(sub)
+	if err != nil {
+		return false, err
+	}
+	// Search the product automaton for a path accepted by sub but not by
+	// super (including paths on which super is already dead).
+	type pair struct{ pa, pb int }
+	seen := map[pair]bool{{0, 0}: true}
+	queue := []pair{{0, 0}}
+	for len(queue) > 0 {
+		p := queue[0]
+		queue = queue[1:]
+		accB := p.pb >= 0 && b.Accept[p.pb]
+		accA := p.pa >= 0 && a.Accept[p.pa]
+		if accB && !accA {
+			return false, nil
+		}
+		for _, l := range Links {
+			nb := -1
+			if p.pb >= 0 {
+				nb = b.Step(p.pb, l)
+			}
+			if nb < 0 {
+				continue // sub is dead along this path; nothing to witness
+			}
+			na := -1
+			if p.pa >= 0 {
+				na = a.Step(p.pa, l)
+			}
+			np := pair{na, nb}
+			if !seen[np] {
+				seen[np] = true
+				queue = append(queue, np)
+			}
+		}
+	}
+	return true, nil
+}
+
+// Equivalent reports whether a and b denote the same path language.
+func Equivalent(a, b Expr) (bool, error) {
+	ab, err := Contains(a, b)
+	if err != nil {
+		return false, err
+	}
+	if !ab {
+		return false, nil
+	}
+	return Contains(b, a)
+}
+
+// Dump renders the DFA in a compact human-readable form, for debugging and
+// for the webgen tool's -dfa flag.
+func (d *DFA) Dump() string {
+	var b strings.Builder
+	for s := range d.Trans {
+		mark := " "
+		if d.Accept[s] {
+			mark = "*"
+		}
+		var parts []string
+		for i, l := range Links {
+			if t := d.Trans[s][i]; t >= 0 {
+				parts = append(parts, fmt.Sprintf("%s→%d", l, t))
+			}
+		}
+		sort.Strings(parts)
+		fmt.Fprintf(&b, "%s%d: %s\n", mark, s, strings.Join(parts, " "))
+	}
+	return b.String()
+}

@@ -1,0 +1,212 @@
+package pre
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// Parse parses the concrete PRE syntax of the paper:
+//
+//	pre  := cat ('|' cat)*
+//	cat  := rep (('·' | '.')? rep)*          // the dot is optional
+//	rep  := atom ('*' digits?)*
+//	atom := 'I' | 'L' | 'G' | 'N' | '(' pre ')'
+//
+// '*' with no digits is unbounded repetition; '*k' allows up to k
+// repetitions, so L*4 matches zero through four local links. Whitespace is
+// ignored everywhere.
+func Parse(s string) (Expr, error) {
+	p := &parser{src: []rune(s)}
+	e, err := p.alt()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return nil, fmt.Errorf("pre: unexpected %q at offset %d in %q", p.src[p.pos], p.pos, s)
+	}
+	return e, nil
+}
+
+// MustParse is Parse, panicking on error. For tests and fixed literals.
+func MustParse(s string) Expr {
+	e, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+type parser struct {
+	src []rune
+	pos int
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.src) && unicode.IsSpace(p.src[p.pos]) {
+		p.pos++
+	}
+}
+
+func (p *parser) peek() (rune, bool) {
+	p.skipSpace()
+	if p.pos >= len(p.src) {
+		return 0, false
+	}
+	return p.src[p.pos], true
+}
+
+func (p *parser) alt() (Expr, error) {
+	var branches []Expr
+	e, err := p.cat()
+	if err != nil {
+		return nil, err
+	}
+	branches = append(branches, e)
+	for {
+		r, ok := p.peek()
+		if !ok || r != '|' {
+			break
+		}
+		p.pos++
+		e, err := p.cat()
+		if err != nil {
+			return nil, err
+		}
+		branches = append(branches, e)
+	}
+	return Alt(branches...), nil
+}
+
+func (p *parser) cat() (Expr, error) {
+	var parts []Expr
+	e, err := p.rep()
+	if err != nil {
+		return nil, err
+	}
+	parts = append(parts, e)
+	for {
+		r, ok := p.peek()
+		if !ok {
+			break
+		}
+		switch {
+		case r == '·' || r == '.':
+			p.pos++
+			e, err := p.rep()
+			if err != nil {
+				return nil, err
+			}
+			parts = append(parts, e)
+		case isAtomStart(r):
+			// implicit concatenation, e.g. "GL" for G·L
+			e, err := p.rep()
+			if err != nil {
+				return nil, err
+			}
+			parts = append(parts, e)
+		default:
+			return Cat(parts...), nil
+		}
+	}
+	return Cat(parts...), nil
+}
+
+func isAtomStart(r rune) bool {
+	switch r {
+	case 'I', 'L', 'G', 'N', '(':
+		return true
+	}
+	return false
+}
+
+func (p *parser) rep() (Expr, error) {
+	e, err := p.atom()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		r, ok := p.peek()
+		if !ok || r != '*' {
+			return e, nil
+		}
+		p.pos++
+		// optional bound digits
+		p.skipSpace()
+		start := p.pos
+		for p.pos < len(p.src) && unicode.IsDigit(p.src[p.pos]) {
+			p.pos++
+		}
+		if p.pos == start {
+			e = Star(e)
+			continue
+		}
+		n := 0
+		for _, d := range p.src[start:p.pos] {
+			n = n*10 + int(d-'0')
+			if n > 1<<20 {
+				return nil, fmt.Errorf("pre: repetition bound too large at offset %d", start)
+			}
+		}
+		e = Rep(e, n)
+	}
+}
+
+func (p *parser) atom() (Expr, error) {
+	r, ok := p.peek()
+	if !ok {
+		return nil, fmt.Errorf("pre: unexpected end of expression %q", string(p.src))
+	}
+	switch r {
+	case 'I', 'L', 'G':
+		p.pos++
+		return Sym(Link(r)), nil
+	case 'N':
+		p.pos++
+		return Eps(), nil
+	case '(':
+		p.pos++
+		e, err := p.alt()
+		if err != nil {
+			return nil, err
+		}
+		r, ok := p.peek()
+		if !ok || r != ')' {
+			return nil, fmt.Errorf("pre: missing ')' in %q", string(p.src))
+		}
+		p.pos++
+		return e, nil
+	}
+	return nil, fmt.Errorf("pre: unexpected %q at offset %d in %q", r, p.pos, string(p.src))
+}
+
+// ParsePath parses a bare link path such as "GLL" or "G·L·L" into its link
+// sequence. The null link N is permitted and contributes no step.
+func ParsePath(s string) ([]Link, error) {
+	var out []Link
+	for _, r := range s {
+		switch {
+		case unicode.IsSpace(r), r == '·', r == '.':
+		case r == 'N':
+		case r == 'I' || r == 'L' || r == 'G':
+			out = append(out, Link(r))
+		default:
+			return nil, fmt.Errorf("pre: invalid path element %q in %q", r, s)
+		}
+	}
+	return out, nil
+}
+
+// FormatPath renders a link path in compact form ("G·L·L"); the empty path
+// renders as "N".
+func FormatPath(p []Link) string {
+	if len(p) == 0 {
+		return "N"
+	}
+	parts := make([]string, len(p))
+	for i, l := range p {
+		parts[i] = l.String()
+	}
+	return strings.Join(parts, "·")
+}

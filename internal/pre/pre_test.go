@@ -1,0 +1,542 @@
+package pre
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseRoundTrip(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string
+	}{
+		{"L", "L"},
+		{"G", "G"},
+		{"I", "I"},
+		{"N", "N"},
+		{"L*", "L*"},
+		{"L*4", "L*4"},
+		{"G·L", "G·L"},
+		{"G.L", "G·L"},
+		{"GL", "G·L"},
+		{"G·(L*4)", "G·L*4"},
+		{"N | G·(L*4)", "N|G·L*4"},
+		{"G·(G|L)", "G·(G|L)"},
+		{"(G|L)·(G|L)", "(G|L)·(G|L)"},
+		{"L*2·G", "L*2·G"},
+		{"  L * 2 · G ", "L*2·G"},
+		{"((L))", "L"},
+		{"L|L", "L"},       // duplicate branch removed
+		{"N·G", "G"},       // null link is the unit of concatenation
+		{"L*0", "N"},       // zero repetitions is the null link
+		{"(L*2)*3", "L*6"}, // nested bounded repetitions multiply
+		{"(L*2)*", "L*"},   // unbounded dominates
+		{"N*", "N"},        // repeating the null link is the null link
+		{"G|N|L", "G|N|L"}, // order preserved
+		{"I·L·G", "I·L·G"}, // all three symbols
+		{"(G|L)*3", "(G|L)*3"},
+	}
+	for _, c := range cases {
+		e, err := Parse(c.in)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", c.in, err)
+		}
+		if got := e.String(); got != c.want {
+			t.Errorf("Parse(%q).String() = %q, want %q", c.in, got, c.want)
+		}
+		// String must re-parse to the same expression.
+		e2, err := Parse(e.String())
+		if err != nil {
+			t.Fatalf("re-Parse(%q): %v", e.String(), err)
+		}
+		if !Equal(e, e2) {
+			t.Errorf("round trip of %q: %q != %q", c.in, e.String(), e2.String())
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, in := range []string{"", "X", "L|", "(L", "L)", "·L", "|G", "L*99999999", "L**", "()"} {
+		if e, err := Parse(in); err == nil {
+			// "L**" is actually legal (star of star); exempt legal ones.
+			if in == "L**" {
+				if e.String() != "L*" {
+					t.Errorf("Parse(L**) = %q, want L*", e.String())
+				}
+				continue
+			}
+			t.Errorf("Parse(%q) = %q, want error", in, e.String())
+		}
+	}
+}
+
+func TestNullable(t *testing.T) {
+	cases := map[string]bool{
+		"N":        true,
+		"L":        false,
+		"L*":       true,
+		"L*3":      true,
+		"G·L":      false,
+		"N|G":      true,
+		"G·L*":     false,
+		"L*·G*":    true,
+		"(N|G)·L*": true,
+	}
+	for in, want := range cases {
+		if got := Nullable(MustParse(in)); got != want {
+			t.Errorf("Nullable(%s) = %v, want %v", in, got, want)
+		}
+	}
+}
+
+func TestFirst(t *testing.T) {
+	cases := map[string]string{
+		"N":         "",
+		"L":         "L",
+		"G·L":       "G",
+		"G|L":       "LG",
+		"L*·G":      "LG",
+		"N|G·(L*4)": "G",
+		"I·L":       "I",
+		"(N|L)·G":   "LG",
+	}
+	for in, want := range cases {
+		var got strings.Builder
+		for _, l := range First(MustParse(in)) {
+			got.WriteString(l.String())
+		}
+		if got.String() != want {
+			t.Errorf("First(%s) = %q, want %q", in, got.String(), want)
+		}
+	}
+}
+
+func TestDerive(t *testing.T) {
+	cases := []struct {
+		in   string
+		link Link
+		want string
+	}{
+		{"L", Local, "N"},
+		{"L", Global, "∅"},
+		{"G·L", Global, "L"},
+		{"G·L", Local, "∅"},
+		{"L*", Local, "L*"},
+		{"L*4", Local, "L*3"},
+		{"L*1", Local, "N"},
+		{"G·(G|L)", Global, "G|L"},
+		{"G|L", Global, "N"},
+		{"L*2·G", Local, "L*1·G"},
+		{"L*2·G", Global, "N"},
+		{"N|G·(L*4)", Global, "L*4"},
+		{"L*·G", Local, "L*·G"},
+		{"L*·G", Global, "N"},
+		{"(G|L)·(G|L)", Local, "G|L"},
+	}
+	for _, c := range cases {
+		got := Derive(MustParse(c.in), c.link)
+		if got.String() != c.want {
+			t.Errorf("Derive(%s, %s) = %s, want %s", c.in, c.link, got, c.want)
+		}
+	}
+}
+
+func TestDeriveKeepsStarBounds(t *testing.T) {
+	// The paper's Section 3.1.1 depends on derivatives preserving star
+	// bounds: L*4 after one L must be L*3, not L·L·L.
+	e := MustParse("L*4·G")
+	for i := 3; i >= 0; i-- {
+		e = Derive(e, Local)
+		want := "L*" + string(rune('0'+i)) + "·G"
+		if i == 0 {
+			want = "G"
+		}
+		if e.String() != want {
+			t.Fatalf("after derivation, got %s, want %s", e, want)
+		}
+	}
+}
+
+func TestMatches(t *testing.T) {
+	cases := []struct {
+		pre  string
+		path string
+		want bool
+	}{
+		{"N|G·(L*4)", "", true},
+		{"N|G·(L*4)", "G", true},
+		{"N|G·(L*4)", "G·L·L·L·L", true},
+		{"N|G·(L*4)", "G·L·L·L·L·L", false},
+		{"N|G·(L*4)", "L", false},
+		{"G·(G|L)", "G·G", true},
+		{"G·(G|L)", "G·L", true},
+		{"G·(G|L)", "G", false},
+		{"L*", "", true},
+		{"L*", "L·L·L·L·L·L·L", true},
+		{"L*", "L·G", false},
+		{"L*2·G", "G", true},
+		{"L*2·G", "L·G", true},
+		{"L*2·G", "L·L·G", true},
+		{"L*2·G", "L·L·L·G", false},
+	}
+	for _, c := range cases {
+		path, err := ParsePath(c.path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := Matches(MustParse(c.pre), path); got != c.want {
+			t.Errorf("Matches(%s, %s) = %v, want %v", c.pre, c.path, got, c.want)
+		}
+	}
+}
+
+func TestMaxMinLen(t *testing.T) {
+	cases := []struct {
+		in       string
+		min, max int
+	}{
+		{"N", 0, 0},
+		{"L", 1, 1},
+		{"L*4", 0, 4},
+		{"L*", 0, Unbounded},
+		{"G·(L*4)", 1, 5},
+		{"N|G·L", 0, 2},
+		{"(G|L·L)·I", 2, 3},
+		{"(L*2)·(G*3)", 0, 5},
+	}
+	for _, c := range cases {
+		e := MustParse(c.in)
+		if got := MinLen(e); got != c.min {
+			t.Errorf("MinLen(%s) = %d, want %d", c.in, got, c.min)
+		}
+		if got := MaxLen(e); got != c.max {
+			t.Errorf("MaxLen(%s) = %d, want %d", c.in, got, c.max)
+		}
+	}
+}
+
+func TestEnumerate(t *testing.T) {
+	got := Enumerate(MustParse("N|G·(L*2)"), 5)
+	want := []string{"N", "G", "G·L", "G·L·L"}
+	if len(got) != len(want) {
+		t.Fatalf("Enumerate returned %d paths, want %d", len(got), len(want))
+	}
+	for i, p := range got {
+		if FormatPath(p) != want[i] {
+			t.Errorf("path %d = %s, want %s", i, FormatPath(p), want[i])
+		}
+	}
+}
+
+func TestCompareStarBounds(t *testing.T) {
+	cases := []struct {
+		old, new string
+		want     Relation
+	}{
+		// The paper's worked examples from Section 3.1.1.
+		{"L*2·G", "L*1·G", OldCovers},
+		{"L*2·G", "L*4·G", NewCovers},
+		{"L*2·G", "L*2·G", Duplicate},
+		{"L*·G", "L*7·G", OldCovers},
+		{"L*3·G", "L*·G", NewCovers},
+		{"L*2·G", "G*2·G", Incomparable},
+		{"L*2·G", "L*2·L", Incomparable},
+		{"L*2", "L*5", NewCovers},
+		{"L*5", "L*2", OldCovers},
+		{"G·L", "G·L", Duplicate},
+		{"G·L", "L·G", Incomparable},
+		{"L*2·(G|L)", "L*3·(G|L)", NewCovers},
+	}
+	for _, c := range cases {
+		got := Compare(MustParse(c.old), MustParse(c.new))
+		if got != c.want {
+			t.Errorf("Compare(%s, %s) = %s, want %s", c.old, c.new, got, c.want)
+		}
+	}
+}
+
+func TestRewriteSuperset(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    string
+		applied bool
+	}{
+		{"L*4·G", "L·L*3·G", true},
+		{"L*1·G", "L·G", true},
+		{"L*·G", "L·L*·G", true},
+		{"L*3", "L·L*2", true},
+		{"G·L", "G·L", false},
+		{"(G|L)*2·G", "(G|L)*2·G", false}, // rule only covers single-symbol stars
+	}
+	for _, c := range cases {
+		got, applied := RewriteSuperset(MustParse(c.in))
+		if applied != c.applied || got.String() != c.want {
+			t.Errorf("RewriteSuperset(%s) = (%s, %v), want (%s, %v)",
+				c.in, got, applied, c.want, c.applied)
+		}
+	}
+}
+
+func TestRewriteSupersetForcesPureRouter(t *testing.T) {
+	// After the rewrite the node must not evaluate the node-query locally:
+	// the rewritten PRE must not be nullable even when the original was.
+	for _, in := range []string{"L*4", "L*4·G*2", "L*"} {
+		got, applied := RewriteSuperset(MustParse(in))
+		if !applied {
+			t.Fatalf("RewriteSuperset(%s) did not apply", in)
+		}
+		if Nullable(got) {
+			t.Errorf("RewriteSuperset(%s) = %s is still nullable", in, got)
+		}
+	}
+}
+
+func TestDFAContains(t *testing.T) {
+	cases := []struct {
+		super, sub string
+		want       bool
+	}{
+		{"L*4·G", "L*2·G", true},
+		{"L*2·G", "L*4·G", false},
+		{"L*", "L*100", true},
+		{"G|L", "L", true},
+		{"L", "G|L", false},
+		{"(G|L)·(G|L)", "G·L", true},
+		{"G·L", "(G|L)·(G|L)", false},
+		{"L·L*1·G", "L*2·G", false}, // rewrite removes the short paths
+		{"L*2·G", "L·L*1·G", true},
+		{"N", "N", true},
+		{"L*", "N", true},
+	}
+	for _, c := range cases {
+		got, err := Contains(MustParse(c.super), MustParse(c.sub))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c.want {
+			t.Errorf("Contains(%s, %s) = %v, want %v", c.super, c.sub, got, c.want)
+		}
+	}
+}
+
+func TestEquivalent(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want bool
+	}{
+		{"L·L*1·G | G | L·G", "L*2·G", true},
+		{"(G|L)", "(L|G)", true},
+		{"L*", "N|L·L*", true},
+		{"L*2", "L*3", false},
+	}
+	for _, c := range cases {
+		got, err := Equivalent(MustParse(c.a), MustParse(c.b))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c.want {
+			t.Errorf("Equivalent(%s, %s) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// randomExpr builds a random PRE of bounded depth for property tests.
+func randomExpr(r *rand.Rand, depth int) Expr {
+	if depth == 0 {
+		switch r.Intn(4) {
+		case 0:
+			return Sym(Interior)
+		case 1:
+			return Sym(Local)
+		case 2:
+			return Sym(Global)
+		default:
+			return Eps()
+		}
+	}
+	switch r.Intn(4) {
+	case 0:
+		return Cat(randomExpr(r, depth-1), randomExpr(r, depth-1))
+	case 1:
+		return Alt(randomExpr(r, depth-1), randomExpr(r, depth-1))
+	case 2:
+		return Rep(randomExpr(r, depth-1), 1+r.Intn(4))
+	default:
+		return randomExpr(r, depth-1)
+	}
+}
+
+func randomPath(r *rand.Rand, maxLen int) []Link {
+	n := r.Intn(maxLen + 1)
+	p := make([]Link, n)
+	for i := range p {
+		p[i] = Links[r.Intn(len(Links))]
+	}
+	return p
+}
+
+// exprPath is a quick.Generator seed: a random expression plus a random path.
+type exprPath struct {
+	Seed int64
+}
+
+func TestQuickDeriveAgreesWithDFA(t *testing.T) {
+	// Property: derivative-based matching and compiled-DFA matching agree
+	// on every (expression, path) pair.
+	f := func(ep exprPath) bool {
+		r := rand.New(rand.NewSource(ep.Seed))
+		e := randomExpr(r, 3)
+		d, err := CompileDFA(e)
+		if err != nil {
+			return true // skip pathological blowups
+		}
+		for i := 0; i < 20; i++ {
+			p := randomPath(r, 6)
+			if Matches(e, p) != d.Accepts(p) {
+				t.Logf("mismatch: e=%s path=%s", e, FormatPath(p))
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickDeriveStepProperty(t *testing.T) {
+	// Property: Matches(e, l:rest) == Matches(Derive(e,l), rest).
+	f := func(ep exprPath) bool {
+		r := rand.New(rand.NewSource(ep.Seed))
+		e := randomExpr(r, 3)
+		for i := 0; i < 20; i++ {
+			p := randomPath(r, 6)
+			if len(p) == 0 {
+				continue
+			}
+			if Matches(e, p) != Matches(Derive(e, p[0]), p[1:]) {
+				t.Logf("mismatch: e=%s path=%s", e, FormatPath(p))
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickStringRoundTrip(t *testing.T) {
+	f := func(ep exprPath) bool {
+		r := rand.New(rand.NewSource(ep.Seed))
+		e := randomExpr(r, 4)
+		e2, err := Parse(e.String())
+		if err != nil {
+			t.Logf("Parse(%q): %v", e.String(), err)
+			return false
+		}
+		return Equal(e, e2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickRewriteLanguage(t *testing.T) {
+	// Property: the rewritten PRE's language is contained in the original's
+	// and excludes the zero-length path.
+	f := func(ep exprPath) bool {
+		r := rand.New(rand.NewSource(ep.Seed))
+		sym := Links[r.Intn(len(Links))]
+		bound := 1 + r.Intn(5)
+		tail := randomExpr(r, 2)
+		e := Cat(Rep(Sym(sym), bound), tail)
+		rw, applied := RewriteSuperset(e)
+		if !applied {
+			// Simplification may have collapsed the star; that is fine.
+			return true
+		}
+		ok, err := Contains(e, rw)
+		if err != nil {
+			return true
+		}
+		if !ok {
+			t.Logf("rewrite of %s to %s escapes the language", e, rw)
+			return false
+		}
+		return !Nullable(rw) || Nullable(Derive(rw, sym)) // rewritten form never matches empty path outright
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickCompareSoundness(t *testing.T) {
+	// Property: whenever the syntactic Compare claims coverage, DFA
+	// containment confirms it.
+	f := func(ep exprPath) bool {
+		r := rand.New(rand.NewSource(ep.Seed))
+		sym := Links[r.Intn(len(Links))]
+		tail := randomExpr(r, 2)
+		m, n := r.Intn(6), r.Intn(6)
+		old := Cat(Rep(Sym(sym), m), tail)
+		new := Cat(Rep(Sym(sym), n), tail)
+		switch Compare(old, new) {
+		case OldCovers, Duplicate:
+			ok, err := Contains(old, new)
+			if err != nil {
+				return true
+			}
+			if !ok {
+				t.Logf("Compare says old %s covers new %s but containment fails", old, new)
+			}
+			return ok
+		case NewCovers:
+			ok, err := Contains(new, old)
+			if err != nil {
+				return true
+			}
+			if !ok {
+				t.Logf("Compare says new %s covers old %s but containment fails", new, old)
+			}
+			return ok
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParsePathAndFormat(t *testing.T) {
+	p, err := ParsePath("G·L·L")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p, []Link{Global, Local, Local}) {
+		t.Fatalf("ParsePath = %v", p)
+	}
+	if FormatPath(p) != "G·L·L" {
+		t.Fatalf("FormatPath = %s", FormatPath(p))
+	}
+	if FormatPath(nil) != "N" {
+		t.Fatalf("FormatPath(nil) = %s", FormatPath(nil))
+	}
+	if _, err := ParsePath("GXL"); err == nil {
+		t.Fatal("ParsePath(GXL) should fail")
+	}
+}
+
+func TestLinkValid(t *testing.T) {
+	for _, l := range Links {
+		if !l.Valid() {
+			t.Errorf("Link %s should be valid", l)
+		}
+	}
+	if Link('X').Valid() {
+		t.Error("Link X should be invalid")
+	}
+}

@@ -1,0 +1,129 @@
+package pre
+
+// Relation is the outcome of comparing a newly arrived PRE against one
+// recorded in a site's Node-query Log Table (Section 3.1.1 of the paper).
+type Relation int
+
+const (
+	// Incomparable: the log-table pattern rules establish no relation; the
+	// new arrival is processed normally and logged as a fresh entry.
+	Incomparable Relation = iota
+	// Duplicate: the PREs are syntactically identical; the arrival is a
+	// duplicate and is purged.
+	Duplicate
+	// OldCovers: the logged PRE is a superset of the new one (L*2·G logged,
+	// L*1·G arrives); every path the arrival could take has already been
+	// explored, so it is purged.
+	OldCovers
+	// NewCovers: the new PRE is a strict superset of the logged one (L*2·G
+	// logged, L*4·G arrives); the log entry is replaced and the query is
+	// rewritten with RewriteSuperset so that only the difference is
+	// explored.
+	NewCovers
+)
+
+func (r Relation) String() string {
+	switch r {
+	case Duplicate:
+		return "duplicate"
+	case OldCovers:
+		return "old-covers"
+	case NewCovers:
+		return "new-covers"
+	}
+	return "incomparable"
+}
+
+// Compare implements the log-table equivalence rules of Section 3.1.1. It
+// relates a previously logged PRE and a newly arrived one:
+//
+//   - identical PREs are Duplicate;
+//   - PREs of the shape A*m·B with the same repeated symbol A and the same
+//     tail B are ordered by their bounds (an unbounded star dominates every
+//     bound);
+//   - anything else is Incomparable.
+//
+// The comparison is purely syntactic, exactly as in the paper: derivatives
+// preserve star bounds, so clones that took different-length prefixes of
+// the same starred path arrive with comparable shapes.
+func Compare(old, new Expr) Relation {
+	if Equal(old, new) {
+		return Duplicate
+	}
+	oldSym, oldMax, oldTail, ok1 := starShape(old)
+	newSym, newMax, newTail, ok2 := starShape(new)
+	if !ok1 || !ok2 || oldSym != newSym || oldTail != newTail {
+		return Incomparable
+	}
+	switch {
+	case oldMax == newMax:
+		return Duplicate // same shape, same bound, different rendering cannot happen, but be safe
+	case oldMax == Unbounded:
+		return OldCovers
+	case newMax == Unbounded:
+		return NewCovers
+	case newMax <= oldMax:
+		return OldCovers
+	default:
+		return NewCovers
+	}
+}
+
+// starShape matches e against the pattern A*m·B where A is a single link
+// symbol. It returns the symbol, the bound m (Unbounded for A*), and the
+// canonical string of the tail B (which may be the null link).
+func starShape(e Expr) (sym Link, max int, tail string, ok bool) {
+	var head Expr
+	var rest Expr
+	switch v := e.(type) {
+	case repExpr:
+		head, rest = v, Eps()
+	case catExpr:
+		head, rest = v.es[0], Cat(v.es[1:]...)
+	default:
+		return 0, 0, "", false
+	}
+	rep, ok2 := head.(repExpr)
+	if !ok2 {
+		return 0, 0, "", false
+	}
+	s, ok3 := rep.e.(symExpr)
+	if !ok3 {
+		return 0, 0, "", false
+	}
+	return s.l, rep.max, rest.String(), true
+}
+
+// RewriteSuperset applies the paper's query-multiple-rewrite rule: a PRE of
+// shape A*m·B becomes A·A*(m-1)·B, which forces the current node to act as
+// a PureRouter (the paths covered by the logged smaller bound, including
+// evaluating the node-query here, have already been explored) while leaving
+// the star bound syntactically intact for comparisons at downstream nodes.
+// The second result reports whether the rule applied.
+func RewriteSuperset(e Expr) (Expr, bool) {
+	var repPart repExpr
+	var tailParts []Expr
+	switch v := e.(type) {
+	case repExpr:
+		repPart = v
+	case catExpr:
+		r, ok := v.es[0].(repExpr)
+		if !ok {
+			return e, false
+		}
+		repPart = r
+		tailParts = v.es[1:]
+	default:
+		return e, false
+	}
+	s, ok := repPart.e.(symExpr)
+	if !ok {
+		return e, false
+	}
+	inner := Unbounded
+	if repPart.max != Unbounded {
+		inner = repPart.max - 1
+	}
+	parts := append([]Expr{Sym(s.l), Rep(Sym(s.l), inner)}, tailParts...)
+	return Cat(parts...), true
+}

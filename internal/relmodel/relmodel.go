@@ -1,0 +1,110 @@
+// Package relmodel implements the relational document model of the WEBDIS
+// paper (Section 2.2): every web resource is exposed to node-queries as
+// tuples of three "virtual" relations,
+//
+//	DOCUMENT(url, title, text, length)   — one tuple per document
+//	ANCHOR(label, base, href, ltype)     — one tuple per hyperlink
+//	RELINFON(delimiter, url, text, length) — one tuple per rel-infon
+//
+// DOCUMENT and ANCHOR follow Mendelzon, Mihaila and Milo's WebSQL model;
+// RELINFON is the paper's addition carrying Lakshmanan et al.'s rel-infon
+// construct. A query-server materializes these relations in memory for the
+// duration of one node-query (the paper's Database Constructor, Section
+// 4.4) and purges them afterwards.
+package relmodel
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"webdis/internal/htmlx"
+)
+
+// Relation names.
+const (
+	RelDocument = "document"
+	RelAnchor   = "anchor"
+	RelRelInfon = "relinfon"
+)
+
+// Schemas of the three virtual relations, keyed by relation name.
+var Schemas = map[string][]string{
+	RelDocument: {"url", "title", "text", "length"},
+	RelAnchor:   {"label", "base", "href", "ltype"},
+	RelRelInfon: {"delimiter", "url", "text", "length"},
+}
+
+// Tuple is one row of a virtual relation. All attributes are strings; the
+// numeric length attributes are rendered in decimal and compared
+// numerically by the predicate evaluator when both operands are numeric.
+type Tuple []string
+
+// Relation is an in-memory instance of one virtual relation.
+type Relation struct {
+	Name   string
+	Cols   []string
+	Tuples []Tuple
+}
+
+// Col returns the index of the named column, or -1.
+func (r *Relation) Col(name string) int {
+	for i, c := range r.Cols {
+		if c == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// DB is the temporary in-memory database a query-server constructs for one
+// node evaluation.
+type DB struct {
+	Document *Relation
+	Anchor   *Relation
+	RelInfon *Relation
+}
+
+// Relation returns the named virtual relation, or an error for an unknown
+// name.
+func (db *DB) Relation(name string) (*Relation, error) {
+	switch strings.ToLower(name) {
+	case RelDocument:
+		return db.Document, nil
+	case RelAnchor:
+		return db.Anchor, nil
+	case RelRelInfon:
+		return db.RelInfon, nil
+	}
+	return nil, fmt.Errorf("relmodel: unknown virtual relation %q", name)
+}
+
+// Build is the Database Constructor: a single pass over the analyzed
+// document populates all three virtual relations (paper Section 4.4, item
+// 5). The caller discards the DB when the node-query finishes.
+func Build(doc *htmlx.Document) *DB {
+	db := &DB{
+		Document: &Relation{Name: RelDocument, Cols: Schemas[RelDocument]},
+		Anchor:   &Relation{Name: RelAnchor, Cols: Schemas[RelAnchor]},
+		RelInfon: &Relation{Name: RelRelInfon, Cols: Schemas[RelRelInfon]},
+	}
+	db.Document.Tuples = append(db.Document.Tuples, Tuple{
+		doc.URL, doc.Title, doc.Text, strconv.Itoa(doc.Length),
+	})
+	for _, a := range doc.Anchors {
+		db.Anchor.Tuples = append(db.Anchor.Tuples, Tuple{
+			a.Label, a.Base, a.Href, a.Type.String(),
+		})
+	}
+	for _, r := range doc.Infons {
+		db.RelInfon.Tuples = append(db.RelInfon.Tuples, Tuple{
+			r.Delimiter, doc.URL, r.Text, strconv.Itoa(len(r.Text)),
+		})
+	}
+	return db
+}
+
+// Size returns the total number of tuples across the three relations.
+func (db *DB) Size() int {
+	return len(db.Document.Tuples) + len(db.Anchor.Tuples) + len(db.RelInfon.Tuples)
+}

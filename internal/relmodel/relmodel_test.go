@@ -1,0 +1,103 @@
+package relmodel
+
+import (
+	"strconv"
+	"testing"
+
+	"webdis/internal/htmlx"
+)
+
+const page = `<html><head><title>Test Page</title></head><body>
+Intro text.
+<a href="local.html">Local</a>
+<a href="http://other.example/">Other</a>
+<a href="#sec">Section</a>
+<b>bold infon</b>
+before rule<hr>
+</body></html>`
+
+func buildDB(t *testing.T) *DB {
+	t.Helper()
+	doc, err := htmlx.Parse("http://site.example/index.html", []byte(page))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Build(doc)
+}
+
+func TestBuildDocumentRelation(t *testing.T) {
+	db := buildDB(t)
+	if len(db.Document.Tuples) != 1 {
+		t.Fatalf("document tuples = %v", db.Document.Tuples)
+	}
+	tup := db.Document.Tuples[0]
+	if tup[db.Document.Col("url")] != "http://site.example/index.html" {
+		t.Errorf("url = %q", tup[0])
+	}
+	if tup[db.Document.Col("title")] != "Test Page" {
+		t.Errorf("title = %q", tup[1])
+	}
+	if n, err := strconv.Atoi(tup[db.Document.Col("length")]); err != nil || n != len(page) {
+		t.Errorf("length = %q, want %d", tup[3], len(page))
+	}
+}
+
+func TestBuildAnchorRelation(t *testing.T) {
+	db := buildDB(t)
+	if len(db.Anchor.Tuples) != 3 {
+		t.Fatalf("anchor tuples = %v", db.Anchor.Tuples)
+	}
+	types := map[string]int{}
+	for _, tup := range db.Anchor.Tuples {
+		types[tup[db.Anchor.Col("ltype")]]++
+	}
+	if types["L"] != 1 || types["G"] != 1 || types["I"] != 1 {
+		t.Errorf("ltype histogram = %v", types)
+	}
+}
+
+func TestBuildRelInfonRelation(t *testing.T) {
+	db := buildDB(t)
+	var found bool
+	for _, tup := range db.RelInfon.Tuples {
+		if tup[db.RelInfon.Col("delimiter")] == "hr" {
+			found = true
+			text := tup[db.RelInfon.Col("text")]
+			if n, _ := strconv.Atoi(tup[db.RelInfon.Col("length")]); n != len(text) {
+				t.Errorf("length %q inconsistent with text %q", tup[3], text)
+			}
+			if tup[db.RelInfon.Col("url")] != "http://site.example/index.html" {
+				t.Errorf("url = %q", tup[1])
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no hr rel-infon: %v", db.RelInfon.Tuples)
+	}
+}
+
+func TestRelationLookup(t *testing.T) {
+	db := buildDB(t)
+	for _, name := range []string{"document", "Anchor", "RELINFON"} {
+		if _, err := db.Relation(name); err != nil {
+			t.Errorf("Relation(%q): %v", name, err)
+		}
+	}
+	if _, err := db.Relation("nosuch"); err == nil {
+		t.Error("Relation(nosuch) should fail")
+	}
+	if db.Document.Col("nosuch") != -1 {
+		t.Error("Col(nosuch) should be -1")
+	}
+}
+
+func TestSize(t *testing.T) {
+	db := buildDB(t)
+	want := len(db.Document.Tuples) + len(db.Anchor.Tuples) + len(db.RelInfon.Tuples)
+	if db.Size() != want {
+		t.Errorf("Size = %d, want %d", db.Size(), want)
+	}
+	if db.Size() < 5 {
+		t.Errorf("Size = %d, expected at least 1 doc + 3 anchors + 2 infons", db.Size())
+	}
+}

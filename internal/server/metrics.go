@@ -1,0 +1,87 @@
+package server
+
+import "sync/atomic"
+
+// Metrics counts engine events. One Metrics value is shared by every
+// server of a deployment (and by the client), so a snapshot describes a
+// whole query execution. All fields are atomic; read them with Load.
+type Metrics struct {
+	// Evaluations counts node-query evaluations (ServerRouter visits).
+	Evaluations atomic.Int64
+	// PureRoutes counts visits where no node-query was due (PureRouter).
+	PureRoutes atomic.Int64
+	// DocsParsed counts Database Constructor runs (one per document load).
+	DocsParsed atomic.Int64
+	// DBCacheHits counts evaluations served by a retained database
+	// (Options.CacheDBs, the paper's footnote-3 variant).
+	DBCacheHits atomic.Int64
+	// DeadEnds counts node-queries that found no answer and stopped the
+	// clone.
+	DeadEnds atomic.Int64
+	// DupDropped counts arrivals purged by the Node-query Log Table.
+	DupDropped atomic.Int64
+	// DupRewritten counts superset arrivals processed after the
+	// A*m·B → A·A*(m-1)·B rewrite.
+	DupRewritten atomic.Int64
+	// ClonesForwarded counts clone messages sent to other sites.
+	ClonesForwarded atomic.Int64
+	// LocalClones counts clones passed to the local queue without any
+	// network traffic (destination node on the same site).
+	LocalClones atomic.Int64
+	// ResultMsgs counts result/CHT dispatches to the user-site.
+	ResultMsgs atomic.Int64
+	// Terminated counts clone batches dropped because the result dispatch
+	// failed — the paper's passive termination signal.
+	Terminated atomic.Int64
+	// ForwardFailed counts clone forwards that could not reach their site.
+	ForwardFailed atomic.Int64
+	// Bounced counts undeliverable clones returned to the user-site for
+	// hybrid fallback processing (Section 7.1 migration path).
+	Bounced atomic.Int64
+	// HopsClamped counts forwards suppressed by the MaxHops safety bound.
+	HopsClamped atomic.Int64
+	// DocErrors counts destination nodes whose document could not be
+	// loaded (floating links).
+	DocErrors atomic.Int64
+}
+
+// Snapshot is a plain-integer copy of Metrics.
+type Snapshot struct {
+	Evaluations     int64
+	PureRoutes      int64
+	DocsParsed      int64
+	DBCacheHits     int64
+	DeadEnds        int64
+	DupDropped      int64
+	DupRewritten    int64
+	ClonesForwarded int64
+	LocalClones     int64
+	ResultMsgs      int64
+	Terminated      int64
+	ForwardFailed   int64
+	Bounced         int64
+	HopsClamped     int64
+	DocErrors       int64
+}
+
+// Snapshot returns a consistent-enough copy for reporting (individual
+// loads are atomic; cross-field skew is harmless for counters).
+func (m *Metrics) Snapshot() Snapshot {
+	return Snapshot{
+		Evaluations:     m.Evaluations.Load(),
+		PureRoutes:      m.PureRoutes.Load(),
+		DocsParsed:      m.DocsParsed.Load(),
+		DBCacheHits:     m.DBCacheHits.Load(),
+		DeadEnds:        m.DeadEnds.Load(),
+		DupDropped:      m.DupDropped.Load(),
+		DupRewritten:    m.DupRewritten.Load(),
+		ClonesForwarded: m.ClonesForwarded.Load(),
+		LocalClones:     m.LocalClones.Load(),
+		ResultMsgs:      m.ResultMsgs.Load(),
+		Terminated:      m.Terminated.Load(),
+		ForwardFailed:   m.ForwardFailed.Load(),
+		Bounced:         m.Bounced.Load(),
+		HopsClamped:     m.HopsClamped.Load(),
+		DocErrors:       m.DocErrors.Load(),
+	}
+}

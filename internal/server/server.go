@@ -1,0 +1,647 @@
+// Package server implements the WEBDIS query server: the daemon process
+// that runs at every participating web site, receives web-query clones,
+// evaluates node-queries against locally hosted documents, streams results
+// and CHT updates straight back to the user-site, and forwards the
+// remaining query along matching hyperlinks (paper Sections 2.4–2.8 and
+// the algorithms of Figures 3 and 4).
+//
+// Its components mirror the paper's Section 4.4: a Query Receiver
+// listening on the site's well-known endpoint, a Query Processor draining
+// a queue of pending clones sequentially, Query and Result Dispatchers,
+// and the Database Constructor (in package nodeproc). The Node-query Log
+// Table (Section 3.1.1) suppresses duplicate recomputation.
+//
+// One deliberate refinement over the paper's prose: when the log table
+// purges a duplicate arrival, the server still dispatches a CHT update
+// retiring the dropped entry. The user-site tracks CHT entries as a
+// counting multiset, so "every forwarded clone produces exactly one
+// report" becomes the completion invariant; combined with the paper's
+// CHT-before-forward ordering this makes completion detection sound even
+// when clones race along different paths (see DESIGN.md).
+package server
+
+import (
+	"net"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"webdis/internal/disql"
+	"webdis/internal/netsim"
+	"webdis/internal/nodeproc"
+	"webdis/internal/pre"
+	"webdis/internal/relmodel"
+	"webdis/internal/webgraph"
+	"webdis/internal/wire"
+)
+
+// Suffix appended to a site name to form its query-server endpoint — the
+// analog of the paper's "common pre-specified port number at all sites".
+const Suffix = "/query"
+
+// Endpoint returns the transport endpoint name of site's query server.
+func Endpoint(site string) string { return site + Suffix }
+
+// DocSource supplies the raw content of locally hosted documents.
+// webserver.Host implements it.
+type DocSource interface {
+	Get(url string) ([]byte, error)
+}
+
+// Event is one trace record of the server's processing, consumed by the
+// figure-reproduction experiments and by verbose tools.
+type Event struct {
+	Site   string
+	Node   string
+	State  wire.State
+	Action string // eval, route, dead-end, drop, rewrite, terminated, missing
+	Detail string
+}
+
+// Tracer receives trace events. It must be safe for concurrent use.
+type Tracer func(Event)
+
+// Options configure a Server. The zero value is the paper's design:
+// subsumption dedup, per-site clone batching, no hop bound, no periodic
+// purge.
+type Options struct {
+	// Dedup selects the Node-query Log Table mode. The zero value
+	// (DedupOff == 0 would be wrong as a default) — NewServer treats a
+	// zero Options.Dedup as DedupSubsume unless DedupSet is true.
+	Dedup    nodeproc.DedupMode
+	DedupSet bool // set true to honor Dedup == DedupOff
+	// NoBatch disables per-site clone batching (Section 3.2, item 4):
+	// every destination node gets its own clone message.
+	NoBatch bool
+	// MaxHops, when positive, stops forwarding clones that have already
+	// traversed that many links. It is a safety bound for ablation runs
+	// with dedup off on cyclic webs; the paper's design does not need it.
+	MaxHops int
+	// StrictDeadEnds applies the literal Figure-4 pseudocode: a failed
+	// node-query forwards nothing at all, not even the continuation of
+	// the current PRE. The default (false) follows the paper's worked
+	// examples, which cancel only the advance to the next node-query —
+	// see the nodeproc.StepResult.DeadEnd documentation.
+	StrictDeadEnds bool
+	// Hybrid enables the paper's Section 7.1 migration path: a clone that
+	// cannot be forwarded (its destination site runs no query server) is
+	// bounced back to the user-site, whose fallback processor evaluates
+	// it centrally. Without Hybrid such clones are simply retired.
+	Hybrid bool
+	// Workers is the number of Query Processor goroutines draining the
+	// clone queue. The paper's processor is a single thread that
+	// "sequentially processes the queue of pending web-queries"; that is
+	// the default (0 or 1). Higher values are an ablation of that design
+	// choice — every shared structure (log table, metrics, transport) is
+	// already concurrency-safe.
+	Workers int
+	// CacheDBs retains each node's constructed virtual-relation database
+	// instead of purging it after the node-query (the paper's footnote 3:
+	// a site expecting repeat visits "can choose to retain the associated
+	// database so that the construction cost does not have to be paid
+	// repeatedly"). The default follows the paper's main design: build
+	// per evaluation, purge immediately.
+	CacheDBs bool
+	// LogPurgeAge and LogPurgeEvery enable the paper's periodic log-table
+	// purge when both are positive.
+	LogPurgeAge   time.Duration
+	LogPurgeEvery time.Duration
+	// Trace, when set, receives processing events.
+	Trace Tracer
+}
+
+func (o Options) dedup() nodeproc.DedupMode {
+	if !o.DedupSet && o.Dedup == nodeproc.DedupOff {
+		return nodeproc.DedupSubsume
+	}
+	return o.Dedup
+}
+
+// Server is one site's WEBDIS query server.
+type Server struct {
+	site string
+	docs DocSource
+	tr   netsim.Transport
+	met  *Metrics
+	opts Options
+	log  *nodeproc.LogTable
+
+	queue *cloneQueue
+	// seq numbers the CHT entries this server creates, making each
+	// forwarded clone instance uniquely identifiable (see wire.DestNode).
+	seq atomic.Int64
+
+	// dbCache retains constructed databases when opts.CacheDBs is set.
+	dbMu    sync.Mutex
+	dbCache map[string]*relmodel.DB
+
+	mu   sync.Mutex
+	ln   net.Listener
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// New returns a server for site, reading documents from docs and speaking
+// over tr. met may be shared across servers; it must not be nil.
+func New(site string, docs DocSource, tr netsim.Transport, met *Metrics, opts Options) *Server {
+	return &Server{
+		site:  site,
+		docs:  docs,
+		tr:    tr,
+		met:   met,
+		opts:  opts,
+		log:   nodeproc.NewLogTable(opts.dedup()),
+		queue: newCloneQueue(),
+	}
+}
+
+// Site returns the site this server runs at.
+func (s *Server) Site() string { return s.site }
+
+// LogTable exposes the Node-query Log Table (for tests and experiments).
+func (s *Server) LogTable() *nodeproc.LogTable { return s.log }
+
+// Start begins accepting and processing clones. It returns immediately.
+func (s *Server) Start() error {
+	ln, err := s.tr.Listen(Endpoint(s.site))
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.ln = ln
+	s.stop = make(chan struct{})
+	stop := s.stop
+	s.mu.Unlock()
+
+	// Query Receiver.
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				s.receive(conn)
+			}()
+		}
+	}()
+
+	// Query Processor(s). The paper's design is a single thread draining
+	// the queue sequentially; Options.Workers > 1 is the concurrency
+	// ablation.
+	workers := s.opts.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	for w := 0; w < workers; w++ {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			for {
+				clone, ok := s.queue.pop()
+				if !ok {
+					return
+				}
+				s.handle(clone)
+			}
+		}()
+	}
+
+	if s.opts.LogPurgeAge > 0 && s.opts.LogPurgeEvery > 0 {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			t := time.NewTicker(s.opts.LogPurgeEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					s.log.Purge(s.opts.LogPurgeAge)
+				case <-stop:
+					return
+				}
+			}
+		}()
+	}
+	return nil
+}
+
+// Stop shuts the server down, discarding queued clones.
+func (s *Server) Stop() {
+	s.mu.Lock()
+	ln := s.ln
+	s.ln = nil
+	if s.stop != nil {
+		close(s.stop)
+		s.stop = nil
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	s.queue.close()
+	s.wg.Wait()
+}
+
+// Enqueue hands a clone to the Query Processor directly, bypassing the
+// network: used for same-site forwarding (a clone is only "explicitly
+// forwarded" when the next node lives on a different site) and by tests.
+func (s *Server) Enqueue(c *wire.CloneMsg) { s.queue.push(c) }
+
+// receive drains clone messages from one connection.
+func (s *Server) receive(conn net.Conn) {
+	defer conn.Close()
+	for {
+		msg, err := wire.Receive(conn)
+		if err != nil {
+			return
+		}
+		clone, ok := msg.(*wire.CloneMsg)
+		if !ok {
+			return
+		}
+		s.queue.push(clone)
+	}
+}
+
+func (s *Server) trace(node string, st wire.State, action, detail string) {
+	if s.opts.Trace != nil {
+		s.opts.Trace(Event{Site: s.site, Node: node, State: st, Action: action, Detail: detail})
+	}
+}
+
+// outClone accumulates one outgoing clone during the processing of a
+// received message: all destination nodes at one site that share one
+// query state (Section 3.2, item 4).
+type outClone struct {
+	site  string
+	msg   *wire.CloneMsg
+	dests map[string]bool
+}
+
+// handle processes one received clone message: the process_query
+// algorithm of Figure 3.
+func (s *Server) handle(c *wire.CloneMsg) {
+	stages, err := nodeproc.ParseStages(c.Stages)
+	arrRem, err2 := pre.Parse(c.Rem)
+	if err != nil || err2 != nil || len(stages) == 0 {
+		// A malformed clone cannot be processed, but its CHT entries must
+		// still be retired or the user-site would wait forever.
+		s.retireAll(c)
+		return
+	}
+
+	outs := make(map[string]*outClone)
+	var order []string // deterministic forwarding order
+	var updates []wire.CHTUpdate
+	var tables []wire.NodeTable
+
+	seen := make(map[string]bool)
+	for _, dest := range c.Dest {
+		if seen[dest.URL] {
+			continue
+		}
+		seen[dest.URL] = true
+		upd, tbls := s.processNode(dest, arrRem, stages, c, outs, &order)
+		updates = append(updates, upd)
+		tables = append(tables, tbls...)
+	}
+
+	// Dispatch results and CHT updates to the user-site first; only after
+	// a successful dispatch are clones forwarded (Figure 3, lines 17–20).
+	// A failed dispatch is the passive termination signal: the query is
+	// purged locally.
+	if !s.dispatchResults(c.ID, updates, tables) {
+		s.met.Terminated.Add(1)
+		s.trace("", c.State(), "terminated", "result dispatch failed")
+		return
+	}
+	for _, key := range order {
+		s.forward(outs[key])
+	}
+}
+
+// processNode runs the process() algorithm of Figure 4 for one
+// destination node, accumulating outgoing clones in outs. It returns the
+// node's CHT update and any result tables.
+func (s *Server) processNode(dest wire.DestNode, arrRem pre.Expr, stages []disql.Stage, c *wire.CloneMsg, outs map[string]*outClone, order *[]string) (wire.CHTUpdate, []wire.NodeTable) {
+	node := dest.URL
+	arrival := wire.CHTEntry{
+		Node:   node,
+		State:  wire.State{NumQ: len(stages), Rem: arrRem.String()},
+		Origin: dest.Origin,
+		Seq:    dest.Seq,
+	}
+	update := wire.CHTUpdate{Processed: arrival}
+
+	rem := arrRem
+	envKey := wire.EnvKey(c.Env)
+	verdict := s.log.Check(node, c.ID, len(stages), rem, envKey)
+	switch verdict.Action {
+	case nodeproc.Drop:
+		s.met.DupDropped.Add(1)
+		s.trace(node, arrival.State, "drop", "duplicate arrival")
+		return update, nil
+	case nodeproc.Rewrite:
+		s.met.DupRewritten.Add(1)
+		s.trace(node, arrival.State, "rewrite", rem.String()+" -> "+verdict.Rem.String())
+		rem = verdict.Rem
+	}
+
+	db, err := s.database(node)
+	if err != nil {
+		s.met.DocErrors.Add(1)
+		s.trace(node, arrival.State, "missing", err.Error())
+		return update, nil
+	}
+
+	var tables []wire.NodeTable
+
+	// Work through the arrival state and any stage advances at this same
+	// node (a nullable next PRE means the next node-query also fires
+	// here). Virtual arrivals go through the log table like real ones.
+	type item struct {
+		rem    pre.Expr
+		stages []disql.Stage
+		base   int
+		env    map[string]string
+	}
+	work := []item{{rem, stages, c.Base, c.Env}}
+	first := true
+	for len(work) > 0 {
+		it := work[0]
+		work = work[1:]
+		st := wire.State{NumQ: len(it.stages), Rem: it.rem.String()}
+		isVirtual := !first
+		first = false
+		if isVirtual {
+			v := s.log.Check(node, c.ID, len(it.stages), it.rem, wire.EnvKey(it.env))
+			switch v.Action {
+			case nodeproc.Drop:
+				s.met.DupDropped.Add(1)
+				s.trace(node, st, "drop", "virtual duplicate")
+				continue
+			case nodeproc.Rewrite:
+				s.met.DupRewritten.Add(1)
+				it.rem = v.Rem
+			}
+		}
+
+		res, err := nodeproc.Step(db, node, it.rem, it.stages[0], len(it.stages) > 1, it.env)
+		if err != nil {
+			s.trace(node, st, "error", err.Error())
+			continue
+		}
+		if res.Evaluated {
+			s.met.Evaluations.Add(1)
+			if res.DeadEnd {
+				s.met.DeadEnds.Add(1)
+				s.trace(node, st, "dead-end", "no answer")
+				if s.opts.StrictDeadEnds {
+					continue
+				}
+			} else {
+				s.trace(node, st, "eval", "answered q"+strconv.Itoa(it.base+1))
+			}
+			if len(it.stages[0].Query.Select) > 0 && !res.Table.Empty() {
+				tables = append(tables, wire.NodeTable{
+					Node: node, Stage: it.base,
+					Cols: res.Table.Cols, Rows: res.Table.Rows,
+				})
+			}
+		} else {
+			s.met.PureRoutes.Add(1)
+			detail := ""
+			if isVirtual {
+				detail = "virtual" // a stage advance at this node, not a clone arrival
+			}
+			s.trace(node, st, "route", detail)
+		}
+
+		if s.opts.MaxHops > 0 && c.Hops >= s.opts.MaxHops {
+			if len(res.Continue) > 0 || res.Advance {
+				s.met.HopsClamped.Add(1)
+				s.trace(node, st, "clamped", "hop bound reached")
+			}
+			if res.Advance {
+				// Stage advance happens at the same node (no hop), so it
+				// is still allowed.
+				work = append(work, item{it.stages[1].PRE, it.stages[1:], it.base + 1,
+					nodeproc.ExtendEnv(it.env, it.stages[0], db)})
+			}
+			continue
+		}
+		for _, f := range res.Continue {
+			update.Children = append(update.Children,
+				s.addTargets(outs, order, f, it.stages, it.base, it.env, c)...)
+		}
+		if res.Advance {
+			work = append(work, item{it.stages[1].PRE, it.stages[1:], it.base + 1,
+				nodeproc.ExtendEnv(it.env, it.stages[0], db)})
+		}
+	}
+	return update, tables
+}
+
+// addTargets merges one Forward into the per-(site, state) outgoing
+// clones and returns the CHT child entries for the targets newly added.
+func (s *Server) addTargets(outs map[string]*outClone, order *[]string, f nodeproc.Forward, stages []disql.Stage, base int, env map[string]string, c *wire.CloneMsg) []wire.CHTEntry {
+	state := wire.State{NumQ: len(stages), Rem: f.Rem.String()}
+	envKey := wire.EnvKey(env)
+	var children []wire.CHTEntry
+	for i, tgt := range f.Targets {
+		site := webgraph.Host(tgt.URL)
+		key := site + "§" + state.Key() + "§" + envKey
+		if s.opts.NoBatch {
+			key = tgt.URL + "§" + state.Key() + "§" + envKey + "§" + strconv.Itoa(i)
+		}
+		oc := outs[key]
+		if oc == nil {
+			oc = &outClone{
+				site: site,
+				msg: &wire.CloneMsg{
+					ID:     c.ID,
+					Rem:    f.Rem.String(),
+					Base:   base,
+					Stages: nodeproc.EncodeStages(stages),
+					Hops:   c.Hops + 1,
+					Env:    env,
+				},
+				dests: make(map[string]bool),
+			}
+			outs[key] = oc
+			*order = append(*order, key)
+		}
+		if oc.dests[tgt.URL] {
+			continue // already forwarded in this batch with this state
+		}
+		oc.dests[tgt.URL] = true
+		dest := wire.DestNode{URL: tgt.URL, Origin: Endpoint(s.site), Seq: s.seq.Add(1)}
+		oc.msg.Dest = append(oc.msg.Dest, dest)
+		children = append(children, wire.CHTEntry{
+			Node: tgt.URL, State: state, Origin: dest.Origin, Seq: dest.Seq,
+		})
+	}
+	return children
+}
+
+// database returns the node's virtual relations: the paper's Database
+// Constructor, building per evaluation and purging immediately, or — with
+// Options.CacheDBs, the paper's footnote-3 variant — retaining the
+// constructed database for repeat visits.
+func (s *Server) database(node string) (*relmodel.DB, error) {
+	if s.opts.CacheDBs {
+		s.dbMu.Lock()
+		if db, ok := s.dbCache[node]; ok {
+			s.dbMu.Unlock()
+			s.met.DBCacheHits.Add(1)
+			return db, nil
+		}
+		s.dbMu.Unlock()
+	}
+	content, err := s.docs.Get(node)
+	if err != nil {
+		return nil, err
+	}
+	db, err := nodeproc.BuildDB(node, content)
+	if err != nil {
+		return nil, err
+	}
+	s.met.DocsParsed.Add(1)
+	if s.opts.CacheDBs {
+		s.dbMu.Lock()
+		if s.dbCache == nil {
+			s.dbCache = make(map[string]*relmodel.DB)
+		}
+		s.dbCache[node] = db
+		s.dbMu.Unlock()
+	}
+	return db, nil
+}
+
+// dispatchResults sends the batched results and CHT updates to the
+// user-site's Result Collector. It reports success; failure means the
+// user-site is gone (query cancelled) and the query must be purged.
+func (s *Server) dispatchResults(id wire.QueryID, updates []wire.CHTUpdate, tables []wire.NodeTable) bool {
+	if len(updates) == 0 && len(tables) == 0 {
+		return true
+	}
+	conn, err := s.tr.Dial(Endpoint(s.site), id.Site)
+	if err != nil {
+		return false
+	}
+	defer conn.Close()
+	msg := &wire.ResultMsg{ID: id, Updates: updates, Tables: tables}
+	if err := wire.Send(conn, msg); err != nil {
+		return false
+	}
+	s.met.ResultMsgs.Add(1)
+	return true
+}
+
+// forward ships one outgoing clone: same-site clones go straight onto the
+// local queue, remote clones over the transport. A failed remote forward
+// retires the affected CHT entries so the user-site does not wait on
+// clones that never arrived.
+func (s *Server) forward(oc *outClone) {
+	sort.Slice(oc.msg.Dest, func(i, j int) bool { return oc.msg.Dest[i].URL < oc.msg.Dest[j].URL })
+	if oc.site == s.site {
+		s.met.LocalClones.Add(1)
+		s.Enqueue(oc.msg)
+		return
+	}
+	conn, err := s.tr.Dial(Endpoint(s.site), Endpoint(oc.site))
+	if err == nil {
+		err = wire.Send(conn, oc.msg)
+		conn.Close()
+	}
+	if err != nil {
+		if s.opts.Hybrid && s.bounce(oc.msg) {
+			s.met.Bounced.Add(1)
+			s.trace("", oc.msg.State(), "bounce", oc.site)
+			return
+		}
+		s.met.ForwardFailed.Add(1)
+		s.trace("", oc.msg.State(), "forward-failed", oc.site)
+		s.retireAll(oc.msg)
+		return
+	}
+	s.met.ClonesForwarded.Add(1)
+}
+
+// bounce returns an undeliverable clone to the user-site for central
+// fallback processing. The clone's CHT entries stay live; the user-site
+// retires them as it processes the bounced destinations.
+func (s *Server) bounce(c *wire.CloneMsg) bool {
+	conn, err := s.tr.Dial(Endpoint(s.site), c.ID.Site)
+	if err != nil {
+		return false
+	}
+	defer conn.Close()
+	return wire.Send(conn, &wire.BounceMsg{Clone: c}) == nil
+}
+
+// retireAll dispatches CHT retirements for every destination of a clone
+// that will never be processed.
+func (s *Server) retireAll(c *wire.CloneMsg) {
+	st := c.State()
+	updates := make([]wire.CHTUpdate, 0, len(c.Dest))
+	for _, dest := range c.Dest {
+		updates = append(updates, wire.CHTUpdate{Processed: wire.CHTEntry{
+			Node: dest.URL, State: st, Origin: dest.Origin, Seq: dest.Seq,
+		}})
+	}
+	s.dispatchResults(c.ID, updates, nil)
+}
+
+// cloneQueue is the Query Processor's unbounded FIFO of pending clones.
+// It must be unbounded because the processor enqueues same-site clones
+// while processing — a bounded channel would deadlock on self-forwarding.
+type cloneQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []*wire.CloneMsg
+	closed bool
+}
+
+func newCloneQueue() *cloneQueue {
+	q := &cloneQueue{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+func (q *cloneQueue) push(c *wire.CloneMsg) {
+	q.mu.Lock()
+	if !q.closed {
+		q.items = append(q.items, c)
+		q.cond.Signal()
+	}
+	q.mu.Unlock()
+}
+
+func (q *cloneQueue) pop() (*wire.CloneMsg, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if q.closed {
+		return nil, false
+	}
+	c := q.items[0]
+	q.items = q.items[1:]
+	return c, true
+}
+
+func (q *cloneQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}

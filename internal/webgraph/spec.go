@@ -1,0 +1,97 @@
+package webgraph
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// FromSpec builds a web from a compact textual specification, used by the
+// command-line tools:
+//
+//	campus                         the Section-5 campus web
+//	figure1, figure5               the paper's worked examples
+//	tree:f=3,d=4,pps=4,marker=0.1  complete tree (fanout, depth, pages/site)
+//	random:s=8,pps=4,lo=2,go=2,marker=0.3
+//	powerlaw:n=100,pps=2,out=2,marker=0.2  preferential-attachment web
+//	chain:n=20,pps=2
+//	grid:c=6,r=6
+//
+// seed applies to the generators that take one.
+func FromSpec(spec string, seed int64) (*Web, error) {
+	name, args, _ := strings.Cut(spec, ":")
+	params, err := parseParams(args)
+	if err != nil {
+		return nil, err
+	}
+	geti := func(key string, def int) int {
+		if v, ok := params[key]; ok {
+			n, _ := strconv.Atoi(v)
+			return n
+		}
+		return def
+	}
+	getf := func(key string, def float64) float64 {
+		if v, ok := params[key]; ok {
+			f, _ := strconv.ParseFloat(v, 64)
+			return f
+		}
+		return def
+	}
+	switch name {
+	case "campus":
+		return Campus(), nil
+	case "figure1":
+		return Figure1(), nil
+	case "figure5":
+		return Figure5(), nil
+	case "tree":
+		return Tree(TreeOpts{
+			Fanout:       geti("f", 3),
+			Depth:        geti("d", 4),
+			PagesPerSite: geti("pps", 4),
+			MarkerFrac:   getf("marker", 0.1),
+			FillerWords:  geti("words", 0),
+			Seed:         seed,
+		}), nil
+	case "random":
+		return Random(RandomOpts{
+			Sites:        geti("s", 8),
+			PagesPerSite: geti("pps", 4),
+			LocalOut:     geti("lo", 2),
+			GlobalOut:    geti("go", 2),
+			MarkerFrac:   getf("marker", 0.3),
+			FillerWords:  geti("words", 0),
+			Seed:         seed,
+		}), nil
+	case "powerlaw":
+		return PowerLaw(PowerLawOpts{
+			Pages:        geti("n", 100),
+			PagesPerSite: geti("pps", 2),
+			OutLinks:     geti("out", 2),
+			MarkerFrac:   getf("marker", 0.2),
+			FillerWords:  geti("words", 0),
+			Seed:         seed,
+		}), nil
+	case "chain":
+		return Chain(geti("n", 20), geti("pps", 1), seed), nil
+	case "grid":
+		return Grid(geti("c", 6), geti("r", 6), seed), nil
+	}
+	return nil, fmt.Errorf("webgraph: unknown web spec %q (campus, figure1, figure5, tree, random, powerlaw, chain, grid)", name)
+}
+
+func parseParams(args string) (map[string]string, error) {
+	out := make(map[string]string)
+	if args == "" {
+		return out, nil
+	}
+	for _, kv := range strings.Split(args, ",") {
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok || k == "" {
+			return nil, fmt.Errorf("webgraph: bad spec parameter %q", kv)
+		}
+		out[k] = v
+	}
+	return out, nil
+}

@@ -1,0 +1,64 @@
+package webgraph
+
+import "testing"
+
+func TestFromSpec(t *testing.T) {
+	cases := []struct {
+		spec  string
+		pages int
+		sites int
+	}{
+		{"campus", 15, 6},
+		{"figure1", 8, 6},
+		{"figure5", 7, 7},
+		{"tree:f=2,d=2,pps=2", 7, 4},
+		{"random:s=3,pps=2,lo=1,go=1", 6, 3},
+		{"chain:n=6,pps=3", 6, 2},
+		{"grid:c=2,r=3", 6, 2},
+	}
+	for _, c := range cases {
+		w, err := FromSpec(c.spec, 1)
+		if err != nil {
+			t.Fatalf("FromSpec(%q): %v", c.spec, err)
+		}
+		if w.NumPages() != c.pages || w.NumSites() != c.sites {
+			t.Errorf("FromSpec(%q): pages=%d sites=%d, want %d/%d",
+				c.spec, w.NumPages(), w.NumSites(), c.pages, c.sites)
+		}
+	}
+}
+
+func TestFromSpecDefaults(t *testing.T) {
+	w, err := FromSpec("tree", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.NumPages() != 1+3+9+27+81 {
+		t.Errorf("default tree pages = %d", w.NumPages())
+	}
+}
+
+func TestFromSpecErrors(t *testing.T) {
+	for _, spec := range []string{"nosuch", "tree:banana", "tree:=3"} {
+		if _, err := FromSpec(spec, 1); err == nil {
+			t.Errorf("FromSpec(%q) should fail", spec)
+		}
+	}
+}
+
+func TestFromSpecSeedMatters(t *testing.T) {
+	a, _ := FromSpec("random:s=3,pps=3", 1)
+	b, _ := FromSpec("random:s=3,pps=3", 2)
+	same := true
+	for _, u := range a.URLs() {
+		ha, _ := a.HTML(u)
+		hb, ok := b.HTML(u)
+		if !ok || string(ha) != string(hb) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds should generate different webs")
+	}
+}

@@ -1,0 +1,478 @@
+package webgraph
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// First returns the first page added to the web — every generator adds its
+// natural start node first, so this is the conventional StartNode.
+func (w *Web) First() string {
+	if len(w.hosts) == 0 {
+		return ""
+	}
+	return w.sites[w.hosts[0]][0]
+}
+
+// ---------------------------------------------------------------------------
+// Figure 1: the traversal-roles example of Section 2.5.
+//
+// Query Q = S G·(G|L) q1 (G|L) q2 visits nodes {1..8}: 1, 2, 3 act as
+// PureRouters, 4–8 as ServerRouters; node 4 acts twice (once for q1 and
+// once for q2); node 7 fails q1 and becomes a dead end; node 8 is reached
+// from both 4 and 6 in the same state, so the second arrival is a
+// duplicate.
+
+// Figure-1 node URLs, indexed 1..8 (index 0 unused).
+var Figure1Nodes = []string{
+	"",
+	"http://s1.example/n1.html",
+	"http://s2.example/n2.html",
+	"http://s3.example/n3.html",
+	"http://s4.example/n4.html",
+	"http://s2.example/n5.html", // local sibling of n2
+	"http://s5.example/n6.html",
+	"http://s3.example/n7.html", // local sibling of n3
+	"http://s6.example/n8.html",
+}
+
+// Figure1Start is the StartNode S of the Figure-1 example.
+const Figure1Start = "http://s1.example/n1.html"
+
+// Figure1DISQL is the Figure-1 example as a DISQL query.
+const Figure1DISQL = `
+select d1.url, d2.url
+from document d1 such that "http://s1.example/n1.html" G·(G|L) d1,
+where d1.text contains "q1-answer"
+     document d2 such that d1 (G|L) d2
+where d2.text contains "q2-answer"`
+
+// Figure1 builds the eight-node web of the paper's Figure 1.
+func Figure1() *Web {
+	w := NewWeb()
+	r := rand.New(rand.NewSource(1))
+	n := Figure1Nodes
+	mk := func(i int, markers ...string) *Page {
+		p := w.NewPage(n[i], fmt.Sprintf("Figure 1 node %d", i))
+		for _, m := range markers {
+			p.AddText("This node holds the token " + m + ".")
+		}
+		addFiller(p, r, 80)
+		return p
+	}
+	p1 := mk(1)
+	p1.AddLink(n[2], "to node 2")
+	p1.AddLink(n[3], "to node 3")
+	p2 := mk(2)
+	p2.AddLink(n[4], "to node 4")
+	p2.AddLink("n5.html", "to node 5") // local
+	p3 := mk(3)
+	p3.AddLink(n[6], "to node 6")
+	p3.AddLink("n7.html", "to node 7") // local
+	p4 := mk(4, "q1-answer", "q2-answer")
+	p4.AddLink(n[8], "to node 8")
+	p5 := mk(5, "q1-answer")
+	p5.AddLink(n[4], "to node 4")
+	p6 := mk(6, "q1-answer")
+	p6.AddLink(n[8], "to node 8")
+	mk(7) // no markers: dead end for q1
+	mk(8, "q2-answer")
+	return w
+}
+
+// ---------------------------------------------------------------------------
+// Figure 5: the duplicate-arrivals example of Section 3.1.
+//
+// Under the same query shape Q = S G·(G|L) q1 (G|L) q2, node X receives
+// five clone arrivals: a in state (2, G|L), b in state (2, N), and c, d, e
+// all in state (1, N). With the Node-query Log Table enabled, a, b and c
+// are processed and d, e are purged as duplicates — exactly the paper's
+// "evaluating q1 is mandatory in b, a waste in c, d, e".
+
+// Figure-5 named node URLs.
+const (
+	Figure5Start = "http://f5s.example/start.html"
+	Figure5Hub   = "http://f5a.example/hub.html"
+	Figure5X     = "http://f5x.example/x.html" // the multiply-visited node
+	Figure5T     = "http://f5t.example/t.html"
+)
+
+// Figure5DISQL is the Figure-5 example as a DISQL query.
+const Figure5DISQL = `
+select d1.url, d2.url
+from document d1 such that "http://f5s.example/start.html" G·(G|L) d1,
+where d1.text contains "q1-answer"
+     document d2 such that d1 (G|L) d2
+where d2.text contains "q2-answer"`
+
+// Figure5 builds the web of the paper's Figure 5.
+func Figure5() *Web {
+	w := NewWeb()
+	r := rand.New(rand.NewSource(5))
+	feeders := []string{
+		"http://f5p1.example/p.html",
+		"http://f5p2.example/p.html",
+		"http://f5p3.example/p.html",
+	}
+	s := w.NewPage(Figure5Start, "Figure 5 start")
+	addFiller(s, r, 60)
+	s.AddLink(Figure5X, "direct to X") // arrival a: state (2, G|L)
+	s.AddLink(Figure5Hub, "to hub")
+
+	hub := w.NewPage(Figure5Hub, "Figure 5 hub")
+	addFiller(hub, r, 60)
+	hub.AddLink(Figure5X, "hub to X") // arrival b: state (2, N)
+	for i, f := range feeders {
+		hub.AddLink(f, fmt.Sprintf("to feeder %d", i+1))
+	}
+
+	for i, f := range feeders {
+		p := w.NewPage(f, fmt.Sprintf("Figure 5 feeder %d", i+1))
+		p.AddText("This node holds the token q1-answer.")
+		addFiller(p, r, 60)
+		p.AddLink(Figure5X, "feeder to X") // arrivals c, d, e: state (1, N)
+	}
+
+	x := w.NewPage(Figure5X, "Figure 5 node X")
+	x.AddText("This node holds the token q1-answer.")
+	x.AddText("This node holds the token q2-answer.")
+	addFiller(x, r, 60)
+	x.AddLink(Figure5T, "to T")
+
+	tp := w.NewPage(Figure5T, "Figure 5 node T")
+	tp.AddText("This node holds the token q2-answer.")
+	addFiller(tp, r, 60)
+	return w
+}
+
+// ---------------------------------------------------------------------------
+// Campus: the Section 5 sample execution (Figures 7 and 8): the CSA
+// department web with a laboratories page linking to lab sites whose
+// people pages name a convener above a horizontal rule.
+
+// Campus web landmark URLs.
+const (
+	CampusStart = "http://csa.iisc.ernet.in/index.html"
+	CampusLabs  = "http://csa.iisc.ernet.in/Labs/index.html"
+)
+
+// CampusDISQL is the paper's Example Query 2 adapted to the generated
+// campus web: find the laboratories page one local link from the CSA
+// homepage, then the convener of each lab within one global plus at most
+// one local link, reading the rel-infon delimited by a horizontal rule.
+const CampusDISQL = `
+select d0.url, d1.url, r.text
+from document d0 such that "http://csa.iisc.ernet.in/index.html" L d0,
+where d0.title contains "lab"
+     document d1 such that d0 G·(L*1) d1,
+     relinfon r such that r.delimiter = "hr",
+where (r.text contains "convener")
+`
+
+// CampusConveners maps each lab page that answers the campus query to the
+// convener line its hr rel-infon carries — the expected Figure-8 rows.
+var CampusConveners = map[string]string{
+	"http://dsl.serc.iisc.ernet.in/people.html":         "CONVENER Jayant Haritsa",
+	"http://www-compiler.csa.iisc.ernet.in/people.html": "Convener Prof. Y.N. Srikant",
+	"http://www2.csa.iisc.ernet.in/~gang/lab.html":      "Convener : Prof. D. K. Subramanian",
+}
+
+// Campus builds the campus web of the paper's Section 5.
+func Campus() *Web {
+	w := NewWeb()
+	r := rand.New(rand.NewSource(7))
+
+	// CSA department site.
+	home := w.NewPage(CampusStart, "Department of Computer Science and Automation")
+	home.AddText("Welcome to the CSA department of the Indian Institute of Science.")
+	addFiller(home, r, 600)
+	home.AddLink("/Labs/index.html", "Laboratories")
+	home.AddLink("/people.html", "Faculty and Staff")
+	home.AddLink("/courses.html", "Courses")
+	home.AddLink("/admissions.html", "Admissions")
+	home.AddLink("http://www.iisc.ernet.in/index.html", "IISc")
+
+	labs := w.NewPage(CampusLabs, "Laboratories of the CSA Department")
+	labs.AddText("The department hosts several research laboratories.")
+	addFiller(labs, r, 400)
+	labs.AddLink("http://dsl.serc.iisc.ernet.in/index.html", "Database Systems Lab")
+	labs.AddLink("http://www-compiler.csa.iisc.ernet.in/index.html", "Compiler Lab")
+	labs.AddLink("http://www2.csa.iisc.ernet.in/~gang/lab.html", "System Software Lab")
+	labs.AddLink("http://archit.csa.iisc.ernet.in/index.html", "Architecture Lab")
+	labs.AddLink("http://www.iisc.ernet.in/index.html", "Institute homepage")
+
+	for _, pg := range []struct{ path, title string }{
+		{"/people.html", "CSA Faculty and Staff"},
+		{"/courses.html", "CSA Courses"},
+		{"/admissions.html", "CSA Admissions"},
+	} {
+		p := w.NewPage("http://csa.iisc.ernet.in"+pg.path, pg.title)
+		addFiller(p, r, 700)
+		p.AddLink("/index.html", "CSA home")
+	}
+
+	// Database Systems Lab: convener on the people page, one local link in.
+	dsl := w.NewPage("http://dsl.serc.iisc.ernet.in/index.html", "Database Systems Lab")
+	dsl.AddText("The DSL studies database systems for web and transaction workloads.")
+	addFiller(dsl, r, 550)
+	dsl.AddLink("/people.html", "People")
+	dsl.AddLink("/projects.html", "Projects")
+	dslPeople := w.NewPage("http://dsl.serc.iisc.ernet.in/people.html", "Database Systems Lab People")
+	dslPeople.AddText("Members of the laboratory are listed below.")
+	dslPeople.AddText("CONVENER Jayant Haritsa")
+	dslPeople.AddRule()
+	addFiller(dslPeople, r, 450)
+	dslProjects := w.NewPage("http://dsl.serc.iisc.ernet.in/projects.html", "DSL Projects")
+	addFiller(dslProjects, r, 500)
+
+	// Compiler Lab: same shape.
+	comp := w.NewPage("http://www-compiler.csa.iisc.ernet.in/index.html", "Students of the Compiler Lab at IISc")
+	addFiller(comp, r, 550)
+	comp.AddLink("/people.html", "People")
+	compPeople := w.NewPage("http://www-compiler.csa.iisc.ernet.in/people.html", "Compiler Lab People")
+	compPeople.AddText("Convener Prof. Y.N. Srikant")
+	compPeople.AddRule()
+	addFiller(compPeople, r, 450)
+
+	// System Software Lab: convener directly on the lab homepage (zero
+	// local links — exercises the L*1 lower bound).
+	ssl := w.NewPage("http://www2.csa.iisc.ernet.in/~gang/lab.html", "HOMEPAGE: SYSTEM SOFTWARE LAB")
+	ssl.AddText("Convener : Prof. D. K. Subramanian")
+	ssl.AddRule()
+	addFiller(ssl, r, 550)
+
+	// Architecture Lab: no convener anywhere — a stage-2 dead end.
+	archit := w.NewPage("http://archit.csa.iisc.ernet.in/index.html", "Computer Architecture Lab")
+	addFiller(archit, r, 550)
+	archit.AddLink("/members.html", "Members")
+	architMembers := w.NewPage("http://archit.csa.iisc.ernet.in/members.html", "Architecture Lab Members")
+	addFiller(architMembers, r, 450)
+
+	// Institute homepage: not a lab, no convener.
+	iisc := w.NewPage("http://www.iisc.ernet.in/index.html", "Indian Institute of Science")
+	addFiller(iisc, r, 800)
+	iisc.AddLink("/depts.html", "Departments")
+	iiscDepts := w.NewPage("http://www.iisc.ernet.in/depts.html", "IISc Departments")
+	addFiller(iiscDepts, r, 500)
+	iiscDepts.AddLink("http://csa.iisc.ernet.in/index.html", "CSA")
+	return w
+}
+
+// ---------------------------------------------------------------------------
+// Parameterized families.
+
+// TreeOpts configure the Tree generator.
+type TreeOpts struct {
+	Fanout       int     // children per page
+	Depth        int     // link distance from the root to the leaves
+	PagesPerSite int     // consecutive pages grouped onto one host
+	MarkerFrac   float64 // fraction of pages carrying the Marker token
+	FillerWords  int     // filler words per page (0 means 100)
+	Seed         int64
+}
+
+// Tree builds a complete Fanout-ary tree of pages rooted at the first
+// page. Parent→child links are local when both pages share a host and
+// global otherwise.
+func Tree(o TreeOpts) *Web {
+	if o.PagesPerSite <= 0 {
+		o.PagesPerSite = 1
+	}
+	if o.FillerWords == 0 {
+		o.FillerWords = 100
+	}
+	total := 1
+	width := 1
+	for d := 0; d < o.Depth; d++ {
+		width *= o.Fanout
+		total += width
+	}
+	w := NewWeb()
+	r := rand.New(rand.NewSource(o.Seed))
+	urls := make([]string, total)
+	for i := 0; i < total; i++ {
+		urls[i] = fmt.Sprintf("http://t%d.example/p%d.html", i/o.PagesPerSite, i)
+	}
+	for i := 0; i < total; i++ {
+		p := w.NewPage(urls[i], fmt.Sprintf("Tree page %d", i))
+		if r.Float64() < o.MarkerFrac {
+			p.AddText("This page holds the token " + Marker + ".")
+		}
+		addFiller(p, r, o.FillerWords)
+		for c := o.Fanout*i + 1; c <= o.Fanout*i+o.Fanout && c < total; c++ {
+			p.AddLink(urls[c], fmt.Sprintf("child %d", c))
+		}
+	}
+	return w
+}
+
+// RandomOpts configure the Random generator.
+type RandomOpts struct {
+	Sites        int
+	PagesPerSite int
+	LocalOut     int     // extra local links per page
+	GlobalOut    int     // extra global links per page
+	MarkerFrac   float64 // fraction of pages carrying the Marker token
+	FillerWords  int     // filler words per page (0 means 100)
+	Seed         int64
+}
+
+// Random builds a strongly cross-linked random web: a spanning structure
+// guarantees every page is reachable from the first, and extra local and
+// global links create the multiple arrival paths that exercise the
+// Node-query Log Table.
+func Random(o RandomOpts) *Web {
+	if o.FillerWords == 0 {
+		o.FillerWords = 100
+	}
+	total := o.Sites * o.PagesPerSite
+	w := NewWeb()
+	r := rand.New(rand.NewSource(o.Seed))
+	urls := make([]string, total)
+	for i := 0; i < total; i++ {
+		urls[i] = fmt.Sprintf("http://r%d.example/p%d.html", i/o.PagesPerSite, i)
+	}
+	pages := make([]*Page, total)
+	for i := 0; i < total; i++ {
+		pages[i] = w.NewPage(urls[i], fmt.Sprintf("Random page %d", i))
+		if r.Float64() < o.MarkerFrac {
+			pages[i].AddText("This page holds the token " + Marker + ".")
+		}
+		addFiller(pages[i], r, o.FillerWords)
+	}
+	// Spanning links: page i is linked from a random earlier page.
+	for i := 1; i < total; i++ {
+		src := r.Intn(i)
+		pages[src].AddLink(urls[i], fmt.Sprintf("span %d", i))
+	}
+	// Extra links.
+	for i := 0; i < total; i++ {
+		site := i / o.PagesPerSite
+		for k := 0; k < o.LocalOut && o.PagesPerSite > 1; k++ {
+			j := site*o.PagesPerSite + r.Intn(o.PagesPerSite)
+			if j != i {
+				pages[i].AddLink(urls[j], fmt.Sprintf("local %d", j))
+			}
+		}
+		for k := 0; k < o.GlobalOut && o.Sites > 1; k++ {
+			j := r.Intn(total)
+			if j/o.PagesPerSite != site {
+				pages[i].AddLink(urls[j], fmt.Sprintf("global %d", j))
+			}
+		}
+	}
+	return w
+}
+
+// Chain builds a linear web of n pages, a new host every pagesPerSite
+// pages: page i links to page i+1. Useful for depth-proportional
+// experiments such as termination mid-flight.
+func Chain(n, pagesPerSite int, seed int64) *Web {
+	if pagesPerSite <= 0 {
+		pagesPerSite = 1
+	}
+	w := NewWeb()
+	r := rand.New(rand.NewSource(seed))
+	urls := make([]string, n)
+	for i := 0; i < n; i++ {
+		urls[i] = fmt.Sprintf("http://c%d.example/p%d.html", i/pagesPerSite, i)
+	}
+	for i := 0; i < n; i++ {
+		p := w.NewPage(urls[i], fmt.Sprintf("Chain page %d", i))
+		addFiller(p, r, 80)
+		if i+1 < n {
+			p.AddLink(urls[i+1], "next")
+		}
+	}
+	return w
+}
+
+// Grid builds a w×h lattice: each column is one host, so downward links
+// are local and rightward links are global. Pages have two in-edges,
+// creating systematic duplicate arrivals for the batching and dedup
+// experiments.
+func Grid(cols, rows int, seed int64) *Web {
+	w := NewWeb()
+	r := rand.New(rand.NewSource(seed))
+	url := func(x, y int) string {
+		return fmt.Sprintf("http://g%d.example/p%d.html", x, y)
+	}
+	for x := 0; x < cols; x++ {
+		for y := 0; y < rows; y++ {
+			p := w.NewPage(url(x, y), fmt.Sprintf("Grid page %d,%d", x, y))
+			addFiller(p, r, 60)
+			if x+1 < cols {
+				p.AddLink(url(x+1, y), "right")
+			}
+			if y+1 < rows {
+				p.AddLink(url(x, y+1), "down")
+			}
+		}
+	}
+	return w
+}
+
+// PowerLawOpts configure the PowerLaw generator.
+type PowerLawOpts struct {
+	Pages        int
+	PagesPerSite int
+	OutLinks     int     // links added per new page (preferential targets)
+	MarkerFrac   float64 // fraction of pages carrying the Marker token
+	FillerWords  int     // filler words per page (0 means 100)
+	Seed         int64
+}
+
+// PowerLaw builds a web by preferential attachment, the process behind
+// the real Web's heavy-tailed in-degree distribution (observed already in
+// the late 1990s): each new page links to OutLinks existing pages chosen
+// proportionally to their current in-degree, and receives one link from a
+// random earlier page so everything stays reachable from the first page.
+// Hub pages therefore receive many arrivals — the traversal profile the
+// Node-query Log Table exists for.
+func PowerLaw(o PowerLawOpts) *Web {
+	if o.PagesPerSite <= 0 {
+		o.PagesPerSite = 1
+	}
+	if o.OutLinks <= 0 {
+		o.OutLinks = 2
+	}
+	if o.FillerWords == 0 {
+		o.FillerWords = 100
+	}
+	w := NewWeb()
+	r := rand.New(rand.NewSource(o.Seed))
+	urls := make([]string, o.Pages)
+	for i := range urls {
+		urls[i] = fmt.Sprintf("http://pl%d.example/p%d.html", i/o.PagesPerSite, i)
+	}
+	pages := make([]*Page, o.Pages)
+	// endpoints repeats each page once per in-link, so a uniform draw is a
+	// degree-proportional draw (the standard attachment trick).
+	var endpoints []int
+	for i := 0; i < o.Pages; i++ {
+		pages[i] = w.NewPage(urls[i], fmt.Sprintf("Hub web page %d", i))
+		if r.Float64() < o.MarkerFrac {
+			pages[i].AddText("This page holds the token " + Marker + ".")
+		}
+		addFiller(pages[i], r, o.FillerWords)
+		if i == 0 {
+			continue
+		}
+		// Reachability: a random earlier page links to the newcomer.
+		src := r.Intn(i)
+		pages[src].AddLink(urls[i], fmt.Sprintf("new %d", i))
+		endpoints = append(endpoints, i)
+		// Preferential out-links from the newcomer.
+		seen := map[int]bool{i: true}
+		for k := 0; k < o.OutLinks && len(endpoints) > 0; k++ {
+			tgt := endpoints[r.Intn(len(endpoints))]
+			if seen[tgt] {
+				continue
+			}
+			seen[tgt] = true
+			pages[i].AddLink(urls[tgt], fmt.Sprintf("hub %d", tgt))
+			endpoints = append(endpoints, tgt)
+		}
+	}
+	return w
+}

@@ -1,0 +1,278 @@
+// Package webgraph generates synthetic webs: sets of HTML documents
+// organized into sites (hosts) and connected by interior, local and global
+// hyperlinks. It substitutes for the live campus web the WEBDIS paper ran
+// on — the engine consumes exactly what it consumed there, HTML bytes
+// addressable by URL and partitioned by host.
+//
+// Besides parameterized families (Tree, Random, Chain, Grid) the package
+// provides three fixed topologies that reproduce the paper's worked
+// examples: Figure1 (the traversal-roles example of Section 2.5), Figure5
+// (the duplicate-arrivals example of Section 3.1) and Campus (the IISc
+// department web of the Section 5 sample execution, Figures 7 and 8).
+package webgraph
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// ItemKind identifies one content element of a generated page.
+type ItemKind int
+
+// Content element kinds.
+const (
+	Text    ItemKind = iota // a paragraph
+	Bold                    // a <b> rel-infon
+	Heading                 // an <h2> rel-infon
+	Rule                    // an <hr>, closing the current hr rel-infon
+	Anchor                  // a hyperlink
+)
+
+// Item is one content element of a page.
+type Item struct {
+	Kind ItemKind
+	Text string // paragraph text, bold/heading content, or anchor label
+	Href string // Anchor destination (absolute or relative)
+}
+
+// Page is one synthetic web resource.
+type Page struct {
+	URL   string
+	Title string
+	Items []Item
+
+	html []byte // cached render
+}
+
+// AddText appends a paragraph.
+func (p *Page) AddText(text string) { p.Items = append(p.Items, Item{Kind: Text, Text: text}) }
+
+// AddBold appends a <b> rel-infon.
+func (p *Page) AddBold(text string) { p.Items = append(p.Items, Item{Kind: Bold, Text: text}) }
+
+// AddHeading appends an <h2> rel-infon.
+func (p *Page) AddHeading(text string) { p.Items = append(p.Items, Item{Kind: Heading, Text: text}) }
+
+// AddRule appends an <hr>, turning the text since the previous rule into
+// an hr rel-infon.
+func (p *Page) AddRule() { p.Items = append(p.Items, Item{Kind: Rule}) }
+
+// AddLink appends a hyperlink.
+func (p *Page) AddLink(href, label string) {
+	p.Items = append(p.Items, Item{Kind: Anchor, Href: href, Text: label})
+}
+
+// Render produces the page's HTML. The result is cached; Render after a
+// mutation of Items returns the stale cache, so build pages fully first.
+func (p *Page) Render() []byte {
+	if p.html != nil {
+		return p.html
+	}
+	var b strings.Builder
+	b.WriteString("<!doctype html>\n<html>\n<head><title>")
+	b.WriteString(escape(p.Title))
+	b.WriteString("</title></head>\n<body>\n")
+	fmt.Fprintf(&b, "<h1>%s</h1>\n", escape(p.Title))
+	for _, it := range p.Items {
+		switch it.Kind {
+		case Text:
+			fmt.Fprintf(&b, "<p>%s</p>\n", escape(it.Text))
+		case Bold:
+			fmt.Fprintf(&b, "<b>%s</b>\n", escape(it.Text))
+		case Heading:
+			fmt.Fprintf(&b, "<h2>%s</h2>\n", escape(it.Text))
+		case Rule:
+			b.WriteString("<hr>\n")
+		case Anchor:
+			fmt.Fprintf(&b, "<a href=\"%s\">%s</a>\n", it.Href, escape(it.Text))
+		}
+	}
+	b.WriteString("</body>\n</html>\n")
+	p.html = []byte(b.String())
+	return p.html
+}
+
+func escape(s string) string {
+	s = strings.ReplaceAll(s, "&", "&amp;")
+	s = strings.ReplaceAll(s, "<", "&lt;")
+	s = strings.ReplaceAll(s, ">", "&gt;")
+	return s
+}
+
+// Host extracts the host component of an absolute http URL.
+func Host(url string) string {
+	s := strings.TrimPrefix(url, "http://")
+	s = strings.TrimPrefix(s, "https://")
+	if i := strings.IndexByte(s, '/'); i >= 0 {
+		s = s[:i]
+	}
+	return s
+}
+
+// Web is a complete synthetic web: pages indexed by URL and grouped by
+// host.
+type Web struct {
+	pages map[string]*Page
+	sites map[string][]string // host -> URLs in insertion order
+	hosts []string            // insertion order
+}
+
+// NewWeb returns an empty web.
+func NewWeb() *Web {
+	return &Web{pages: make(map[string]*Page), sites: make(map[string][]string)}
+}
+
+// NewPage creates, registers and returns a page at the given URL.
+func (w *Web) NewPage(url, title string) *Page {
+	p := &Page{URL: url, Title: title}
+	w.Add(p)
+	return p
+}
+
+// Add registers a page. Adding two pages with the same URL panics: the
+// generators are deterministic and a collision is a bug.
+func (w *Web) Add(p *Page) {
+	if _, dup := w.pages[p.URL]; dup {
+		panic("webgraph: duplicate page " + p.URL)
+	}
+	w.pages[p.URL] = p
+	h := Host(p.URL)
+	if _, seen := w.sites[h]; !seen {
+		w.hosts = append(w.hosts, h)
+	}
+	w.sites[h] = append(w.sites[h], p.URL)
+}
+
+// Page returns the page at url, or nil.
+func (w *Web) Page(url string) *Page { return w.pages[url] }
+
+// HTML returns the rendered bytes of the page at url.
+func (w *Web) HTML(url string) ([]byte, bool) {
+	p, ok := w.pages[url]
+	if !ok {
+		return nil, false
+	}
+	return p.Render(), true
+}
+
+// Hosts returns all site hosts in insertion order.
+func (w *Web) Hosts() []string {
+	out := make([]string, len(w.hosts))
+	copy(out, w.hosts)
+	return out
+}
+
+// URLsAt returns the URLs hosted at host, in insertion order.
+func (w *Web) URLsAt(host string) []string {
+	out := make([]string, len(w.sites[host]))
+	copy(out, w.sites[host])
+	return out
+}
+
+// URLs returns every page URL, sorted.
+func (w *Web) URLs() []string {
+	out := make([]string, 0, len(w.pages))
+	for u := range w.pages {
+		out = append(out, u)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NumPages returns the number of pages.
+func (w *Web) NumPages() int { return len(w.pages) }
+
+// NumSites returns the number of distinct hosts.
+func (w *Web) NumSites() int { return len(w.sites) }
+
+// TotalBytes returns the summed rendered size of all pages — what a crawler
+// would download to mirror the whole web.
+func (w *Web) TotalBytes() int64 {
+	var n int64
+	for _, p := range w.pages {
+		n += int64(len(p.Render()))
+	}
+	return n
+}
+
+// DOT renders the web's link graph in Graphviz DOT syntax (the webgen
+// tool's -dot flag). Local links are solid, global links dashed.
+func (w *Web) DOT() string {
+	var b strings.Builder
+	b.WriteString("digraph web {\n  rankdir=LR;\n")
+	for _, u := range w.URLs() {
+		p := w.pages[u]
+		fmt.Fprintf(&b, "  %q;\n", u)
+		for _, it := range p.Items {
+			if it.Kind != Anchor {
+				continue
+			}
+			dst := Resolve(u, it.Href)
+			style := "solid"
+			if Host(dst) != Host(u) {
+				style = "dashed"
+			}
+			fmt.Fprintf(&b, "  %q -> %q [style=%s];\n", u, dst, style)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// Resolve resolves a possibly relative href against the page URL, using
+// the same minimal rules the generators emit (absolute http URLs or
+// site-absolute and document-relative paths).
+func Resolve(base, href string) string {
+	if strings.HasPrefix(href, "http://") || strings.HasPrefix(href, "https://") {
+		return href
+	}
+	host := Host(base)
+	if strings.HasPrefix(href, "/") {
+		return "http://" + host + href
+	}
+	// document-relative: replace everything after the last '/'
+	trimmed := strings.TrimPrefix(base, "http://")
+	dir := trimmed
+	if i := strings.LastIndexByte(trimmed, '/'); i >= 0 {
+		dir = trimmed[:i+1]
+	} else {
+		dir = trimmed + "/"
+	}
+	return "http://" + dir + href
+}
+
+// vocabulary for deterministic filler text.
+var vocab = []string{
+	"database", "systems", "query", "processing", "distributed", "web",
+	"document", "hyperlink", "server", "index", "traversal", "protocol",
+	"engine", "relation", "predicate", "structure", "content", "research",
+	"network", "socket", "cluster", "archive", "seminar", "project",
+	"report", "campus", "department", "laboratory", "prototype", "result",
+}
+
+// fillText produces n deterministic filler words from r.
+func fillText(r *rand.Rand, n int) string {
+	words := make([]string, n)
+	for i := range words {
+		words[i] = vocab[r.Intn(len(vocab))]
+	}
+	return strings.Join(words, " ")
+}
+
+// Marker is the token generators embed in "answer" pages; benchmark
+// queries select on it (`d.text contains "xanadu"`).
+const Marker = "xanadu"
+
+// addFiller appends paragraphs totalling roughly `words` words.
+func addFiller(p *Page, r *rand.Rand, words int) {
+	for words > 0 {
+		n := 40 + r.Intn(40)
+		if n > words {
+			n = words
+		}
+		p.AddText(fillText(r, n))
+		words -= n
+	}
+}

@@ -1,0 +1,346 @@
+package webgraph
+
+import (
+	"strings"
+	"testing"
+
+	"webdis/internal/htmlx"
+	"webdis/internal/pre"
+)
+
+func TestPageRender(t *testing.T) {
+	w := NewWeb()
+	p := w.NewPage("http://a.example/x.html", "A <Title> & Co")
+	p.AddText("hello world")
+	p.AddBold("important")
+	p.AddHeading("section")
+	p.AddText("the convener line")
+	p.AddRule()
+	p.AddLink("/y.html", "local y")
+	p.AddLink("http://b.example/z.html", "global z")
+	html := p.Render()
+	doc, err := htmlx.Parse(p.URL, html)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Title != "A <Title> & Co" {
+		t.Errorf("title = %q", doc.Title)
+	}
+	if len(doc.LinksOf(pre.Local)) != 1 || len(doc.LinksOf(pre.Global)) != 1 {
+		t.Errorf("anchors = %+v", doc.Anchors)
+	}
+	var hr, bold bool
+	for _, ri := range doc.Infons {
+		if ri.Delimiter == "hr" && strings.Contains(ri.Text, "the convener line") {
+			hr = true
+		}
+		if ri.Delimiter == "b" && ri.Text == "important" {
+			bold = true
+		}
+	}
+	if !hr || !bold {
+		t.Errorf("infons = %+v", doc.Infons)
+	}
+	// Render is cached and stable.
+	if &p.Render()[0] != &html[0] {
+		t.Error("Render should cache")
+	}
+}
+
+func TestWebIndexing(t *testing.T) {
+	w := NewWeb()
+	w.NewPage("http://a.example/1.html", "one")
+	w.NewPage("http://a.example/2.html", "two")
+	w.NewPage("http://b.example/3.html", "three")
+	if w.NumPages() != 3 || w.NumSites() != 2 {
+		t.Fatalf("pages=%d sites=%d", w.NumPages(), w.NumSites())
+	}
+	if got := w.URLsAt("a.example"); len(got) != 2 {
+		t.Errorf("URLsAt = %v", got)
+	}
+	if w.First() != "http://a.example/1.html" {
+		t.Errorf("First = %q", w.First())
+	}
+	if _, ok := w.HTML("http://nope.example/x"); ok {
+		t.Error("HTML should miss for unknown URL")
+	}
+	if w.TotalBytes() <= 0 {
+		t.Error("TotalBytes should be positive")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate Add should panic")
+		}
+	}()
+	w.NewPage("http://a.example/1.html", "dup")
+}
+
+func TestHostAndResolve(t *testing.T) {
+	if Host("http://a.example/x/y.html") != "a.example" {
+		t.Error("Host absolute")
+	}
+	if Host("https://a.example") != "a.example" {
+		t.Error("Host without path")
+	}
+	cases := []struct{ base, href, want string }{
+		{"http://a.example/x/y.html", "http://b.example/z.html", "http://b.example/z.html"},
+		{"http://a.example/x/y.html", "/top.html", "http://a.example/top.html"},
+		{"http://a.example/x/y.html", "sib.html", "http://a.example/x/sib.html"},
+		{"http://a.example", "p.html", "http://a.example/p.html"},
+	}
+	for _, c := range cases {
+		if got := Resolve(c.base, c.href); got != c.want {
+			t.Errorf("Resolve(%s, %s) = %s, want %s", c.base, c.href, got, c.want)
+		}
+	}
+}
+
+func TestFigure1Topology(t *testing.T) {
+	w := Figure1()
+	if w.NumPages() != 8 {
+		t.Fatalf("pages = %d", w.NumPages())
+	}
+	if w.First() != Figure1Start {
+		t.Errorf("First = %q", w.First())
+	}
+	// Node 5 must be local to node 2's site, node 7 local to node 3's.
+	if Host(Figure1Nodes[5]) != Host(Figure1Nodes[2]) {
+		t.Error("node 5 should share node 2's site")
+	}
+	if Host(Figure1Nodes[7]) != Host(Figure1Nodes[3]) {
+		t.Error("node 7 should share node 3's site")
+	}
+	// Check link classification through the real HTML parser.
+	html, _ := w.HTML(Figure1Nodes[2])
+	doc, err := htmlx.Parse(Figure1Nodes[2], html)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.LinksOf(pre.Global)) != 1 || len(doc.LinksOf(pre.Local)) != 1 {
+		t.Errorf("node 2 links = %+v", doc.Anchors)
+	}
+	// Node 7 must not contain the q1 marker; node 4 must contain both.
+	html7, _ := w.HTML(Figure1Nodes[7])
+	if strings.Contains(string(html7), "q1-answer") {
+		t.Error("node 7 must fail q1")
+	}
+	html4, _ := w.HTML(Figure1Nodes[4])
+	if !strings.Contains(string(html4), "q1-answer") || !strings.Contains(string(html4), "q2-answer") {
+		t.Error("node 4 must answer q1 and q2")
+	}
+}
+
+func TestFigure5Topology(t *testing.T) {
+	w := Figure5()
+	// X must have exactly five in-links: from start, hub and the three
+	// feeders — the five arrivals a..e.
+	in := 0
+	for _, u := range w.URLs() {
+		html, _ := w.HTML(u)
+		doc, err := htmlx.Parse(u, html)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, a := range doc.Anchors {
+			if a.Href == Figure5X {
+				in++
+			}
+		}
+	}
+	if in != 5 {
+		t.Fatalf("in-links to X = %d, want 5", in)
+	}
+}
+
+func TestCampusTopology(t *testing.T) {
+	w := Campus()
+	if w.First() != CampusStart {
+		t.Errorf("First = %q", w.First())
+	}
+	// The labs page is the only local neighbor of the homepage whose title
+	// contains "lab".
+	html, _ := w.HTML(CampusStart)
+	doc, _ := htmlx.Parse(CampusStart, html)
+	labTitled := 0
+	for _, a := range doc.LinksOf(pre.Local) {
+		h2, ok := w.HTML(a.Href)
+		if !ok {
+			t.Fatalf("dangling local link %s", a.Href)
+		}
+		d2, _ := htmlx.Parse(a.Href, h2)
+		if strings.Contains(strings.ToLower(d2.Title), "lab") {
+			labTitled++
+			if a.Href != CampusLabs {
+				t.Errorf("unexpected lab-titled page %s", a.Href)
+			}
+		}
+	}
+	if labTitled != 1 {
+		t.Errorf("lab-titled local neighbors = %d", labTitled)
+	}
+	// Every expected convener page parses to an hr rel-infon containing
+	// "convener" (case-insensitively).
+	for url, line := range CampusConveners {
+		h, ok := w.HTML(url)
+		if !ok {
+			t.Fatalf("missing convener page %s", url)
+		}
+		d, _ := htmlx.Parse(url, h)
+		found := false
+		for _, ri := range d.Infons {
+			if ri.Delimiter == "hr" && strings.Contains(ri.Text, line) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: no hr rel-infon with %q; infons = %+v", url, line, d.Infons)
+		}
+	}
+	// All links resolve within the generated web.
+	for _, u := range w.URLs() {
+		h, _ := w.HTML(u)
+		d, _ := htmlx.Parse(u, h)
+		for _, a := range d.Anchors {
+			if _, ok := w.HTML(a.Href); !ok {
+				t.Errorf("dangling link %s -> %s", u, a.Href)
+			}
+		}
+	}
+}
+
+func TestTreeTopology(t *testing.T) {
+	w := Tree(TreeOpts{Fanout: 3, Depth: 3, PagesPerSite: 4, MarkerFrac: 0.5, Seed: 42})
+	want := 1 + 3 + 9 + 27
+	if w.NumPages() != want {
+		t.Fatalf("pages = %d, want %d", w.NumPages(), want)
+	}
+	if w.NumSites() != (want+3)/4 {
+		t.Errorf("sites = %d", w.NumSites())
+	}
+	// Deterministic: same seed, same web.
+	w2 := Tree(TreeOpts{Fanout: 3, Depth: 3, PagesPerSite: 4, MarkerFrac: 0.5, Seed: 42})
+	for _, u := range w.URLs() {
+		a, _ := w.HTML(u)
+		b, ok := w2.HTML(u)
+		if !ok || string(a) != string(b) {
+			t.Fatalf("tree not deterministic at %s", u)
+		}
+	}
+	// Roughly half the pages carry the marker.
+	marked := 0
+	for _, u := range w.URLs() {
+		h, _ := w.HTML(u)
+		if strings.Contains(string(h), Marker) {
+			marked++
+		}
+	}
+	if marked < want/4 || marked > want*3/4 {
+		t.Errorf("marked = %d of %d", marked, want)
+	}
+}
+
+func TestRandomTopologyReachable(t *testing.T) {
+	w := Random(RandomOpts{Sites: 6, PagesPerSite: 5, LocalOut: 2, GlobalOut: 2, MarkerFrac: 0.3, Seed: 9})
+	if w.NumPages() != 30 {
+		t.Fatalf("pages = %d", w.NumPages())
+	}
+	// BFS over parsed links from the first page must reach every page.
+	seen := map[string]bool{w.First(): true}
+	queue := []string{w.First()}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		h, _ := w.HTML(u)
+		d, err := htmlx.Parse(u, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, a := range d.Anchors {
+			if !seen[a.Href] {
+				seen[a.Href] = true
+				queue = append(queue, a.Href)
+			}
+		}
+	}
+	if len(seen) != w.NumPages() {
+		t.Errorf("reachable = %d of %d", len(seen), w.NumPages())
+	}
+}
+
+func TestChainAndGrid(t *testing.T) {
+	c := Chain(10, 2, 1)
+	if c.NumPages() != 10 || c.NumSites() != 5 {
+		t.Errorf("chain pages=%d sites=%d", c.NumPages(), c.NumSites())
+	}
+	g := Grid(4, 3, 1)
+	if g.NumPages() != 12 || g.NumSites() != 4 {
+		t.Errorf("grid pages=%d sites=%d", g.NumPages(), g.NumSites())
+	}
+	// Grid: down is local, right is global.
+	h, _ := g.HTML("http://g0.example/p0.html")
+	d, _ := htmlx.Parse("http://g0.example/p0.html", h)
+	if len(d.LinksOf(pre.Local)) != 1 || len(d.LinksOf(pre.Global)) != 1 {
+		t.Errorf("grid corner links = %+v", d.Anchors)
+	}
+}
+
+func TestDOT(t *testing.T) {
+	w := Figure1()
+	dot := w.DOT()
+	if !strings.Contains(dot, "digraph web") || !strings.Contains(dot, Figure1Nodes[1]) {
+		t.Errorf("dot = %.120s", dot)
+	}
+	if !strings.Contains(dot, "style=dashed") || !strings.Contains(dot, "style=solid") {
+		t.Error("dot should mark local and global links")
+	}
+}
+
+func TestPowerLawTopology(t *testing.T) {
+	w := PowerLaw(PowerLawOpts{Pages: 120, PagesPerSite: 3, OutLinks: 2, MarkerFrac: 0.2, Seed: 6})
+	if w.NumPages() != 120 || w.NumSites() != 40 {
+		t.Fatalf("pages=%d sites=%d", w.NumPages(), w.NumSites())
+	}
+	// In-degree distribution must be heavy-tailed: the best-connected page
+	// should attract far more links than the median.
+	indeg := map[string]int{}
+	for _, u := range w.URLs() {
+		h, _ := w.HTML(u)
+		d, err := htmlx.Parse(u, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, a := range d.Anchors {
+			indeg[a.Href]++
+		}
+	}
+	max := 0
+	total := 0
+	for _, n := range indeg {
+		total += n
+		if n > max {
+			max = n
+		}
+	}
+	mean := float64(total) / float64(len(indeg))
+	if float64(max) < 4*mean {
+		t.Errorf("no hubs: max in-degree %d vs mean %.1f", max, mean)
+	}
+	// Reachable from the first page.
+	seen := map[string]bool{w.First(): true}
+	queue := []string{w.First()}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		h, _ := w.HTML(u)
+		d, _ := htmlx.Parse(u, h)
+		for _, a := range d.Anchors {
+			if !seen[a.Href] {
+				seen[a.Href] = true
+				queue = append(queue, a.Href)
+			}
+		}
+	}
+	if len(seen) != w.NumPages() {
+		t.Errorf("reachable = %d of %d", len(seen), w.NumPages())
+	}
+}

@@ -1,0 +1,296 @@
+// Package wire defines the messages that WEBDIS components exchange and
+// their encoding. The original system forwarded web-query objects between
+// Java daemons using Java object serialization; this reproduction uses
+// length-prefixed gob frames over any net.Conn, so the same messages flow
+// over the simulated fabric and over TCP.
+//
+// Three conversations use these messages:
+//
+//   - user-site → query-server: CloneMsg, the web-query clone of Figures 3
+//     and 4 (also query-server → query-server when forwarding);
+//   - query-server → user-site: ResultMsg, carrying node-query results
+//     together with the CHT additions of the Current Hosts Table protocol
+//     (Section 2.7.1) — shipped together per optimization 3 of Section 3.2;
+//   - user-site/query-server → document host: FetchReq/FetchResp, used by
+//     the centralized data-shipping baseline to download documents.
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"net"
+	"sort"
+	"strings"
+
+	"webdis/internal/netsim"
+	"webdis/internal/nodequery"
+)
+
+// QueryID globally identifies a user query (paper Section 4.1): the user's
+// name, the transport endpoint of the user-site's Result Collector (the
+// paper's IP address + listening port number), and a locally unique query
+// number.
+type QueryID struct {
+	User string
+	Site string // result-collector endpoint name
+	Num  int
+}
+
+func (id QueryID) String() string {
+	return fmt.Sprintf("%s@%s#%d", id.User, id.Site, id.Num)
+}
+
+// State is the processing state of a query clone as defined in Section
+// 2.7.1: the number of node-queries still to be processed and the
+// remaining part of the current PRE (as its canonical string).
+type State struct {
+	NumQ int
+	Rem  string
+}
+
+func (s State) String() string { return fmt.Sprintf("(%d, %s)", s.NumQ, s.Rem) }
+
+// Key returns a map key identifying the state.
+func (s State) Key() string { return fmt.Sprintf("%d|%s", s.NumQ, s.Rem) }
+
+// StageMsg is one (PRE, node-query) stage of a web-query in transit.
+// Export lists the document columns the stage contributes to the clone
+// environment when it advances (correlated stages).
+type StageMsg struct {
+	PRE    string
+	Query  *nodequery.Query
+	Export []string
+}
+
+// CloneMsg is a web-query clone in transit. It carries only the remaining
+// stages (the query is "successively shortened"): Stages[0] is the current
+// stage, with Rem — not Stages[0].PRE — as the still-to-be-satisfied part
+// of its PRE. Base is the index of Stages[0] in the original query, used
+// to label results. Dest lists the node URLs at the destination site that
+// the clone applies to (optimization 4 of Section 3.2: one message per
+// site, many destination nodes).
+type CloneMsg struct {
+	ID     QueryID
+	Dest   []DestNode
+	Rem    string
+	Base   int
+	Stages []StageMsg
+	Hops   int // links traversed so far; for traces and response-time stats
+	// Env carries upstream document bindings ("var.col" -> value) for
+	// correlated stages (see nodequery.Query.Outer). Clones with different
+	// environments are different clones: the log table and the batcher
+	// both key on EnvKey.
+	Env map[string]string
+}
+
+// EnvKey returns a canonical fingerprint of an environment, used in
+// log-table and batching keys. The empty environment yields "".
+func EnvKey(env map[string]string) string {
+	if len(env) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(env))
+	for k := range env {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(env[k])
+		b.WriteByte('\x00')
+	}
+	return b.String()
+}
+
+// DestNode is one destination node of a clone message, tagged with the
+// serial of its CHT entry. The paper identifies CHT entries by (URL,
+// query-state) alone; that under-identifies clone instances — a revisit
+// loop can put two identically keyed entries in flight whose additions
+// and retirements interleave into a false "all retired" reading — so this
+// implementation gives every forwarded clone instance a unique
+// (origin, seq) serial that the processing server echoes back in its
+// report (see the client package's completion-soundness discussion).
+type DestNode struct {
+	URL    string
+	Origin string // endpoint that created the CHT entry
+	Seq    int64  // unique per origin
+}
+
+// State returns the clone's CHT state (num_q, rem).
+func (c *CloneMsg) State() State {
+	return State{NumQ: len(c.Stages), Rem: c.Rem}
+}
+
+// CHTEntry names one clone instance currently hosted at a node, with the
+// clone's state — one row of the user-site's Current Hosts Table. Origin
+// and Seq uniquely identify the instance (see DestNode).
+type CHTEntry struct {
+	Node   string
+	State  State
+	Origin string
+	Seq    int64
+}
+
+// Key returns the CHT map key: node, state and instance serial.
+func (e CHTEntry) Key() string {
+	return fmt.Sprintf("%s§%s§%s§%d", e.Node, e.State.Key(), e.Origin, e.Seq)
+}
+
+// CHTUpdate reports the processing of one node: the entry being retired
+// (the "topmost entry" the user-site marks deleted) and the entries for
+// the clones forwarded from it (merged into the table).
+type CHTUpdate struct {
+	Processed CHTEntry
+	Children  []CHTEntry
+}
+
+// NodeTable carries the rows a node-query produced at one node.
+type NodeTable struct {
+	Node  string
+	Stage int // index of the node-query in the original web-query
+	Cols  []string
+	Rows  [][]string
+}
+
+// ResultMsg is the query-server → user-site message: all results and CHT
+// updates from processing one CloneMsg, batched (Section 3.2, item 3).
+type ResultMsg struct {
+	ID      QueryID
+	Updates []CHTUpdate
+	Tables  []NodeTable
+}
+
+// FetchReq asks a document host for the content of one URL. It is used
+// only by the centralized data-shipping baseline — the distributed engine
+// never moves document bytes off their home site.
+type FetchReq struct {
+	URL string
+}
+
+// FetchResp returns the raw document bytes, or an error string for an
+// unknown URL.
+type FetchResp struct {
+	URL     string
+	Content []byte
+	Err     string
+}
+
+// BounceMsg returns an undeliverable clone to the user-site: its
+// destination site does not run a query server. The user-site's hybrid
+// fallback (the paper's Section 7.1 migration path) then processes the
+// clone centrally — fetching the documents and evaluating locally — and
+// re-enters distributed mode at the next participating site.
+type BounceMsg struct {
+	Clone *CloneMsg
+}
+
+// Message kind strings, used for per-kind traffic accounting.
+const (
+	KindClone     = "clone"
+	KindResult    = "result"
+	KindBounce    = "bounce"
+	KindFetchReq  = "fetch-req"
+	KindFetchResp = "fetch-resp"
+)
+
+// envelope wraps every message so a single gob stream can carry any kind.
+type envelope struct {
+	Kind      string
+	Clone     *CloneMsg
+	Result    *ResultMsg
+	Bounce    *BounceMsg
+	FetchReq  *FetchReq
+	FetchResp *FetchResp
+}
+
+// maxFrame bounds a frame to guard against corrupt length prefixes.
+const maxFrame = 64 << 20
+
+// Send encodes msg as one length-prefixed gob frame on conn and attributes
+// it to the connection's edge when the transport is instrumented. msg must
+// be one of *CloneMsg, *ResultMsg, *FetchReq, *FetchResp.
+func Send(conn net.Conn, msg any) error {
+	var env envelope
+	switch m := msg.(type) {
+	case *CloneMsg:
+		env = envelope{Kind: KindClone, Clone: m}
+	case *ResultMsg:
+		env = envelope{Kind: KindResult, Result: m}
+	case *BounceMsg:
+		env = envelope{Kind: KindBounce, Bounce: m}
+	case *FetchReq:
+		env = envelope{Kind: KindFetchReq, FetchReq: m}
+	case *FetchResp:
+		env = envelope{Kind: KindFetchResp, FetchResp: m}
+	default:
+		return fmt.Errorf("wire: cannot send %T", msg)
+	}
+	var buf bytes.Buffer
+	buf.Write(make([]byte, 4)) // length placeholder, patched below
+	if err := gob.NewEncoder(&buf).Encode(&env); err != nil {
+		return fmt.Errorf("wire: encode %s: %w", env.Kind, err)
+	}
+	frame := buf.Bytes()
+	binary.BigEndian.PutUint32(frame[:4], uint32(len(frame)-4))
+	if _, err := conn.Write(frame); err != nil {
+		return fmt.Errorf("wire: send %s: %w", env.Kind, err)
+	}
+	if mm, ok := conn.(netsim.MessageMarker); ok {
+		mm.MarkMessage(env.Kind)
+	}
+	return nil
+}
+
+// Receive reads one frame from conn and returns the contained message as
+// one of *CloneMsg, *ResultMsg, *FetchReq, *FetchResp.
+func Receive(conn net.Conn) (any, error) {
+	var lenbuf [4]byte
+	if _, err := io.ReadFull(conn, lenbuf[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(lenbuf[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("wire: frame of %d bytes exceeds limit", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(conn, payload); err != nil {
+		return nil, fmt.Errorf("wire: short frame: %w", err)
+	}
+	var env envelope
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&env); err != nil {
+		return nil, fmt.Errorf("wire: decode: %w", err)
+	}
+	switch env.Kind {
+	case KindClone:
+		if env.Clone == nil {
+			return nil, fmt.Errorf("wire: empty %s envelope", env.Kind)
+		}
+		return env.Clone, nil
+	case KindResult:
+		if env.Result == nil {
+			return nil, fmt.Errorf("wire: empty %s envelope", env.Kind)
+		}
+		return env.Result, nil
+	case KindBounce:
+		if env.Bounce == nil || env.Bounce.Clone == nil {
+			return nil, fmt.Errorf("wire: empty %s envelope", env.Kind)
+		}
+		return env.Bounce, nil
+	case KindFetchReq:
+		if env.FetchReq == nil {
+			return nil, fmt.Errorf("wire: empty %s envelope", env.Kind)
+		}
+		return env.FetchReq, nil
+	case KindFetchResp:
+		if env.FetchResp == nil {
+			return nil, fmt.Errorf("wire: empty %s envelope", env.Kind)
+		}
+		return env.FetchResp, nil
+	}
+	return nil, fmt.Errorf("wire: unknown message kind %q", env.Kind)
+}

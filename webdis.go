@@ -1,0 +1,198 @@
+// Package webdis is a from-scratch Go implementation of WEBDIS, the
+// distributed Web query processing engine of Gupta, Haritsa and Ramanath
+// ("Distributed Query Processing on the Web", ICDE 2000; IISc DSL
+// TR-1999-01).
+//
+// WEBDIS answers declarative queries over hyperlinked documents by *query
+// shipping*: instead of downloading documents to the user's machine, the
+// query itself migrates from web site to web site along the hyperlink
+// paths described by Path Regular Expressions; each site evaluates the
+// local part of the query against virtual relations built from its own
+// documents and streams results straight back to the user-site. A Current
+// Hosts Table protocol detects distributed completion, a per-site
+// Node-query Log Table suppresses duplicate recomputation, and
+// cancellation is passive — closing the user-site's result socket starves
+// every in-flight clone.
+//
+// # Quick start
+//
+//	web := webdis.CampusWeb() // or your own webdis.NewWeb()
+//	d, err := webdis.NewDeployment(webdis.Config{Web: web})
+//	if err != nil { ... }
+//	defer d.Close()
+//
+//	q, err := d.Run(`
+//	    select d0.url, d1.url, r.text
+//	    from document d0 such that "http://csa.iisc.ernet.in/index.html" L d0,
+//	    where d0.title contains "lab"
+//	         document d1 such that d0 G·(L*1) d1,
+//	         relinfon r such that r.delimiter = "hr",
+//	    where (r.text contains "convener")`, 0)
+//	for _, table := range q.Results() { ... }
+//
+// The deployment runs one query server per site of the synthetic web on
+// an instrumented in-process transport; the same servers also run over
+// real TCP (see cmd/webdisd and cmd/webdis). Traffic is counted per edge,
+// which is what the benchmark harness (bench_test.go, cmd/webdis-bench)
+// uses to regenerate the paper's figures and the experiments of
+// EXPERIMENTS.md.
+package webdis
+
+import (
+	"time"
+
+	"webdis/internal/centralized"
+	"webdis/internal/client"
+	"webdis/internal/core"
+	"webdis/internal/disql"
+	"webdis/internal/index"
+	"webdis/internal/netsim"
+	"webdis/internal/nodeproc"
+	"webdis/internal/pre"
+	"webdis/internal/server"
+	"webdis/internal/webgraph"
+)
+
+// Core deployment types.
+type (
+	// Config describes a deployment: the web corpus, the network model
+	// and the per-server engine options.
+	Config = core.Config
+	// Deployment is a running WEBDIS installation: one query server and
+	// one document host per site, plus a user-site client.
+	Deployment = core.Deployment
+	// Query is one in-flight or finished web-query at the user-site.
+	Query = client.Query
+	// ResultTable is the merged result of one node-query.
+	ResultTable = client.ResultTable
+	// QueryStats describes a query's CHT protocol activity.
+	QueryStats = client.Stats
+	// WebQuery is the parsed formal query Q = S p1 q1 … pn qn.
+	WebQuery = disql.WebQuery
+)
+
+// Engine configuration.
+type (
+	// ServerOptions configure every query server of a deployment (dedup
+	// mode, clone batching, hop bound, trace hook).
+	ServerOptions = server.Options
+	// NetOptions configure the simulated network fabric.
+	NetOptions = netsim.Options
+	// Metrics aggregates engine counters across a deployment.
+	Metrics = server.Metrics
+	// MetricsSnapshot is a plain-integer copy of Metrics.
+	MetricsSnapshot = server.Snapshot
+	// DedupMode selects the Node-query Log Table behaviour.
+	DedupMode = nodeproc.DedupMode
+	// TraceEvent is one record of a server's processing.
+	TraceEvent = server.Event
+)
+
+// Log-table dedup modes (paper Section 3.1.1 and extensions).
+const (
+	DedupOff     = nodeproc.DedupOff
+	DedupExact   = nodeproc.DedupExact
+	DedupSubsume = nodeproc.DedupSubsume // the paper's scheme; the default
+	DedupStrong  = nodeproc.DedupStrong
+)
+
+// Synthetic web construction.
+type (
+	// Web is a synthetic document corpus grouped into sites.
+	Web = webgraph.Web
+	// Page is one synthetic web resource under construction.
+	Page = webgraph.Page
+	// TreeOpts parameterize the Tree generator.
+	TreeOpts = webgraph.TreeOpts
+	// RandomOpts parameterize the Random generator.
+	RandomOpts = webgraph.RandomOpts
+)
+
+// NewWeb returns an empty synthetic web; add pages with Web.NewPage.
+func NewWeb() *Web { return webgraph.NewWeb() }
+
+// CampusWeb builds the paper's Section 5 campus web (Figures 7 and 8).
+func CampusWeb() *Web { return webgraph.Campus() }
+
+// Figure1Web builds the traversal example of the paper's Figure 1.
+func Figure1Web() *Web { return webgraph.Figure1() }
+
+// Figure5Web builds the duplicate-arrivals example of the paper's
+// Figure 5.
+func Figure5Web() *Web { return webgraph.Figure5() }
+
+// TreeWeb builds a complete tree-shaped web.
+func TreeWeb(o TreeOpts) *Web { return webgraph.Tree(o) }
+
+// RandomWeb builds a strongly cross-linked random web.
+func RandomWeb(o RandomOpts) *Web { return webgraph.Random(o) }
+
+// ChainWeb builds a linear web of n pages, a new site every pagesPerSite
+// pages.
+func ChainWeb(n, pagesPerSite int, seed int64) *Web {
+	return webgraph.Chain(n, pagesPerSite, seed)
+}
+
+// GridWeb builds a cols×rows lattice web (columns are sites).
+func GridWeb(cols, rows int, seed int64) *Web { return webgraph.Grid(cols, rows, seed) }
+
+// Paper example queries, matched to the corresponding generated webs.
+const (
+	// CampusQuery is the paper's Example Query 2 (the convener query) for
+	// CampusWeb.
+	CampusQuery = webgraph.CampusDISQL
+	// Figure1Query drives the Figure-1 traversal on Figure1Web.
+	Figure1Query = webgraph.Figure1DISQL
+	// Figure5Query drives the Figure-5 duplicate scenario on Figure5Web.
+	Figure5Query = webgraph.Figure5DISQL
+)
+
+// NewDeployment builds and starts a WEBDIS deployment over cfg.Web.
+func NewDeployment(cfg Config) (*Deployment, error) { return core.NewDeployment(cfg) }
+
+// ParseDISQL parses a DISQL query into its formal web-query.
+func ParseDISQL(src string) (*WebQuery, error) { return disql.Parse(src) }
+
+// ParsePRE parses a Path Regular Expression such as "N | G·(L*4)".
+func ParsePRE(src string) (pre.Expr, error) { return pre.Parse(src) }
+
+// Centralized baseline (data shipping), for comparisons.
+type (
+	// CentralizedOptions configure a data-shipping run.
+	CentralizedOptions = centralized.Options
+	// CentralizedResult is the outcome of a data-shipping run.
+	CentralizedResult = centralized.Result
+)
+
+// RunCentralized evaluates w by downloading documents from d's sites to
+// the user-site and evaluating locally — the baseline the paper argues
+// against. The deployment's document hosts must be running (the default).
+func RunCentralized(d *Deployment, w *WebQuery, opts CentralizedOptions) (*CentralizedResult, error) {
+	return centralized.Run(d.Network(), "centralized/results", w, opts)
+}
+
+// Wait bounds for convenience.
+const (
+	// Forever waits indefinitely in Query.Wait and Deployment.Run.
+	Forever time.Duration = 0
+)
+
+// FallbackStats describes a query's hybrid fallback work (the Section 7.1
+// migration path enabled by Config.Participate).
+type FallbackStats = client.FallbackStats
+
+// SearchIndex is an inverted index over a synthetic web — the "existing
+// search-index" that resolves index("term") StartNode sources (paper
+// Sections 1.1 and 7.1). Deployments build one lazily on demand
+// (Deployment.Index); BuildIndex constructs one directly.
+type SearchIndex = index.Index
+
+// BuildIndex indexes every page of web.
+func BuildIndex(web *Web) (*SearchIndex, error) { return index.Build(web) }
+
+// PowerLawOpts parameterize the PowerLaw generator.
+type PowerLawOpts = webgraph.PowerLawOpts
+
+// PowerLawWeb builds a preferential-attachment web with hub pages, the
+// heavy-tailed topology of the real late-1990s Web.
+func PowerLawWeb(o PowerLawOpts) *Web { return webgraph.PowerLaw(o) }
