@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"net"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -49,11 +50,13 @@ var ErrTimeout = errors.New("client: wait timed out")
 // Client is a WEBDIS user-site. It can run many queries, each with its own
 // Result Collector endpoint ("<base>/q<n>").
 type Client struct {
-	tr      netsim.Transport
-	user    string
-	base    string
-	hybrid  bool
-	resolve func(term string) []string
+	tr        netsim.Transport
+	user      string
+	base      string
+	hybrid    bool
+	reapGrace time.Duration
+	met       *server.Metrics
+	resolve   func(term string) []string
 
 	mu   sync.Mutex
 	next int
@@ -71,6 +74,20 @@ func New(tr netsim.Transport, user, base string) *Client {
 // the user-site by downloading their documents, and re-enter distributed
 // processing at the next participating site.
 func (c *Client) SetHybrid(on bool) { c.hybrid = on }
+
+// SetReapGrace arms the orphan-CHT reaper for queries submitted
+// afterwards: when a query has seen no report for the grace window while
+// CHT entries remain outstanding, the reaper retires the orphans, marks
+// the query Partial with the sites it could not account for, and
+// completes it — so a crashed or partitioned site degrades the answer
+// instead of wedging completion detection until the Wait deadline.
+// A zero or negative grace disables the reaper (the default).
+func (c *Client) SetReapGrace(grace time.Duration) { c.reapGrace = grace }
+
+// SetMetrics shares a deployment-wide metrics collector so client-side
+// protocol events (reaped CHT entries) appear in the same snapshot as the
+// servers' counters. Optional.
+func (c *Client) SetMetrics(m *server.Metrics) { c.met = m }
 
 // SetIndexResolver installs the search-index lookup used to resolve
 // `index("term")` StartNode sources (the paper's Section 1.1 automated
@@ -94,6 +111,7 @@ type Stats struct {
 	EntriesRetired int           // entries retired by reports
 	GhostReports   int           // reports for entries not live (late/purged)
 	PeakLive       int           // maximum simultaneously live entries
+	Reaped         int           // orphaned entries retired by the grace-window reaper
 	Duration       time.Duration // submit to completion
 }
 
@@ -106,19 +124,24 @@ type Query struct {
 	ln     net.Listener
 	doneCh chan struct{}
 
-	hybrid bool
+	hybrid    bool
+	reapGrace time.Duration
+	met       *server.Metrics
 
-	mu      sync.Mutex
-	counts  map[string]int // signed CHT entry counts
-	nonzero int            // number of keys with a nonzero count
-	tables  map[int]*ResultTable
-	rowSeen map[int]map[string]bool
-	stats   Stats
-	fstats  FallbackStats
-	fb      *fallback // lazily created on first hybrid work
-	started time.Time
-	err     error
-	done    bool
+	mu          sync.Mutex
+	counts      map[string]int // signed CHT entry counts
+	nonzero     int            // number of keys with a nonzero count
+	tables      map[int]*ResultTable
+	rowSeen     map[int]map[string]bool
+	stats       Stats
+	fstats      FallbackStats
+	fb          *fallback // lazily created on first hybrid work
+	started     time.Time
+	lastReport  time.Time // last CHT activity, watched by the reaper
+	partial     bool      // completed by reaping, not by full accounting
+	unreachable []string  // sites whose entries were reaped
+	err         error
+	done        bool
 }
 
 // ID returns the query's global identifier.
@@ -153,18 +176,24 @@ func (c *Client) Submit(w *disql.WebQuery) (*Query, error) {
 		return nil, fmt.Errorf("client: result collector: %w", err)
 	}
 	q := &Query{
-		id:      wire.QueryID{User: c.user, Site: endpoint, Num: num},
-		web:     w,
-		tr:      c.tr,
-		hybrid:  c.hybrid,
-		ln:      ln,
-		doneCh:  make(chan struct{}),
-		counts:  make(map[string]int),
-		tables:  make(map[int]*ResultTable),
-		rowSeen: make(map[int]map[string]bool),
-		started: time.Now(),
+		id:         wire.QueryID{User: c.user, Site: endpoint, Num: num},
+		web:        w,
+		tr:         c.tr,
+		hybrid:     c.hybrid,
+		reapGrace:  c.reapGrace,
+		met:        c.met,
+		ln:         ln,
+		doneCh:     make(chan struct{}),
+		counts:     make(map[string]int),
+		tables:     make(map[int]*ResultTable),
+		rowSeen:    make(map[int]map[string]bool),
+		started:    time.Now(),
+		lastReport: time.Now(),
 	}
 	go q.collect()
+	if q.reapGrace > 0 {
+		go q.reaper()
+	}
 
 	stages := make([]disql.Stage, len(w.Stages))
 	copy(stages, w.Stages)
@@ -225,13 +254,23 @@ func (c *Client) Submit(w *disql.WebQuery) (*Query, error) {
 	return q, nil
 }
 
-// bounced routes a clone into the query's hybrid fallback processor,
-// creating it on first use. Non-hybrid queries retire the clone's entries
-// instead (servers only bounce when their Hybrid option is set, so this
-// mismatch indicates misconfiguration, not data loss).
+// bounced handles a clone returned by a server: hybrid queries route it
+// into the fallback processor (created on first use) for central
+// evaluation; non-hybrid queries retire its entries so the bounce
+// degrades to a recorded forward failure instead of a stranded CHT.
 func (q *Query) bounced(c *wire.CloneMsg) {
 	q.mu.Lock()
 	if q.done {
+		q.mu.Unlock()
+		return
+	}
+	q.lastReport = time.Now()
+	if !q.hybrid {
+		st := c.State()
+		for _, dest := range c.Dest {
+			q.retire(wire.CHTEntry{Node: dest.URL, State: st, Origin: dest.Origin, Seq: dest.Seq})
+		}
+		q.maybeComplete()
 		q.mu.Unlock()
 		return
 	}
@@ -281,7 +320,7 @@ func (q *Query) collect() {
 						q.merge(m)
 					}
 				case *wire.BounceMsg:
-					if m.Clone.ID.Num == q.id.Num && q.hybrid {
+					if m.Clone.ID.Num == q.id.Num {
 						q.bounced(m.Clone)
 					}
 				}
@@ -300,6 +339,7 @@ func (q *Query) merge(rm *wire.ResultMsg) {
 		return
 	}
 	q.stats.ResultMsgs++
+	q.lastReport = time.Now()
 	for _, t := range rm.Tables {
 		q.mergeTable(t)
 	}
@@ -371,6 +411,103 @@ func rowKey(row []string) string {
 	for _, v := range row {
 		out += v + "\x00"
 	}
+	return out
+}
+
+// reaper watches the query for orphaned CHT entries: when no report has
+// arrived for the grace window while counts remain outstanding, the
+// stranded entries belong to clones that will never report — a crashed
+// site that accepted them, a severed report, a partition. The reaper
+// retires them, marks the query Partial with the unaccounted-for sites,
+// and completes it. Termination stays passive and cascade-free: the
+// collector endpoint closes as on normal completion, and any straggler
+// report simply fails at its sender (which then purges the query locally,
+// exactly the paper's §2.8 behaviour — verified against the T6 harness).
+func (q *Query) reaper() {
+	t := time.NewTimer(q.reapGrace)
+	defer t.Stop()
+	for {
+		select {
+		case <-q.doneCh:
+			return
+		case <-t.C:
+		}
+		q.mu.Lock()
+		if q.done {
+			q.mu.Unlock()
+			return
+		}
+		if idle := time.Since(q.lastReport); idle < q.reapGrace {
+			q.mu.Unlock()
+			t.Reset(q.reapGrace - idle)
+			continue
+		}
+		if q.nonzero == 0 || q.fallbackBusy() {
+			// Balanced but unfinished (shouldn't happen), or the local
+			// fallback still has work queued that will produce reports.
+			q.mu.Unlock()
+			t.Reset(q.reapGrace)
+			continue
+		}
+		q.reap()
+		q.mu.Unlock()
+		return
+	}
+}
+
+// fallbackBusy reports whether the hybrid fallback still holds queued
+// clones (local work that generates no network reports while pending).
+// Callers hold q.mu.
+func (q *Query) fallbackBusy() bool {
+	return q.fb != nil && q.fb.pendingLen() > 0
+}
+
+// reap retires every outstanding CHT entry, records the sites they point
+// at, and finishes the query as Partial. Callers hold q.mu.
+func (q *Query) reap() {
+	sites := make(map[string]bool)
+	reaped := 0
+	for key, cnt := range q.counts {
+		if cnt > 0 {
+			// Key layout is "node§state§origin§seq" (wire.CHTEntry.Key);
+			// the node's host is the site that never reported.
+			if i := strings.Index(key, "§"); i > 0 {
+				sites[webgraph.Host(key[:i])] = true
+			}
+		}
+		reaped++
+	}
+	q.counts = make(map[string]int)
+	q.nonzero = 0
+	q.stats.Reaped += reaped
+	q.partial = true
+	q.unreachable = q.unreachable[:0]
+	for s := range sites {
+		q.unreachable = append(q.unreachable, s)
+	}
+	sort.Strings(q.unreachable)
+	if q.met != nil {
+		q.met.CHTReaped.Add(int64(reaped))
+	}
+	q.finish(nil)
+}
+
+// Partial reports whether the query completed degraded: the reaper
+// retired orphaned CHT entries, so the answer covers only the reachable
+// part of the web.
+func (q *Query) Partial() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.partial
+}
+
+// Unreachable returns the sites whose CHT entries had to be reaped —
+// the part of the web the answer does not cover. Empty unless Partial.
+func (q *Query) Unreachable() []string {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make([]string, len(q.unreachable))
+	copy(out, q.unreachable)
 	return out
 }
 

@@ -18,11 +18,12 @@ import (
 // paper: "queries related to these sites [are handled] in the traditional
 // centralized approach").
 type FallbackStats struct {
-	Bounces     int // bounced clones received from servers
-	LocalClones int // clones processed at the user-site (bounces + re-queues)
-	Fetches     int // documents downloaded to the user-site
-	Evaluations int // node-queries evaluated at the user-site
-	Rejoined    int // clones handed back to participating query servers
+	Bounces      int // bounced clones received from servers
+	LocalClones  int // clones processed at the user-site (bounces + re-queues)
+	Fetches      int // documents downloaded to the user-site
+	Evaluations  int // node-queries evaluated at the user-site
+	Rejoined     int // clones handed back to participating query servers
+	LoadFailures int // nodes given up on because their document never loaded
 }
 
 // fallback is a query's hybrid processor: it evaluates clones addressed
@@ -77,6 +78,14 @@ func (f *fallback) isClosed() bool {
 	return f.closed
 }
 
+// pendingLen returns the number of queued clones (the reaper must not
+// fire while local work is still pending).
+func (f *fallback) pendingLen() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.queue)
+}
+
 func (f *fallback) run() {
 	for {
 		f.mu.Lock()
@@ -95,12 +104,23 @@ func (f *fallback) run() {
 }
 
 // load fetches a document, caching it for the query's lifetime like the
-// centralized baseline does.
+// centralized baseline does. A fetch cut down by transient loss (the
+// fabric's fault injection) is retried a few times before the node is
+// given up on.
 func (f *fallback) load(url string) ([]byte, error) {
 	if content, ok := f.cache[url]; ok {
 		return content, nil
 	}
-	content, err := f.fetch.Get(url)
+	var content []byte
+	var err error
+	for attempt := 0; attempt < 4; attempt++ {
+		if content, err = f.fetch.Get(url); err == nil {
+			break
+		}
+		if f.isClosed() {
+			return nil, err
+		}
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -177,6 +197,9 @@ func (f *fallback) processNode(dest wire.DestNode, arrRem pre.Expr, stages []dis
 
 	content, err := f.load(node)
 	if err != nil {
+		f.q.mu.Lock()
+		f.q.fstats.LoadFailures++
+		f.q.mu.Unlock()
 		return update, nil
 	}
 	db, err := nodeproc.BuildDB(node, content)

@@ -6,6 +6,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -41,6 +42,16 @@ type Config struct {
 	// client's hybrid fallback processes them centrally. Incompatible
 	// with NoDocService (the fallback must be able to download).
 	Participate func(site string) bool
+	// Hybrid enables the bounce/fallback path even when every site
+	// participates: a clone whose forward attempts are exhausted under
+	// Server.Retry is returned to the user-site and evaluated centrally —
+	// per-edge degraded-mode recovery from query shipping to data
+	// shipping. Implied by Participate. Incompatible with NoDocService.
+	Hybrid bool
+	// ReapGrace arms the client's orphan-CHT reaper: a query that has
+	// seen no report for this long while entries remain outstanding is
+	// completed as Partial, its orphans retired. Zero disables reaping.
+	ReapGrace time.Duration
 }
 
 // Deployment is a running WEBDIS installation over a simulated web.
@@ -63,15 +74,15 @@ func NewDeployment(cfg Config) (*Deployment, error) {
 	if cfg.Web == nil {
 		return nil, fmt.Errorf("core: Config.Web is required")
 	}
-	if cfg.Participate != nil && cfg.NoDocService {
-		return nil, fmt.Errorf("core: Participate requires the document service (the hybrid fallback downloads)")
+	if (cfg.Participate != nil || cfg.Hybrid) && cfg.NoDocService {
+		return nil, fmt.Errorf("core: Participate/Hybrid requires the document service (the hybrid fallback downloads)")
 	}
 	user := cfg.User
 	if user == "" {
 		user = "user"
 	}
 	srvOpts := cfg.Server
-	if cfg.Participate != nil {
+	if cfg.Participate != nil || cfg.Hybrid {
 		srvOpts.Hybrid = true
 	}
 	d := &Deployment{
@@ -102,9 +113,11 @@ func NewDeployment(cfg Config) (*Deployment, error) {
 		}
 	}
 	d.client = client.New(d.network, user, user)
-	if cfg.Participate != nil {
+	if cfg.Participate != nil || cfg.Hybrid {
 		d.client.SetHybrid(true)
 	}
+	d.client.SetReapGrace(cfg.ReapGrace)
+	d.client.SetMetrics(d.metrics)
 	// Resolve index("term") StartNode sources against the deployment's
 	// search index, built lazily on first use.
 	d.client.SetIndexResolver(func(term string) []string {
@@ -142,13 +155,20 @@ func (d *Deployment) SubmitDISQL(src string) (*client.Query, error) {
 }
 
 // Run submits a DISQL query and waits for completion (timeout <= 0 waits
-// forever), returning the finished query.
+// forever), returning the finished query. A query that exceeds the
+// timeout is cancelled before Run returns: the collector endpoint closes,
+// so passive termination drains the in-flight clones instead of leaking
+// the endpoint, the collector goroutine and any fallback worker. The
+// partial results gathered before the deadline remain readable.
 func (d *Deployment) Run(src string, timeout time.Duration) (*client.Query, error) {
 	q, err := d.SubmitDISQL(src)
 	if err != nil {
 		return nil, err
 	}
 	if err := q.Wait(timeout); err != nil {
+		if errors.Is(err, client.ErrTimeout) {
+			q.Cancel()
+		}
 		return q, err
 	}
 	return q, nil

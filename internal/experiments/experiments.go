@@ -46,6 +46,7 @@ func All() []Experiment {
 		{"rewrite", "§3.1.1", "star-bound subsumption and the query-multiple-rewrite rule", func(w io.Writer) error { _, err := Rewrite(w); return err }},
 		{"anytime", "§2.6 / §7.1", "progressive results: partial answers accumulate before completion", func(w io.Writer) error { _, err := Anytime(w); return err }},
 		{"deadends", "§2.5 semantics", "dead-end scope: paper's examples vs literal Figure-4 pseudocode", func(w io.Writer) error { _, err := DeadEnds(w); return err }},
+		{"faults", "robustness / §2.8, §7.1", "fault injection: answer completeness under message loss, with retry, bounce and CHT reaping", func(w io.Writer) error { _, err := Faults(w); return err }},
 	}
 }
 

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"io"
 	"strings"
 	"testing"
@@ -307,5 +308,40 @@ func TestAnytimeShape(t *testing.T) {
 	}
 	if !sawPartial {
 		t.Error("never observed a partial answer; latency too low to sample?")
+	}
+}
+
+func TestFaultsShape(t *testing.T) {
+	out, err := Faults(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per (drop, engine) cell: completeness in range, and the qualitative
+	// ordering the experiment exists to show.
+	byKey := make(map[string]FaultsRow)
+	for _, r := range out.Sweep {
+		if r.Completeness < 0 || r.Completeness > 1 {
+			t.Errorf("%s@%.0f%%: completeness %v out of range", r.Config, r.Drop*100, r.Completeness)
+		}
+		if r.Drop == 0 && (r.Completeness != 1 || r.Retries != 0 || r.Dropped != 0) {
+			t.Errorf("fault-free cell not clean: %+v", r)
+		}
+		byKey[fmt.Sprintf("%s@%v", r.Config, r.Drop)] = r
+	}
+	if r := byKey["retry+bounce@0.05"]; r.Completeness != 1 || r.Retries == 0 {
+		t.Errorf("retry+bounce at 5%% must recover the full answer via retries: %+v", r)
+	}
+	if r := byKey["classic@0.2"]; r.Completeness >= 1 {
+		t.Errorf("classic engine at 20%% drop lost nothing; ablation shows nothing: %+v", r)
+	}
+	if classic, fT := byKey["classic@0.2"], byKey["retry+bounce@0.2"]; fT.Completeness <= classic.Completeness {
+		t.Errorf("recovery layers did not help at 20%%: classic %v vs retry+bounce %v",
+			classic.Completeness, fT.Completeness)
+	}
+	if out.DownRows != out.DownReachable || out.DownPartial {
+		t.Errorf("degraded mode: rows=%d want %d, partial=%v", out.DownRows, out.DownReachable, out.DownPartial)
+	}
+	if out.CrashReaped == 0 || !out.CrashPartial {
+		t.Errorf("silent crash: reaped=%d partial=%v, want reaping and a Partial mark", out.CrashReaped, out.CrashPartial)
 	}
 }

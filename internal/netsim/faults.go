@@ -1,0 +1,139 @@
+package netsim
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// ErrDropped is returned by a faulty connection's Write when the fault
+// schedule discards the frame. Nothing reaches the peer; the sender
+// observes the loss and may retry. The fabric models message loss at send
+// time (at-most-once delivery with sender notification): a frame is either
+// delivered whole, discarded with an error, or truncated by a sever — it
+// is never silently lost after a successful Write. Silent loss still
+// arises at a higher level, from down-windows and severs that strike a
+// site after it accepted clones but before it reported; the client's
+// orphan-CHT reaper exists for exactly that case.
+var ErrDropped = errors.New("netsim: message dropped by fault injection")
+
+// ErrSevered is returned by Write when the fault schedule cuts the
+// connection mid-frame: a partial prefix is delivered, then both
+// directions close. The receiver sees a short frame and must discard it.
+var ErrSevered = errors.New("netsim: connection severed by fault injection")
+
+// DownWindow takes an endpoint down for an interval, then brings it back —
+// a transient crash or reboot. From/Until are offsets from Network
+// creation. The window matches the named endpoint and every endpoint under
+// it ("site" matches "site/query" and "site/web"), so naming a site downs
+// its whole host. While down, dials to and from the endpoint are refused.
+type DownWindow struct {
+	Endpoint    string
+	From, Until time.Duration
+}
+
+// EdgeBlock is an asymmetric partition: dials from From to To are refused
+// while the block is in force. The reverse direction is unaffected unless
+// blocked separately. Names match by endpoint prefix like DownWindow.
+type EdgeBlock struct {
+	From, To string
+}
+
+// FaultPlan is a seeded, deterministic fault schedule for the fabric. The
+// zero value injects nothing. Drop and Sever decisions are drawn from one
+// rand stream seeded with Seed, so a schedule replays the same decision
+// sequence (the interleaving across concurrent connections follows the
+// goroutine schedule, as on a real network).
+type FaultPlan struct {
+	// Seed initializes the fault decision stream.
+	Seed int64
+	// Drop is the per-frame probability that a Write is discarded whole.
+	Drop float64
+	// Sever is the per-frame probability that a Write delivers only a
+	// prefix and then kills the connection (crash mid-message).
+	Sever float64
+	// Windows lists transient endpoint down-times.
+	Windows []DownWindow
+	// Partitions lists asymmetric edge blocks, in force for the whole run.
+	Partitions []EdgeBlock
+}
+
+// active reports whether the plan can ever inject anything.
+func (f FaultPlan) active() bool {
+	return f.Drop > 0 || f.Sever > 0 || len(f.Windows) > 0 || len(f.Partitions) > 0
+}
+
+// faultState is the Network's runtime fault machinery.
+type faultState struct {
+	plan  FaultPlan
+	start time.Time
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+func newFaultState(plan FaultPlan) *faultState {
+	return &faultState{
+		plan:  plan,
+		start: time.Now(),
+		rng:   rand.New(rand.NewSource(plan.Seed)),
+	}
+}
+
+// matches reports whether the endpoint name falls under the pattern:
+// exact match or any sub-endpoint ("site" covers "site/query").
+func matches(pattern, name string) bool {
+	if pattern == name {
+		return true
+	}
+	return len(name) > len(pattern) && name[:len(pattern)] == pattern && name[len(pattern)] == '/'
+}
+
+// refuses reports whether a dial from from to to must be refused by the
+// schedule (an active down-window on either side, or a partition edge).
+func (f *faultState) refuses(from, to string) bool {
+	if len(f.plan.Windows) > 0 {
+		now := time.Since(f.start)
+		for _, w := range f.plan.Windows {
+			if now < w.From || now >= w.Until {
+				continue
+			}
+			if matches(w.Endpoint, from) || matches(w.Endpoint, to) {
+				return true
+			}
+		}
+	}
+	for _, p := range f.plan.Partitions {
+		if matches(p.From, from) && matches(p.To, to) {
+			return true
+		}
+	}
+	return false
+}
+
+// writeFault classifies one Write under the schedule.
+type writeFault int
+
+const (
+	writeOK writeFault = iota
+	writeDrop
+	writeSever
+)
+
+// next draws the fate of one frame from the seeded stream.
+func (f *faultState) next() writeFault {
+	if f.plan.Drop == 0 && f.plan.Sever == 0 {
+		return writeOK
+	}
+	f.mu.Lock()
+	v := f.rng.Float64()
+	f.mu.Unlock()
+	if v < f.plan.Drop {
+		return writeDrop
+	}
+	if v < f.plan.Drop+f.plan.Sever {
+		return writeSever
+	}
+	return writeOK
+}

@@ -31,17 +31,21 @@ type Options struct {
 	Latency time.Duration
 	// BytesPerSecond is the link bandwidth; zero means unlimited.
 	BytesPerSecond int64
+	// Faults is the seeded fault schedule; the zero value injects nothing.
+	Faults FaultPlan
 }
 
 // Network is an in-process transport fabric with per-edge instrumentation.
 // It implements Transport. The zero value is not usable; construct with
 // New.
 type Network struct {
-	opts Options
+	opts   Options
+	faults *faultState
 
 	mu        sync.Mutex
 	listeners map[string]*simListener
 	down      map[string]bool
+	blocked   map[Edge]bool
 	stats     *Stats
 }
 
@@ -49,8 +53,10 @@ type Network struct {
 func New(opts Options) *Network {
 	return &Network{
 		opts:      opts,
+		faults:    newFaultState(opts.Faults),
 		listeners: make(map[string]*simListener),
 		down:      make(map[string]bool),
+		blocked:   make(map[Edge]bool),
 		stats:     NewStats(),
 	}
 }
@@ -64,6 +70,30 @@ func (n *Network) SetDown(name string, down bool) {
 	n.mu.Lock()
 	n.down[name] = down
 	n.mu.Unlock()
+}
+
+// Block installs (or lifts) an asymmetric partition at runtime: dials from
+// from to to are refused while blocked. Both names match by endpoint
+// prefix, so Block("a.example", "b.example", true) cuts every a→b edge.
+func (n *Network) Block(from, to string, blocked bool) {
+	n.mu.Lock()
+	if blocked {
+		n.blocked[Edge{from, to}] = true
+	} else {
+		delete(n.blocked, Edge{from, to})
+	}
+	n.mu.Unlock()
+}
+
+// edgeBlocked reports whether a runtime Block covers from→to. Callers hold
+// n.mu.
+func (n *Network) edgeBlocked(from, to string) bool {
+	for e := range n.blocked {
+		if matches(e.From, from) && matches(e.To, to) {
+			return true
+		}
+	}
+	return false
 }
 
 // Listen registers name on the fabric.
@@ -85,11 +115,15 @@ func (n *Network) Listen(name string) (net.Listener, error) {
 func (n *Network) Dial(from, to string) (net.Conn, error) {
 	n.mu.Lock()
 	l, ok := n.listeners[to]
-	if n.down[to] || n.down[from] {
+	if n.down[to] || n.down[from] || n.edgeBlocked(from, to) {
 		ok = false
 	}
 	n.mu.Unlock()
+	if ok && n.faults.refuses(from, to) {
+		ok = false
+	}
 	if !ok {
+		n.stats.AddRefused(from, to)
 		return nil, fmt.Errorf("%w: %s -> %s", ErrRefused, from, to)
 	}
 	cq := newQueue()
@@ -109,6 +143,7 @@ func (n *Network) Dial(from, to string) (net.Conn, error) {
 	// enqueueing checks the closed flag under the listener lock, so a
 	// concurrent Close can never strand a connection.
 	if !l.enqueue(server) {
+		n.stats.AddRefused(from, to)
 		return nil, fmt.Errorf("%w: %s -> %s", ErrRefused, from, to)
 	}
 	n.stats.AddDial(from, to)
@@ -293,6 +328,24 @@ func (c *simConn) Write(p []byte) (int, error) {
 	c.write.mu.Unlock()
 	if closed {
 		return 0, errClosedPipe
+	}
+	switch c.net.faults.next() {
+	case writeDrop:
+		// The frame vanishes whole; the sender learns and may retry.
+		c.net.stats.AddDropped(c.from, c.to)
+		return 0, ErrDropped
+	case writeSever:
+		// Crash mid-message: a prefix travels, then the connection dies
+		// in both directions. The receiver sees a short frame + EOF.
+		cut := len(p) / 2
+		if cut > 0 {
+			c.net.stats.AddBytes(c.from, c.to, cut)
+			c.write.push(p[:cut], c.net.opts)
+		}
+		c.net.stats.AddSevered(c.from, c.to)
+		c.write.close()
+		c.read.close()
+		return 0, ErrSevered
 	}
 	c.net.stats.AddBytes(c.from, c.to, len(p))
 	c.write.push(p, c.net.opts)

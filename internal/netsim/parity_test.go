@@ -1,0 +1,164 @@
+package netsim
+
+import (
+	"errors"
+	"io"
+	"testing"
+	"time"
+)
+
+// downTransport is the failure-injection surface the engine's tests rely
+// on; both fabrics must provide it with the same semantics.
+type downTransport interface {
+	Transport
+	SetDown(name string, down bool)
+}
+
+// TestTransportParity runs the same failure scenarios against the
+// in-process fabric and the real TCP transport: dials to unknown or down
+// endpoints are refused promptly with ErrRefused, SetDown is reversible,
+// and a connection cut mid-frame surfaces as a read error, never a hang.
+func TestTransportParity(t *testing.T) {
+	fabrics := []struct {
+		name string
+		mk   func() downTransport
+	}{
+		{"pipe", func() downTransport { return New(Options{}) }},
+		{"tcp", func() downTransport { return NewTCP() }},
+	}
+	for _, fab := range fabrics {
+		fab := fab
+		t.Run(fab.name, func(t *testing.T) {
+			tr := fab.mk()
+
+			t.Run("unknown endpoint refused", func(t *testing.T) {
+				done := make(chan error, 1)
+				go func() {
+					_, err := tr.Dial("user", "nobody.example/query")
+					done <- err
+				}()
+				select {
+				case err := <-done:
+					if !errors.Is(err, ErrRefused) {
+						t.Fatalf("dial unknown: %v, want ErrRefused", err)
+					}
+				case <-time.After(5 * time.Second):
+					t.Fatal("dial to unknown endpoint hung")
+				}
+			})
+
+			ln, err := tr.Listen("alpha.example/query")
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer ln.Close()
+
+			t.Run("roundtrip", func(t *testing.T) {
+				go func() {
+					c, err := ln.Accept()
+					if err != nil {
+						return
+					}
+					defer c.Close()
+					io.Copy(c, c)
+				}()
+				conn, err := tr.Dial("user", "alpha.example/query")
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer conn.Close()
+				if _, err := conn.Write([]byte("ping")); err != nil {
+					t.Fatal(err)
+				}
+				buf := make([]byte, 4)
+				if _, err := io.ReadFull(conn, buf); err != nil || string(buf) != "ping" {
+					t.Fatalf("echo = %q, %v", buf, err)
+				}
+			})
+
+			t.Run("setdown and recover", func(t *testing.T) {
+				tr.SetDown("alpha.example/query", true)
+				if _, err := tr.Dial("user", "alpha.example/query"); !errors.Is(err, ErrRefused) {
+					t.Fatalf("dial to down endpoint: %v, want ErrRefused", err)
+				}
+				// The source being down refuses outbound dials too.
+				tr.SetDown("user", true)
+				tr.SetDown("alpha.example/query", false)
+				if _, err := tr.Dial("user", "alpha.example/query"); !errors.Is(err, ErrRefused) {
+					t.Fatalf("dial from down endpoint: %v, want ErrRefused", err)
+				}
+				tr.SetDown("user", false)
+				go func() {
+					if c, err := ln.Accept(); err == nil {
+						c.Close()
+					}
+				}()
+				conn, err := tr.Dial("user", "alpha.example/query")
+				if err != nil {
+					t.Fatalf("dial after recovery: %v", err)
+				}
+				conn.Close()
+			})
+
+			t.Run("mid-frame cut is a read error", func(t *testing.T) {
+				go func() {
+					c, err := ln.Accept()
+					if err != nil {
+						return
+					}
+					// Two bytes of a four-byte length prefix, then gone —
+					// a process crashing mid-message.
+					c.Write([]byte{0x00, 0x00})
+					c.Close()
+				}()
+				conn, err := tr.Dial("user", "alpha.example/query")
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer conn.Close()
+				type res struct {
+					n   int
+					err error
+				}
+				done := make(chan res, 1)
+				go func() {
+					buf := make([]byte, 4)
+					n, err := io.ReadFull(conn, buf)
+					done <- res{n, err}
+				}()
+				select {
+				case r := <-done:
+					if r.err == nil {
+						t.Fatalf("short frame read succeeded (%d bytes), want error", r.n)
+					}
+				case <-time.After(5 * time.Second):
+					t.Fatal("read of a severed frame hung")
+				}
+			})
+
+			t.Run("closed listener refused", func(t *testing.T) {
+				ln2, err := tr.Listen("beta.example/query")
+				if err != nil {
+					t.Fatal(err)
+				}
+				ln2.Close()
+				done := make(chan error, 1)
+				go func() {
+					c, err := tr.Dial("user", "beta.example/query")
+					if err == nil {
+						c.Close()
+					}
+					done <- err
+				}()
+				select {
+				case err := <-done:
+					if !errors.Is(err, ErrRefused) {
+						t.Fatalf("dial to closed listener: %v, want ErrRefused", err)
+					}
+				case <-time.After(5 * time.Second):
+					t.Fatal("dial to closed listener hung")
+				}
+			})
+		})
+	}
+}

@@ -26,11 +26,15 @@ type Counters struct {
 	Bytes    int64
 	Messages int64            // frames marked by the wire layer
 	Dials    int64            // connections opened
+	Dropped  int64            // frames discarded by fault injection
+	Severed  int64            // connections cut mid-frame by fault injection
+	Refused  int64            // dials refused (down, blocked, or no listener)
 	ByKind   map[string]int64 // message count per wire kind
 }
 
 func (c *Counters) clone() *Counters {
 	out := &Counters{Bytes: c.Bytes, Messages: c.Messages, Dials: c.Dials,
+		Dropped: c.Dropped, Severed: c.Severed, Refused: c.Refused,
 		ByKind: make(map[string]int64, len(c.ByKind))}
 	for k, v := range c.ByKind {
 		out.ByKind[k] = v
@@ -81,6 +85,27 @@ func (s *Stats) AddDial(from, to string) {
 	s.mu.Unlock()
 }
 
+// AddDropped records one frame discarded by fault injection on the edge.
+func (s *Stats) AddDropped(from, to string) {
+	s.mu.Lock()
+	s.counters(Edge{from, to}).Dropped++
+	s.mu.Unlock()
+}
+
+// AddSevered records one connection cut mid-frame on the edge.
+func (s *Stats) AddSevered(from, to string) {
+	s.mu.Lock()
+	s.counters(Edge{from, to}).Severed++
+	s.mu.Unlock()
+}
+
+// AddRefused records one refused dial on the edge.
+func (s *Stats) AddRefused(from, to string) {
+	s.mu.Lock()
+	s.counters(Edge{from, to}).Refused++
+	s.mu.Unlock()
+}
+
 // Reset clears all counters.
 func (s *Stats) Reset() {
 	s.mu.Lock()
@@ -104,16 +129,24 @@ func (s *Stats) Snapshot() Snapshot {
 	return out
 }
 
+// add accumulates c into t.
+func (t *Counters) add(c *Counters) {
+	t.Bytes += c.Bytes
+	t.Messages += c.Messages
+	t.Dials += c.Dials
+	t.Dropped += c.Dropped
+	t.Severed += c.Severed
+	t.Refused += c.Refused
+	for k, v := range c.ByKind {
+		t.ByKind[k] += v
+	}
+}
+
 // Total returns the aggregate counters across all edges.
 func (sn Snapshot) Total() Counters {
 	t := Counters{ByKind: make(map[string]int64)}
 	for _, c := range sn.Edges {
-		t.Bytes += c.Bytes
-		t.Messages += c.Messages
-		t.Dials += c.Dials
-		for k, v := range c.ByKind {
-			t.ByKind[k] += v
-		}
+		t.add(c)
 	}
 	return t
 }
@@ -125,12 +158,7 @@ func (sn Snapshot) To(name string) Counters {
 		if e.To != name {
 			continue
 		}
-		t.Bytes += c.Bytes
-		t.Messages += c.Messages
-		t.Dials += c.Dials
-		for k, v := range c.ByKind {
-			t.ByKind[k] += v
-		}
+		t.add(c)
 	}
 	return t
 }
@@ -142,12 +170,7 @@ func (sn Snapshot) From(name string) Counters {
 		if e.From != name {
 			continue
 		}
-		t.Bytes += c.Bytes
-		t.Messages += c.Messages
-		t.Dials += c.Dials
-		for k, v := range c.ByKind {
-			t.ByKind[k] += v
-		}
+		t.add(c)
 	}
 	return t
 }

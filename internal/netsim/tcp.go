@@ -18,12 +18,24 @@ import (
 type TCPTransport struct {
 	mu    sync.Mutex
 	addrs map[string]string // endpoint name -> host:port
+	down  map[string]bool
 	stats *Stats
 }
 
 // NewTCP returns an empty TCP transport.
 func NewTCP() *TCPTransport {
-	return &TCPTransport{addrs: make(map[string]string), stats: NewStats()}
+	return &TCPTransport{addrs: make(map[string]string), down: make(map[string]bool), stats: NewStats()}
+}
+
+// SetDown marks an endpoint as unreachable (true) or reachable (false),
+// mirroring Network.SetDown: dials to or from a down endpoint fail with
+// ErrRefused. The listener itself stays bound — this models a process
+// that is unreachable, not deregistered — so parity with the in-process
+// fabric holds for failure-injection tests over TCP.
+func (t *TCPTransport) SetDown(name string, down bool) {
+	t.mu.Lock()
+	t.down[name] = down
+	t.mu.Unlock()
 }
 
 // Stats returns the transport's traffic collector.
@@ -86,16 +98,25 @@ func (t *TCPTransport) Listen(name string) (net.Listener, error) {
 
 // Dial connects to the named endpoint.
 func (t *TCPTransport) Dial(from, to string) (net.Conn, error) {
+	t.mu.Lock()
+	refused := t.down[from] || t.down[to]
+	t.mu.Unlock()
+	if refused {
+		t.stats.AddRefused(from, to)
+		return nil, fmt.Errorf("%w: %s -> %s (down)", ErrRefused, from, to)
+	}
 	addr, ok := t.Resolve(to)
 	if !ok {
 		if embedded, self := splitTCPName(to); self {
 			addr = embedded
 		} else {
+			t.stats.AddRefused(from, to)
 			return nil, fmt.Errorf("%w: %s -> %s (unregistered)", ErrRefused, from, to)
 		}
 	}
 	c, err := net.Dial("tcp", addr)
 	if err != nil {
+		t.stats.AddRefused(from, to)
 		return nil, fmt.Errorf("%w: %s -> %s: %v", ErrRefused, from, to, err)
 	}
 	t.stats.AddDial(from, to)

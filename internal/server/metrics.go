@@ -43,6 +43,17 @@ type Metrics struct {
 	// DocErrors counts destination nodes whose document could not be
 	// loaded (floating links).
 	DocErrors atomic.Int64
+	// Retries counts repeat send attempts made under Options.Retry
+	// (forwards, result dispatches and bounces past their first try).
+	Retries atomic.Int64
+	// RecoveredByBounce counts clones returned to the user-site after a
+	// retry loop was exhausted — degraded-mode recovery from query
+	// shipping to data shipping for one failed edge.
+	RecoveredByBounce atomic.Int64
+	// CHTReaped counts orphaned CHT entries retired by the user-site's
+	// grace-window reaper (clones stranded by a crashed or partitioned
+	// site that will never report).
+	CHTReaped atomic.Int64
 }
 
 // Snapshot is a plain-integer copy of Metrics.
@@ -62,6 +73,10 @@ type Snapshot struct {
 	Bounced         int64
 	HopsClamped     int64
 	DocErrors       int64
+
+	Retries           int64
+	RecoveredByBounce int64
+	CHTReaped         int64
 }
 
 // Snapshot returns a consistent-enough copy for reporting (individual
@@ -83,5 +98,9 @@ func (m *Metrics) Snapshot() Snapshot {
 		Bounced:         m.Bounced.Load(),
 		HopsClamped:     m.HopsClamped.Load(),
 		DocErrors:       m.DocErrors.Load(),
+
+		Retries:           m.Retries.Load(),
+		RecoveredByBounce: m.RecoveredByBounce.Load(),
+		CHTReaped:         m.CHTReaped.Load(),
 	}
 }

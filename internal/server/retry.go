@@ -1,0 +1,151 @@
+package server
+
+import (
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"webdis/internal/wire"
+)
+
+// RetryPolicy bounds the forward-resilience loop wrapped around every
+// remote send (clone forwards, result dispatches, bounces). The zero
+// value sends exactly once with no timeout — the paper's original
+// behaviour, where any failure is immediately terminal.
+type RetryPolicy struct {
+	// Attempts is the total number of tries per message (1 or less means
+	// no retry).
+	Attempts int
+	// Base is the backoff before the first retry; each further retry
+	// doubles it, up to Max. A ±25% jitter decorrelates competing
+	// senders. Base <= 0 with Attempts > 1 retries immediately.
+	Base time.Duration
+	// Max caps the backoff (0 means uncapped).
+	Max time.Duration
+	// Timeout bounds one attempt (dial + send); 0 means no bound. An
+	// attempt that exceeds it is abandoned — its connection is closed —
+	// and the next attempt starts.
+	Timeout time.Duration
+}
+
+func (r RetryPolicy) attempts() int {
+	if r.Attempts < 1 {
+		return 1
+	}
+	return r.Attempts
+}
+
+// backoff returns the pause before retry number n (1-based), jittered.
+func (r RetryPolicy) backoff(n int) time.Duration {
+	if r.Base <= 0 {
+		return 0
+	}
+	d := r.Base << (n - 1)
+	if r.Max > 0 && d > r.Max {
+		d = r.Max
+	}
+	// ±25% jitter; rand's global source is concurrency-safe.
+	j := time.Duration(rand.Int63n(int64(d)/2+1)) - d/4
+	return d + j
+}
+
+// send delivers one message to the named endpoint under the server's
+// retry policy. It reports the last error when every attempt failed.
+func (s *Server) send(to string, msg any) error {
+	pol := s.opts.Retry
+	var err error
+	for i := 1; i <= pol.attempts(); i++ {
+		if i > 1 {
+			s.met.Retries.Add(1)
+			if !s.pause(pol.backoff(i - 1)) {
+				return err // server stopping; give up quietly
+			}
+		}
+		if err = s.attemptSend(to, msg, pol.Timeout); err == nil {
+			return nil
+		}
+	}
+	return err
+}
+
+// attemptSend performs one dial+send, bounded by timeout when positive.
+func (s *Server) attemptSend(to string, msg any, timeout time.Duration) error {
+	if timeout <= 0 {
+		conn, err := s.tr.Dial(Endpoint(s.site), to)
+		if err != nil {
+			return err
+		}
+		defer conn.Close()
+		return wire.Send(conn, msg)
+	}
+
+	// Run the attempt in a goroutine so a stalled dial or send cannot
+	// wedge the Query Processor; on timeout the connection (if any) is
+	// closed, which unblocks the send and bounds the goroutine's life.
+	var mu sync.Mutex
+	var conn net.Conn
+	timedOut := false
+	done := make(chan error, 1)
+	go func() {
+		c, err := s.tr.Dial(Endpoint(s.site), to)
+		if err != nil {
+			done <- err
+			return
+		}
+		mu.Lock()
+		if timedOut {
+			mu.Unlock()
+			c.Close()
+			done <- errAttemptTimeout
+			return
+		}
+		conn = c
+		mu.Unlock()
+		err = wire.Send(c, msg)
+		c.Close()
+		done <- err
+	}()
+	t := time.NewTimer(timeout)
+	defer t.Stop()
+	select {
+	case err := <-done:
+		return err
+	case <-t.C:
+		mu.Lock()
+		timedOut = true
+		if conn != nil {
+			conn.Close()
+		}
+		mu.Unlock()
+		return errAttemptTimeout
+	}
+}
+
+type timeoutErr string
+
+func (e timeoutErr) Error() string { return string(e) }
+
+const errAttemptTimeout = timeoutErr("server: send attempt timed out")
+
+// pause sleeps for d but wakes early when the server stops, reporting
+// whether the caller should continue.
+func (s *Server) pause(d time.Duration) bool {
+	if d <= 0 {
+		return true
+	}
+	s.mu.Lock()
+	stop := s.stop
+	s.mu.Unlock()
+	if stop == nil {
+		return false
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-stop:
+		return false
+	}
+}

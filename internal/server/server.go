@@ -21,6 +21,7 @@
 package server
 
 import (
+	"errors"
 	"net"
 	"sort"
 	"strconv"
@@ -108,6 +109,11 @@ type Options struct {
 	// purge when both are positive.
 	LogPurgeAge   time.Duration
 	LogPurgeEvery time.Duration
+	// Retry bounds the resilience loop around every remote send (clone
+	// forwards, result dispatches, bounces): per-attempt timeout and
+	// bounded exponential backoff with jitter. The zero value sends once
+	// with no timeout — the paper's failure-is-terminal behaviour.
+	Retry RetryPolicy
 	// Trace, when set, receives processing events.
 	Trace Tracer
 }
@@ -526,19 +532,16 @@ func (s *Server) database(node string) (*relmodel.DB, error) {
 }
 
 // dispatchResults sends the batched results and CHT updates to the
-// user-site's Result Collector. It reports success; failure means the
-// user-site is gone (query cancelled) and the query must be purged.
+// user-site's Result Collector, retrying per Options.Retry. It reports
+// success; exhausted failure means the user-site is gone (query cancelled
+// or unreachable) and the query must be purged — stranded CHT entries are
+// then the user-site reaper's problem, not ours.
 func (s *Server) dispatchResults(id wire.QueryID, updates []wire.CHTUpdate, tables []wire.NodeTable) bool {
 	if len(updates) == 0 && len(tables) == 0 {
 		return true
 	}
-	conn, err := s.tr.Dial(Endpoint(s.site), id.Site)
-	if err != nil {
-		return false
-	}
-	defer conn.Close()
 	msg := &wire.ResultMsg{ID: id, Updates: updates, Tables: tables}
-	if err := wire.Send(conn, msg); err != nil {
+	if s.send(id.Site, msg) != nil {
 		return false
 	}
 	s.met.ResultMsgs.Add(1)
@@ -556,14 +559,9 @@ func (s *Server) forward(oc *outClone) {
 		s.Enqueue(oc.msg)
 		return
 	}
-	conn, err := s.tr.Dial(Endpoint(s.site), Endpoint(oc.site))
-	if err == nil {
-		err = wire.Send(conn, oc.msg)
-		conn.Close()
-	}
+	err := s.send(Endpoint(oc.site), oc.msg)
 	if err != nil {
-		if s.opts.Hybrid && s.bounce(oc.msg) {
-			s.met.Bounced.Add(1)
+		if s.opts.Hybrid && s.bounce(oc.msg, bounceReason(err, s.opts.Retry)) {
 			s.trace("", oc.msg.State(), "bounce", oc.site)
 			return
 		}
@@ -575,16 +573,30 @@ func (s *Server) forward(oc *outClone) {
 	s.met.ClonesForwarded.Add(1)
 }
 
+// bounceReason classifies a failed forward: a plain connection refusal
+// with no retry policy is the paper's §7.1 "site runs no query server"
+// case; anything that survived a retry loop (or failed mid-transfer) is
+// the fault-tolerance degraded mode.
+func bounceReason(err error, pol RetryPolicy) string {
+	if pol.attempts() <= 1 && errors.Is(err, netsim.ErrRefused) {
+		return wire.BounceNoServer
+	}
+	return wire.BounceRetryExhausted
+}
+
 // bounce returns an undeliverable clone to the user-site for central
-// fallback processing. The clone's CHT entries stay live; the user-site
-// retires them as it processes the bounced destinations.
-func (s *Server) bounce(c *wire.CloneMsg) bool {
-	conn, err := s.tr.Dial(Endpoint(s.site), c.ID.Site)
-	if err != nil {
+// fallback processing (retried per Options.Retry like any remote send).
+// The clone's CHT entries stay live; the user-site retires them as it
+// processes the bounced destinations.
+func (s *Server) bounce(c *wire.CloneMsg, reason string) bool {
+	if s.send(c.ID.Site, &wire.BounceMsg{Clone: c, Reason: reason}) != nil {
 		return false
 	}
-	defer conn.Close()
-	return wire.Send(conn, &wire.BounceMsg{Clone: c}) == nil
+	s.met.Bounced.Add(1)
+	if reason == wire.BounceRetryExhausted {
+		s.met.RecoveredByBounce.Add(1)
+	}
+	return true
 }
 
 // retireAll dispatches CHT retirements for every destination of a clone

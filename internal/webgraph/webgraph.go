@@ -16,6 +16,7 @@ import (
 	"math/rand"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // ItemKind identifies one content element of a generated page.
@@ -43,7 +44,8 @@ type Page struct {
 	Title string
 	Items []Item
 
-	html []byte // cached render
+	renderOnce sync.Once
+	html       []byte // cached render
 }
 
 // AddText appends a paragraph.
@@ -64,12 +66,16 @@ func (p *Page) AddLink(href, label string) {
 	p.Items = append(p.Items, Item{Kind: Anchor, Href: href, Text: label})
 }
 
-// Render produces the page's HTML. The result is cached; Render after a
-// mutation of Items returns the stale cache, so build pages fully first.
+// Render produces the page's HTML. The result is cached and the first
+// render is synchronized (a site's query server and its document host may
+// request the same page concurrently); Render after a mutation of Items
+// returns the stale cache, so build pages fully first.
 func (p *Page) Render() []byte {
-	if p.html != nil {
-		return p.html
-	}
+	p.renderOnce.Do(p.render)
+	return p.html
+}
+
+func (p *Page) render() {
 	var b strings.Builder
 	b.WriteString("<!doctype html>\n<html>\n<head><title>")
 	b.WriteString(escape(p.Title))
@@ -91,7 +97,6 @@ func (p *Page) Render() []byte {
 	}
 	b.WriteString("</body>\n</html>\n")
 	p.html = []byte(b.String())
-	return p.html
 }
 
 func escape(s string) string {

@@ -180,14 +180,24 @@ type FetchResp struct {
 	Err     string
 }
 
-// BounceMsg returns an undeliverable clone to the user-site: its
-// destination site does not run a query server. The user-site's hybrid
-// fallback (the paper's Section 7.1 migration path) then processes the
-// clone centrally — fetching the documents and evaluating locally — and
-// re-enters distributed mode at the next participating site.
+// BounceMsg returns an undeliverable clone to the user-site. Reason says
+// why: BounceNoServer when the destination site runs no query server (the
+// paper's Section 7.1 migration path), BounceRetryExhausted when the site
+// should be reachable but every forward attempt failed (fault-tolerant
+// degraded mode: the engine falls back from query shipping to data
+// shipping for that one edge). The user-site's fallback then processes
+// the clone centrally — fetching the documents and evaluating locally —
+// and re-enters distributed mode at the next participating site.
 type BounceMsg struct {
-	Clone *CloneMsg
+	Clone  *CloneMsg
+	Reason string
 }
+
+// Bounce reasons.
+const (
+	BounceNoServer       = "no-server"
+	BounceRetryExhausted = "retry-exhausted"
+)
 
 // Message kind strings, used for per-kind traffic accounting.
 const (

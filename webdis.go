@@ -86,6 +86,18 @@ type (
 	DedupMode = nodeproc.DedupMode
 	// TraceEvent is one record of a server's processing.
 	TraceEvent = server.Event
+	// RetryPolicy bounds the forward/dispatch retry loop of every query
+	// server (ServerOptions.Retry); the zero value sends exactly once, the
+	// paper's behaviour.
+	RetryPolicy = server.RetryPolicy
+	// FaultPlan is a seeded, deterministic fault schedule for the simulated
+	// fabric (NetOptions.Faults): probabilistic message drops, mid-frame
+	// severs, transient down windows and asymmetric partitions.
+	FaultPlan = netsim.FaultPlan
+	// DownWindow is one transient outage of a FaultPlan.
+	DownWindow = netsim.DownWindow
+	// EdgeBlock is one asymmetric partition of a FaultPlan.
+	EdgeBlock = netsim.EdgeBlock
 )
 
 // Log-table dedup modes (paper Section 3.1.1 and extensions).
