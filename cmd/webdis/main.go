@@ -7,6 +7,7 @@
 //
 //	webdis -peers peers.txt -listen 127.0.0.1:7300 -query 'select d.url from ...'
 //	webdis -peers peers.txt -listen 127.0.0.1:7300 -file query.disql
+//	webdis -peers peers.txt -listen 127.0.0.1:7300 -file query.disql -trace text
 package main
 
 import (
@@ -22,6 +23,7 @@ import (
 	"webdis/internal/disql"
 	"webdis/internal/netsim"
 	"webdis/internal/server"
+	"webdis/internal/trace"
 	"webdis/internal/webserver"
 )
 
@@ -32,6 +34,7 @@ func main() {
 	file := flag.String("file", "", "file containing the DISQL query")
 	timeout := flag.Duration("timeout", time.Minute, "give up after this long (0 = wait forever)")
 	hybrid := flag.Bool("hybrid", false, "process clones for sites without a daemon centrally (needs doc addresses in the peers file)")
+	traceMode := flag.String("trace", "", "print the query's causal clone tree after completion: text, dot, or chrome (trace_event JSON)")
 	flag.Parse()
 
 	if *peersPath == "" || (*query == "" && *file == "") {
@@ -62,6 +65,19 @@ func main() {
 	}
 	c := client.New(tr, username, "tcp://"+*listen)
 	c.SetHybrid(*hybrid)
+	var journal *trace.Journal
+	if *traceMode != "" {
+		switch *traceMode {
+		case "text", "dot", "chrome":
+		default:
+			fatal(fmt.Errorf("unknown -trace mode %q (want text, dot or chrome)", *traceMode))
+		}
+		// Tracing over TCP: the daemons' journals stay remote, but the
+		// span ids they echo on every result message let the client
+		// stitch the clone tree from its own collector socket.
+		journal = trace.NewJournal("tcp://"+*listen, 0)
+		c.SetJournal(journal)
+	}
 
 	fmt.Printf("webdis: %s\n", w)
 	start := time.Now()
@@ -81,6 +97,22 @@ func main() {
 	st := q.Stats()
 	fmt.Printf("\ncompleted in %v (CHT: %d entries, %d result messages)\n",
 		time.Since(start).Round(time.Millisecond), st.EntriesAdded, st.ResultMsgs)
+	if journal != nil {
+		jy := trace.BuildJourney(q.ID().String(), q.TraceEvents())
+		switch *traceMode {
+		case "text":
+			fmt.Printf("\nclone tree (%d spans, complete=%v):\n", len(jy.Spans), jy.Complete())
+			fmt.Print(jy.Tree())
+		case "dot":
+			fmt.Print(jy.DOT())
+		case "chrome":
+			data, err := jy.ChromeTrace()
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println(string(data))
+		}
+	}
 }
 
 func registerPeers(tr *netsim.TCPTransport, path string) error {

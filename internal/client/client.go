@@ -29,14 +29,17 @@ import (
 	"fmt"
 	"net"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"webdis/internal/disql"
 	"webdis/internal/netsim"
 	"webdis/internal/nodeproc"
 	"webdis/internal/server"
+	"webdis/internal/trace"
 	"webdis/internal/webgraph"
 	"webdis/internal/wire"
 )
@@ -56,6 +59,7 @@ type Client struct {
 	hybrid    bool
 	reapGrace time.Duration
 	met       *server.Metrics
+	journal   *trace.Journal
 	resolve   func(term string) []string
 
 	mu   sync.Mutex
@@ -88,6 +92,12 @@ func (c *Client) SetReapGrace(grace time.Duration) { c.reapGrace = grace }
 // protocol events (reaped CHT entries) appear in the same snapshot as the
 // servers' counters. Optional.
 func (c *Client) SetMetrics(m *server.Metrics) { c.met = m }
+
+// SetJournal arms causal tracing for queries submitted afterwards: root
+// clones get span ids, every dispatch/reap is journaled here, and span
+// contexts echoed on result reports are stitched into the query's remote
+// view (see Query.TraceEvents).
+func (c *Client) SetJournal(j *trace.Journal) { c.journal = j }
 
 // SetIndexResolver installs the search-index lookup used to resolve
 // `index("term")` StartNode sources (the paper's Section 1.1 automated
@@ -127,12 +137,15 @@ type Query struct {
 	hybrid    bool
 	reapGrace time.Duration
 	met       *server.Metrics
+	journal   *trace.Journal
+	spanSeq   atomic.Int64
 
 	mu          sync.Mutex
 	counts      map[string]int // signed CHT entry counts
 	nonzero     int            // number of keys with a nonzero count
 	tables      map[int]*ResultTable
 	rowSeen     map[int]map[string]bool
+	stitched    []trace.Event // span events recovered from result reports
 	stats       Stats
 	fstats      FallbackStats
 	fb          *fallback // lazily created on first hybrid work
@@ -182,6 +195,7 @@ func (c *Client) Submit(w *disql.WebQuery) (*Query, error) {
 		hybrid:     c.hybrid,
 		reapGrace:  c.reapGrace,
 		met:        c.met,
+		journal:    c.journal,
 		ln:         ln,
 		doneCh:     make(chan struct{}),
 		counts:     make(map[string]int),
@@ -227,13 +241,29 @@ func (c *Client) Submit(w *disql.WebQuery) (*Query, error) {
 			Base:   0,
 			Stages: nodeproc.EncodeStages(stages),
 		}
+		if q.journal != nil {
+			// Root spans: one per site batch, parented by nothing.
+			msg.Span = wire.SpanID{Origin: endpoint, Seq: q.spanSeq.Add(1)}
+			q.journal.Append(trace.Event{
+				Query: q.id.String(), Span: msg.Span, Kind: trace.Dispatch,
+				State: state.String(), Detail: site,
+			})
+		}
 		if err := q.dispatch(site, msg); err != nil {
 			if q.hybrid {
 				// The StartNode's site does not participate: process its
 				// clone centrally (Section 7.1).
+				q.journal.Append(trace.Event{
+					Query: q.id.String(), Span: msg.Span, Kind: trace.Bounce,
+					State: state.String(), Detail: wire.BounceNoServer,
+				})
 				q.bounced(msg)
 				continue
 			}
+			q.journal.Append(trace.Event{
+				Query: q.id.String(), Span: msg.Span, Kind: trace.ForwardFailed,
+				State: state.String(), Detail: site,
+			})
 			if firstErr == nil {
 				firstErr = err
 			}
@@ -340,6 +370,9 @@ func (q *Query) merge(rm *wire.ResultMsg) {
 	}
 	q.stats.ResultMsgs++
 	q.lastReport = time.Now()
+	if !rm.Span.IsZero() {
+		q.stitch(rm)
+	}
 	for _, t := range rm.Tables {
 		q.mergeTable(t)
 	}
@@ -350,6 +383,52 @@ func (q *Query) merge(rm *wire.ResultMsg) {
 		}
 	}
 	q.maybeComplete()
+}
+
+// jot appends one causal event for clone c to the query's journal (used
+// by the hybrid fallback, which processes clones at the user-site).
+func (q *Query) jot(c *wire.CloneMsg, kind trace.Kind, detail string) {
+	if q.journal == nil {
+		return
+	}
+	q.journal.Append(trace.Event{
+		Query: c.ID.String(), Span: c.Span, Parent: c.Parent,
+		Kind: kind, State: c.State().String(), Hop: c.Hops, Detail: detail,
+	})
+}
+
+// stitch records the span context echoed on one result report: the
+// processing site, the report's own span, and links to the clones it
+// spawned. This is the user-site's remote view of the clone tree — enough
+// to reconstruct the journey over a real network, where the remote sites'
+// journals cannot be read. Callers hold q.mu.
+func (q *Query) stitch(rm *wire.ResultMsg) {
+	at := trace.Now()
+	q.stitched = append(q.stitched, trace.Event{
+		At: at, Site: rm.Site, Query: rm.ID.String(), Span: rm.Span,
+		Kind: trace.Result, Hop: rm.Hop,
+		Detail: strconv.Itoa(len(rm.Updates)) + " updates, " + strconv.Itoa(len(rm.Tables)) + " tables",
+	})
+	for _, link := range rm.Spawned {
+		q.stitched = append(q.stitched, trace.Event{
+			At: at, Site: rm.Site, Query: rm.ID.String(), Span: link.Span,
+			Parent: rm.Span, Kind: trace.Forward, Hop: rm.Hop + 1, Detail: link.Site,
+		})
+	}
+}
+
+// TraceEvents returns the query's causal trace as seen from the
+// user-site: the client journal's own events (dispatches, fallback
+// processing, reaps) plus the span events stitched from result reports.
+// Over a real network this is the complete reconstructable view; pass it
+// to trace.BuildJourney. In-process deployments should prefer the
+// deployment collector, which merges the per-site journals directly.
+func (q *Query) TraceEvents() []trace.Event {
+	out := append([]trace.Event(nil), q.journal.Events()...)
+	q.mu.Lock()
+	out = append(out, q.stitched...)
+	q.mu.Unlock()
+	return out
 }
 
 // addEntry and retire maintain the signed counting multiset. Callers hold
@@ -489,6 +568,10 @@ func (q *Query) reap() {
 	if q.met != nil {
 		q.met.CHTReaped.Add(int64(reaped))
 	}
+	q.journal.Append(trace.Event{
+		Query: q.id.String(), Kind: trace.Reap,
+		Detail: strconv.Itoa(reaped) + " entries, sites: " + strings.Join(q.unreachable, ","),
+	})
 	q.finish(nil)
 }
 

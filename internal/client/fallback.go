@@ -1,6 +1,7 @@
 package client
 
 import (
+	"strconv"
 	"sync"
 	"sync/atomic"
 
@@ -8,6 +9,7 @@ import (
 	"webdis/internal/nodeproc"
 	"webdis/internal/pre"
 	"webdis/internal/server"
+	"webdis/internal/trace"
 	"webdis/internal/webgraph"
 	"webdis/internal/webserver"
 	"webdis/internal/wire"
@@ -141,6 +143,7 @@ func (f *fallback) process(c *wire.CloneMsg) {
 	f.q.mu.Lock()
 	f.q.fstats.LocalClones++
 	f.q.mu.Unlock()
+	f.q.jot(c, trace.Arrive, strconv.Itoa(len(c.Dest))+" dests (fallback)")
 
 	stages, err := nodeproc.ParseStages(c.Stages)
 	arrRem, err2 := pre.Parse(c.Rem)
@@ -170,6 +173,7 @@ func (f *fallback) process(c *wire.CloneMsg) {
 
 	// Apply results and CHT updates locally first (CHT-before-forward).
 	f.q.merge(&wire.ResultMsg{ID: c.ID, Updates: updates, Tables: tables})
+	f.q.jot(c, trace.Result, "processed centrally")
 
 	for _, key := range order {
 		f.forward(outs[key])
@@ -274,6 +278,10 @@ func (f *fallback) addTargets(outs map[string]*wire.CloneMsg, order *[]string, f
 				Hops:   c.Hops + 1,
 				Env:    env,
 			}
+			if f.q.journal != nil || !c.Span.IsZero() {
+				oc.Span = wire.SpanID{Origin: f.q.id.Site, Seq: f.q.spanSeq.Add(1)}
+				oc.Parent = c.Span
+			}
 			outs[key] = oc
 			*order = append(*order, key)
 		}
@@ -300,6 +308,7 @@ func (f *fallback) addTargets(outs map[string]*wire.CloneMsg, order *[]string, f
 // participates, otherwise keeps it on the local fallback queue.
 func (f *fallback) forward(oc *wire.CloneMsg) {
 	site := webgraph.Host(oc.Dest[0].URL)
+	f.q.jot(oc, trace.Forward, site)
 	conn, err := f.q.tr.Dial(f.q.id.Site, server.Endpoint(site))
 	if err == nil {
 		err = wire.Send(conn, oc)

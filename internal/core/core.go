@@ -8,6 +8,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -16,6 +17,7 @@ import (
 	"webdis/internal/index"
 	"webdis/internal/netsim"
 	"webdis/internal/server"
+	"webdis/internal/trace"
 	"webdis/internal/webgraph"
 	"webdis/internal/webserver"
 )
@@ -52,17 +54,35 @@ type Config struct {
 	// seen no report for this long while entries remain outstanding is
 	// completed as Partial, its orphans retired. Zero disables reaping.
 	ReapGrace time.Duration
+	// Trace arms causal tracing: every site (and the user-site) gets a
+	// trace.Journal, clones carry span ids, and transport-level events
+	// (dials, refusals, dropped and severed frames) are journaled via the
+	// fabric's observer hook. Journeys are reconstructed with Journey.
+	Trace bool
+	// TraceCapacity sizes each journal's event ring; <= 0 uses
+	// trace.DefaultCapacity.
+	TraceCapacity int
 }
 
 // Deployment is a running WEBDIS installation over a simulated web.
 type Deployment struct {
 	web     *webgraph.Web
 	network *netsim.Network
-	metrics *server.Metrics
 	hosts   map[string]*webserver.Host
 	servers map[string]*server.Server
 	client  *client.Client
 	user    string
+
+	// Per-site engine metrics: one instance per query server, plus one
+	// for the client under the user name. Metrics aggregates them.
+	siteMetrics   map[string]*server.Metrics
+	clientMetrics *server.Metrics
+
+	// Trace journals, present when Config.Trace is set: one per query
+	// server, one for the client, one for the fabric ("(net)").
+	journals      map[string]*trace.Journal
+	clientJournal *trace.Journal
+	netJournal    *trace.Journal
 
 	ixOnce sync.Once
 	ix     *index.Index
@@ -85,13 +105,30 @@ func NewDeployment(cfg Config) (*Deployment, error) {
 	if cfg.Participate != nil || cfg.Hybrid {
 		srvOpts.Hybrid = true
 	}
+	netOpts := cfg.Net
+	var netJournal *trace.Journal
+	if cfg.Trace {
+		// Transport-level events ride in their own journal, hooked into
+		// the fabric's observer (netsim cannot import trace).
+		netJournal = trace.NewJournal("(net)", cfg.TraceCapacity)
+		prev := netOpts.Observer
+		netOpts.Observer = func(kind, from, to string) {
+			netJournal.Append(trace.Event{Kind: trace.Kind(kind), Node: from, Detail: to})
+			if prev != nil {
+				prev(kind, from, to)
+			}
+		}
+	}
 	d := &Deployment{
-		web:     cfg.Web,
-		network: netsim.New(cfg.Net),
-		metrics: &server.Metrics{},
-		hosts:   make(map[string]*webserver.Host),
-		servers: make(map[string]*server.Server),
-		user:    user,
+		web:           cfg.Web,
+		network:       netsim.New(netOpts),
+		hosts:         make(map[string]*webserver.Host),
+		servers:       make(map[string]*server.Server),
+		user:          user,
+		siteMetrics:   make(map[string]*server.Metrics),
+		clientMetrics: &server.Metrics{},
+		journals:      make(map[string]*trace.Journal),
+		netJournal:    netJournal,
 	}
 	for _, site := range cfg.Web.Hosts() {
 		h := webserver.NewHost(site, cfg.Web)
@@ -105,7 +142,15 @@ func NewDeployment(cfg Config) (*Deployment, error) {
 		if cfg.Participate != nil && !cfg.Participate(site) {
 			continue // the site hosts documents but runs no query server
 		}
-		s := server.New(site, h, d.network, d.metrics, srvOpts)
+		met := &server.Metrics{}
+		d.siteMetrics[site] = met
+		opts := srvOpts
+		if cfg.Trace {
+			j := trace.NewJournal(site, cfg.TraceCapacity)
+			d.journals[site] = j
+			opts.Journal = j
+		}
+		s := server.New(site, h, d.network, met, opts)
 		d.servers[site] = s
 		if err := s.Start(); err != nil {
 			d.Close()
@@ -117,7 +162,11 @@ func NewDeployment(cfg Config) (*Deployment, error) {
 		d.client.SetHybrid(true)
 	}
 	d.client.SetReapGrace(cfg.ReapGrace)
-	d.client.SetMetrics(d.metrics)
+	d.client.SetMetrics(d.clientMetrics)
+	if cfg.Trace {
+		d.clientJournal = trace.NewJournal(user, cfg.TraceCapacity)
+		d.client.SetJournal(d.clientJournal)
+	}
 	// Resolve index("term") StartNode sources against the deployment's
 	// search index, built lazily on first use.
 	d.client.SetIndexResolver(func(term string) []string {
@@ -180,8 +229,81 @@ func (d *Deployment) Web() *webgraph.Web { return d.web }
 // Network returns the simulated fabric (for stats and failure injection).
 func (d *Deployment) Network() *netsim.Network { return d.network }
 
-// Metrics returns the shared engine metrics.
-func (d *Deployment) Metrics() *server.Metrics { return d.metrics }
+// Metrics returns the deployment-wide engine metrics: a fresh aggregate
+// of every site's instance plus the client's, materialized per call —
+// callers that poll must call Metrics again for updated counts (all
+// existing callers already do).
+func (d *Deployment) Metrics() *server.Metrics {
+	agg := &server.Metrics{}
+	for _, m := range d.siteMetrics {
+		agg.Absorb(m)
+	}
+	agg.Absorb(d.clientMetrics)
+	return agg
+}
+
+// SiteSnapshots returns one metrics snapshot per query server, keyed by
+// site, plus the client's counters under the user name — the per-site
+// attribution the single aggregate cannot give (which site evaluated,
+// which site's forwards failed).
+func (d *Deployment) SiteSnapshots() map[string]server.Snapshot {
+	out := make(map[string]server.Snapshot, len(d.siteMetrics)+1)
+	for site, m := range d.siteMetrics {
+		out[site] = m.Snapshot()
+	}
+	out[d.user] = d.clientMetrics.Snapshot()
+	return out
+}
+
+// Tracing reports whether the deployment was built with Config.Trace.
+func (d *Deployment) Tracing() bool { return d.netJournal != nil }
+
+// Journal returns the trace journal of one site (the user name returns
+// the client's journal, "(net)" the fabric's), or nil when tracing is
+// off or the site runs no query server.
+func (d *Deployment) Journal(site string) *trace.Journal {
+	switch site {
+	case d.user:
+		return d.clientJournal
+	case "(net)":
+		return d.netJournal
+	}
+	return d.journals[site]
+}
+
+// TraceEvents merges every journal — all sites, the client, the fabric —
+// into one time-ordered stream.
+func (d *Deployment) TraceEvents() []trace.Event {
+	var out []trace.Event
+	for _, site := range d.web.Hosts() {
+		out = append(out, d.journals[site].Events()...)
+	}
+	out = append(out, d.clientJournal.Events()...)
+	out = append(out, d.netJournal.Events()...)
+	sort.SliceStable(out, func(i, k int) bool { return out[i].At < out[k].At })
+	return out
+}
+
+// Journey reconstructs the causal clone tree of one query from the
+// deployment's journals. Call after the query completes (or at least
+// quiesces) for a stable tree.
+func (d *Deployment) Journey(q *client.Query) *trace.Journey {
+	return trace.BuildJourney(q.ID().String(), d.TraceEvents())
+}
+
+// FlushTraces drains and resets every journal, returning the merged
+// events. Use between measured runs so each query reads a clean slate;
+// it must not race with an in-flight query.
+func (d *Deployment) FlushTraces() []trace.Event {
+	var out []trace.Event
+	for _, site := range d.web.Hosts() {
+		out = append(out, d.journals[site].Flush()...)
+	}
+	out = append(out, d.clientJournal.Flush()...)
+	out = append(out, d.netJournal.Flush()...)
+	sort.SliceStable(out, func(i, k int) bool { return out[i].At < out[k].At })
+	return out
+}
 
 // Client returns the deployment's user-site client.
 func (d *Deployment) Client() *client.Client { return d.client }

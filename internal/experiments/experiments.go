@@ -47,6 +47,7 @@ func All() []Experiment {
 		{"anytime", "§2.6 / §7.1", "progressive results: partial answers accumulate before completion", func(w io.Writer) error { _, err := Anytime(w); return err }},
 		{"deadends", "§2.5 semantics", "dead-end scope: paper's examples vs literal Figure-4 pseudocode", func(w io.Writer) error { _, err := DeadEnds(w); return err }},
 		{"faults", "robustness / §2.8, §7.1", "fault injection: answer completeness under message loss, with retry, bounce and CHT reaping", func(w io.Writer) error { _, err := Faults(w); return err }},
+		{"trace", "observability / Figure 7", "causal tracing: journey reconstruction, tracing overhead, fault localization", func(w io.Writer) error { _, err := Tracing(w); return err }},
 	}
 }
 

@@ -33,6 +33,12 @@ type Options struct {
 	BytesPerSecond int64
 	// Faults is the seeded fault schedule; the zero value injects nothing.
 	Faults FaultPlan
+	// Observer, when set, receives one callback per transport-level
+	// event: kind is "dial", "refused", "frame-dropped" or "severed".
+	// It runs inline on the dial/send path, so it must be cheap and safe
+	// for concurrent use. The tracing subsystem hooks its network
+	// journal here.
+	Observer func(kind, from, to string)
 }
 
 // Network is an in-process transport fabric with per-edge instrumentation.
@@ -124,6 +130,7 @@ func (n *Network) Dial(from, to string) (net.Conn, error) {
 	}
 	if !ok {
 		n.stats.AddRefused(from, to)
+		n.observe("refused", from, to)
 		return nil, fmt.Errorf("%w: %s -> %s", ErrRefused, from, to)
 	}
 	cq := newQueue()
@@ -144,10 +151,19 @@ func (n *Network) Dial(from, to string) (net.Conn, error) {
 	// concurrent Close can never strand a connection.
 	if !l.enqueue(server) {
 		n.stats.AddRefused(from, to)
+		n.observe("refused", from, to)
 		return nil, fmt.Errorf("%w: %s -> %s", ErrRefused, from, to)
 	}
 	n.stats.AddDial(from, to)
+	n.observe("dial", from, to)
 	return client, nil
+}
+
+// observe forwards one transport-level event to the configured Observer.
+func (n *Network) observe(kind, from, to string) {
+	if n.opts.Observer != nil {
+		n.opts.Observer(kind, from, to)
+	}
 }
 
 type simListener struct {
@@ -333,6 +349,7 @@ func (c *simConn) Write(p []byte) (int, error) {
 	case writeDrop:
 		// The frame vanishes whole; the sender learns and may retry.
 		c.net.stats.AddDropped(c.from, c.to)
+		c.net.observe("frame-dropped", c.from, c.to)
 		return 0, ErrDropped
 	case writeSever:
 		// Crash mid-message: a prefix travels, then the connection dies
@@ -343,6 +360,7 @@ func (c *simConn) Write(p []byte) (int, error) {
 			c.write.push(p[:cut], c.net.opts)
 		}
 		c.net.stats.AddSevered(c.from, c.to)
+		c.net.observe("severed", c.from, c.to)
 		c.write.close()
 		c.read.close()
 		return 0, ErrSevered

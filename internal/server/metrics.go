@@ -1,10 +1,14 @@
 package server
 
-import "sync/atomic"
+import (
+	"reflect"
+	"sync/atomic"
+)
 
-// Metrics counts engine events. One Metrics value is shared by every
-// server of a deployment (and by the client), so a snapshot describes a
-// whole query execution. All fields are atomic; read them with Load.
+// Metrics counts engine events. Each server owns its own Metrics value
+// (and the client another), so counters attribute work to the site that
+// did it; Absorb folds instances together when a deployment-wide view is
+// wanted. All fields are atomic; read them with Load.
 type Metrics struct {
 	// Evaluations counts node-query evaluations (ServerRouter visits).
 	Evaluations atomic.Int64
@@ -103,4 +107,29 @@ func (m *Metrics) Snapshot() Snapshot {
 		RecoveredByBounce: m.RecoveredByBounce.Load(),
 		CHTReaped:         m.CHTReaped.Load(),
 	}
+}
+
+// Absorb adds every counter of o into m. The deployment aggregates its
+// per-site instances through this, so adding a Metrics field never needs
+// a matching edit here.
+func (m *Metrics) Absorb(o *Metrics) {
+	mv := reflect.ValueOf(m).Elem()
+	ov := reflect.ValueOf(o).Elem()
+	for i := 0; i < mv.NumField(); i++ {
+		c, ok := mv.Field(i).Addr().Interface().(*atomic.Int64)
+		if !ok {
+			continue
+		}
+		c.Add(ov.Field(i).Addr().Interface().(*atomic.Int64).Load())
+	}
+}
+
+// Add returns the field-wise sum of two snapshots.
+func (s Snapshot) Add(o Snapshot) Snapshot {
+	sv := reflect.ValueOf(&s).Elem()
+	ov := reflect.ValueOf(&o).Elem()
+	for i := 0; i < sv.NumField(); i++ {
+		sv.Field(i).SetInt(sv.Field(i).Int() + ov.Field(i).Int())
+	}
+	return s
 }

@@ -3,9 +3,11 @@ package server
 import (
 	"math/rand"
 	"net"
+	"strconv"
 	"sync"
 	"time"
 
+	"webdis/internal/trace"
 	"webdis/internal/wire"
 )
 
@@ -58,6 +60,7 @@ func (s *Server) send(to string, msg any) error {
 	for i := 1; i <= pol.attempts(); i++ {
 		if i > 1 {
 			s.met.Retries.Add(1)
+			s.jotRetry(to, msg, i, err)
 			if !s.pause(pol.backoff(i - 1)) {
 				return err // server stopping; give up quietly
 			}
@@ -67,6 +70,27 @@ func (s *Server) send(to string, msg any) error {
 		}
 	}
 	return err
+}
+
+// jotRetry journals one repeat send attempt, recovering the span context
+// from whichever message kind is being resent.
+func (s *Server) jotRetry(to string, msg any, attempt int, lastErr error) {
+	if s.opts.Journal == nil {
+		return
+	}
+	e := trace.Event{
+		Kind:   trace.Retry,
+		Detail: to + " attempt " + strconv.Itoa(attempt) + ": " + lastErr.Error(),
+	}
+	switch m := msg.(type) {
+	case *wire.CloneMsg:
+		e.Query, e.Span, e.Parent, e.Hop, e.State = m.ID.String(), m.Span, m.Parent, m.Hops, m.State().String()
+	case *wire.ResultMsg:
+		e.Query, e.Span, e.Hop = m.ID.String(), m.Span, m.Hop
+	case *wire.BounceMsg:
+		e.Query, e.Span, e.Parent, e.Hop, e.State = m.Clone.ID.String(), m.Clone.Span, m.Clone.Parent, m.Clone.Hops, m.Clone.State().String()
+	}
+	s.opts.Journal.Append(e)
 }
 
 // attemptSend performs one dial+send, bounded by timeout when positive.

@@ -34,6 +34,7 @@ import (
 	"webdis/internal/nodeproc"
 	"webdis/internal/pre"
 	"webdis/internal/relmodel"
+	"webdis/internal/trace"
 	"webdis/internal/webgraph"
 	"webdis/internal/wire"
 )
@@ -116,6 +117,13 @@ type Options struct {
 	Retry RetryPolicy
 	// Trace, when set, receives processing events.
 	Trace Tracer
+	// Journal, when set, receives causal trace events (package trace):
+	// one arrival per clone message, per-node processing events, and one
+	// forward/bounce/terminate fate per outgoing clone. Span ids are
+	// assigned to outgoing clones whenever the journal is set or the
+	// arriving clone already carries one, so traced context propagates
+	// across sites that journal and sites that merely relay.
+	Journal *trace.Journal
 }
 
 func (o Options) dedup() nodeproc.DedupMode {
@@ -282,6 +290,24 @@ func (s *Server) trace(node string, st wire.State, action, detail string) {
 	}
 }
 
+// jot appends one causal trace event for clone c to the site journal.
+func (s *Server) jot(c *wire.CloneMsg, kind trace.Kind, node string, st wire.State, detail string) {
+	if s.opts.Journal == nil {
+		return
+	}
+	s.opts.Journal.Append(trace.Event{
+		Query: c.ID.String(), Span: c.Span, Parent: c.Parent,
+		Kind: kind, Node: node, State: st.String(), Hop: c.Hops, Detail: detail,
+	})
+}
+
+// traced reports whether span context should ride on clones spawned from
+// c: either this server journals, or the arriving clone already carries
+// a span (an untraced relay must not break the causal chain).
+func (s *Server) traced(c *wire.CloneMsg) bool {
+	return s.opts.Journal != nil || !c.Span.IsZero()
+}
+
 // outClone accumulates one outgoing clone during the processing of a
 // received message: all destination nodes at one site that share one
 // query state (Section 3.2, item 4).
@@ -294,6 +320,7 @@ type outClone struct {
 // handle processes one received clone message: the process_query
 // algorithm of Figure 3.
 func (s *Server) handle(c *wire.CloneMsg) {
+	s.jot(c, trace.Arrive, "", c.State(), strconv.Itoa(len(c.Dest))+" dests")
 	stages, err := nodeproc.ParseStages(c.Stages)
 	arrRem, err2 := pre.Parse(c.Rem)
 	if err != nil || err2 != nil || len(stages) == 0 {
@@ -319,15 +346,30 @@ func (s *Server) handle(c *wire.CloneMsg) {
 		tables = append(tables, tbls...)
 	}
 
+	// Span links of the clones about to be forwarded, echoed on the
+	// result message so the user-site can stitch the causal tree.
+	var spawned []wire.SpanLink
+	if s.traced(c) {
+		for _, key := range order {
+			spawned = append(spawned, wire.SpanLink{Span: outs[key].msg.Span, Site: outs[key].site})
+		}
+	}
+
 	// Dispatch results and CHT updates to the user-site first; only after
 	// a successful dispatch are clones forwarded (Figure 3, lines 17–20).
 	// A failed dispatch is the passive termination signal: the query is
 	// purged locally.
-	if !s.dispatchResults(c.ID, updates, tables) {
+	if !s.dispatchResults(c, updates, tables, spawned) {
 		s.met.Terminated.Add(1)
 		s.trace("", c.State(), "terminated", "result dispatch failed")
+		s.jot(c, trace.Terminate, "", c.State(), "result dispatch failed")
 		return
 	}
+	// The Result jot lives here, not in dispatchResults: retireAll also
+	// dispatches (bookkeeping for clones that failed), and those reports
+	// must not overwrite the span's forward-failed fate.
+	s.jot(c, trace.Result, "", c.State(),
+		strconv.Itoa(len(updates))+" updates, "+strconv.Itoa(len(tables))+" tables")
 	for _, key := range order {
 		s.forward(outs[key])
 	}
@@ -353,10 +395,12 @@ func (s *Server) processNode(dest wire.DestNode, arrRem pre.Expr, stages []disql
 	case nodeproc.Drop:
 		s.met.DupDropped.Add(1)
 		s.trace(node, arrival.State, "drop", "duplicate arrival")
+		s.jot(c, trace.Drop, node, arrival.State, "duplicate arrival")
 		return update, nil
 	case nodeproc.Rewrite:
 		s.met.DupRewritten.Add(1)
 		s.trace(node, arrival.State, "rewrite", rem.String()+" -> "+verdict.Rem.String())
+		s.jot(c, trace.Rewrite, node, arrival.State, rem.String()+" -> "+verdict.Rem.String())
 		rem = verdict.Rem
 	}
 
@@ -364,6 +408,7 @@ func (s *Server) processNode(dest wire.DestNode, arrRem pre.Expr, stages []disql
 	if err != nil {
 		s.met.DocErrors.Add(1)
 		s.trace(node, arrival.State, "missing", err.Error())
+		s.jot(c, trace.Missing, node, arrival.State, err.Error())
 		return update, nil
 	}
 
@@ -392,6 +437,7 @@ func (s *Server) processNode(dest wire.DestNode, arrRem pre.Expr, stages []disql
 			case nodeproc.Drop:
 				s.met.DupDropped.Add(1)
 				s.trace(node, st, "drop", "virtual duplicate")
+				s.jot(c, trace.Drop, node, st, "virtual duplicate")
 				continue
 			case nodeproc.Rewrite:
 				s.met.DupRewritten.Add(1)
@@ -409,11 +455,13 @@ func (s *Server) processNode(dest wire.DestNode, arrRem pre.Expr, stages []disql
 			if res.DeadEnd {
 				s.met.DeadEnds.Add(1)
 				s.trace(node, st, "dead-end", "no answer")
+				s.jot(c, trace.DeadEnd, node, st, "no answer")
 				if s.opts.StrictDeadEnds {
 					continue
 				}
 			} else {
 				s.trace(node, st, "eval", "answered q"+strconv.Itoa(it.base+1))
+				s.jot(c, trace.Evaluate, node, st, "answered q"+strconv.Itoa(it.base+1))
 			}
 			if len(it.stages[0].Query.Select) > 0 && !res.Table.Empty() {
 				tables = append(tables, wire.NodeTable{
@@ -428,6 +476,7 @@ func (s *Server) processNode(dest wire.DestNode, arrRem pre.Expr, stages []disql
 				detail = "virtual" // a stage advance at this node, not a clone arrival
 			}
 			s.trace(node, st, "route", detail)
+			s.jot(c, trace.Route, node, st, detail)
 		}
 
 		if s.opts.MaxHops > 0 && c.Hops >= s.opts.MaxHops {
@@ -480,6 +529,10 @@ func (s *Server) addTargets(outs map[string]*outClone, order *[]string, f nodepr
 					Env:    env,
 				},
 				dests: make(map[string]bool),
+			}
+			if s.traced(c) {
+				oc.msg.Span = wire.SpanID{Origin: Endpoint(s.site), Seq: s.seq.Add(1)}
+				oc.msg.Parent = c.Span
 			}
 			outs[key] = oc
 			*order = append(*order, key)
@@ -536,12 +589,15 @@ func (s *Server) database(node string) (*relmodel.DB, error) {
 // success; exhausted failure means the user-site is gone (query cancelled
 // or unreachable) and the query must be purged — stranded CHT entries are
 // then the user-site reaper's problem, not ours.
-func (s *Server) dispatchResults(id wire.QueryID, updates []wire.CHTUpdate, tables []wire.NodeTable) bool {
+func (s *Server) dispatchResults(c *wire.CloneMsg, updates []wire.CHTUpdate, tables []wire.NodeTable, spawned []wire.SpanLink) bool {
 	if len(updates) == 0 && len(tables) == 0 {
 		return true
 	}
-	msg := &wire.ResultMsg{ID: id, Updates: updates, Tables: tables}
-	if s.send(id.Site, msg) != nil {
+	msg := &wire.ResultMsg{ID: c.ID, Updates: updates, Tables: tables}
+	if s.traced(c) {
+		msg.Span, msg.Site, msg.Hop, msg.Spawned = c.Span, s.site, c.Hops, spawned
+	}
+	if s.send(c.ID.Site, msg) != nil {
 		return false
 	}
 	s.met.ResultMsgs.Add(1)
@@ -556,17 +612,21 @@ func (s *Server) forward(oc *outClone) {
 	sort.Slice(oc.msg.Dest, func(i, j int) bool { return oc.msg.Dest[i].URL < oc.msg.Dest[j].URL })
 	if oc.site == s.site {
 		s.met.LocalClones.Add(1)
+		s.jot(oc.msg, trace.Forward, "", oc.msg.State(), oc.site)
 		s.Enqueue(oc.msg)
 		return
 	}
+	s.jot(oc.msg, trace.Forward, "", oc.msg.State(), oc.site)
 	err := s.send(Endpoint(oc.site), oc.msg)
 	if err != nil {
 		if s.opts.Hybrid && s.bounce(oc.msg, bounceReason(err, s.opts.Retry)) {
 			s.trace("", oc.msg.State(), "bounce", oc.site)
+			s.jot(oc.msg, trace.Bounce, "", oc.msg.State(), bounceReason(err, s.opts.Retry))
 			return
 		}
 		s.met.ForwardFailed.Add(1)
 		s.trace("", oc.msg.State(), "forward-failed", oc.site)
+		s.jot(oc.msg, trace.ForwardFailed, "", oc.msg.State(), oc.site)
 		s.retireAll(oc.msg)
 		return
 	}
@@ -609,7 +669,7 @@ func (s *Server) retireAll(c *wire.CloneMsg) {
 			Node: dest.URL, State: st, Origin: dest.Origin, Seq: dest.Seq,
 		}})
 	}
-	s.dispatchResults(c.ID, updates, nil)
+	s.dispatchResults(c, updates, nil, nil)
 }
 
 // cloneQueue is the Query Processor's unbounded FIFO of pending clones.

@@ -43,6 +43,36 @@ func (id QueryID) String() string {
 	return fmt.Sprintf("%s@%s#%d", id.User, id.Site, id.Num)
 }
 
+// SpanID identifies one clone message in a query's causal trace: the
+// endpoint that created the message and a sequence number unique at that
+// origin. The zero SpanID means the message is untraced. Span ids ride on
+// every CloneMsg (and are echoed on ResultMsg) so that the user-site — or
+// the deployment-level collector — can stitch the full clone tree back
+// together from site-local journals (package trace).
+type SpanID struct {
+	Origin string // endpoint that created the clone message
+	Seq    int64  // unique per origin
+}
+
+// IsZero reports whether the span id is unset (tracing off).
+func (s SpanID) IsZero() bool { return s.Origin == "" && s.Seq == 0 }
+
+func (s SpanID) String() string {
+	if s.IsZero() {
+		return "-"
+	}
+	return fmt.Sprintf("%s#%d", s.Origin, s.Seq)
+}
+
+// SpanLink names one clone spawned while processing a traced clone: its
+// span id and the site it was forwarded to. ResultMsg carries the links
+// so the user-site can stitch the causal tree from reports alone, even
+// over TCP where the remote site journals are not directly readable.
+type SpanLink struct {
+	Span SpanID
+	Site string // destination site of the spawned clone
+}
+
 // State is the processing state of a query clone as defined in Section
 // 2.7.1: the number of node-queries still to be processed and the
 // remaining part of the current PRE (as its canonical string).
@@ -84,6 +114,11 @@ type CloneMsg struct {
 	// environments are different clones: the log table and the batcher
 	// both key on EnvKey.
 	Env map[string]string
+	// Span identifies this clone message in the query's causal trace and
+	// Parent the clone message it was forwarded from (zero for a root
+	// dispatch). Zero Span means tracing is off for this message.
+	Span   SpanID
+	Parent SpanID
 }
 
 // EnvKey returns a canonical fingerprint of an environment, used in
@@ -159,10 +194,20 @@ type NodeTable struct {
 
 // ResultMsg is the query-server → user-site message: all results and CHT
 // updates from processing one CloneMsg, batched (Section 3.2, item 3).
+// For traced clones it also carries the span context of the processed
+// clone and the spans of the clones spawned from it, so the user-site can
+// stitch the causal tree without reading remote journals.
 type ResultMsg struct {
 	ID      QueryID
 	Updates []CHTUpdate
 	Tables  []NodeTable
+	// Span is the span of the clone message whose processing produced
+	// this report (zero when untraced); Site and Hop locate it.
+	Span SpanID
+	Site string
+	Hop  int
+	// Spawned lists the clone messages forwarded during that processing.
+	Spawned []SpanLink
 }
 
 // FetchReq asks a document host for the content of one URL. It is used
