@@ -15,6 +15,7 @@ import (
 
 	"webdis/internal/disql"
 	"webdis/internal/htmlx"
+	"webdis/internal/netsim"
 	"webdis/internal/nodeproc"
 	"webdis/internal/nodequery"
 	"webdis/internal/pre"
@@ -446,4 +447,116 @@ func BenchmarkMigration(b *testing.B) {
 	b.StopTimer()
 	b.ReportMetric(float64(fetches)/float64(b.N), "fallback-fetches/op")
 	b.ReportMetric(float64(d.Network().Stats().Snapshot().Total().Bytes)/float64(b.N), "netbytes/op")
+}
+
+// ---------------------------------------------------------------------------
+// PR-3 hot-path benchmarks: connection pooling, parse caching, parallel
+// fan-out. The full before/after grid (with the per-config counter deltas)
+// is experiment T13; regenerate its machine-readable artifact with:
+//
+//	go run ./cmd/webdis-bench -exp perf   # writes BENCH_PR3.json
+
+// BenchmarkParseStagesCached measures the compiled-query cache against
+// the parse-per-arrival path it replaces, on the campus query's stages.
+func BenchmarkParseStagesCached(b *testing.B) {
+	wq := disql.MustParse(webgraph.CampusDISQL)
+	msgs := nodeproc.EncodeStages(wq.Stages)
+	b.Run("uncached", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := nodeproc.ParseStages(msgs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := nodeproc.ParseStagesCached(msgs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkSendPooled measures one framed message delivery with and
+// without connection reuse, over the in-process fabric and real TCP.
+func BenchmarkSendPooled(b *testing.B) {
+	msg := &wire.ResultMsg{ID: wire.QueryID{User: "b", Site: "user/q1", Num: 1}}
+	run := func(b *testing.B, tr netsim.Transport, pooled bool) {
+		ln, err := tr.Listen("sink")
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer ln.Close()
+		go func() {
+			for {
+				c, err := ln.Accept()
+				if err != nil {
+					return
+				}
+				go func() {
+					defer c.Close()
+					framed := wire.NewFramed(c)
+					for {
+						if _, err := wire.Receive(framed); err != nil {
+							return
+						}
+					}
+				}()
+			}
+		}()
+		b.ResetTimer()
+		if pooled {
+			p := netsim.NewPool(tr, "src", netsim.PoolOptions{
+				Wrap: func(c net.Conn) net.Conn { return wire.NewFramed(c) },
+			})
+			defer p.Close()
+			for i := 0; i < b.N; i++ {
+				c, _, err := p.Get("sink")
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := wire.Send(c, msg); err != nil {
+					b.Fatal(err)
+				}
+				p.Put("sink", c)
+			}
+			return
+		}
+		for i := 0; i < b.N; i++ {
+			c, err := tr.Dial("src", "sink")
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := wire.Send(c, msg); err != nil {
+				b.Fatal(err)
+			}
+			c.Close()
+		}
+	}
+	b.Run("pipe/dial-per-msg", func(b *testing.B) { run(b, netsim.New(netsim.Options{}), false) })
+	b.Run("pipe/pooled", func(b *testing.B) { run(b, netsim.New(netsim.Options{}), true) })
+	b.Run("tcp/dial-per-msg", func(b *testing.B) { run(b, netsim.NewTCP(), false) })
+	b.Run("tcp/pooled", func(b *testing.B) { run(b, netsim.NewTCP(), true) })
+}
+
+// BenchmarkTreeHotPath is the end-to-end fan-out benchmark: one full
+// query over the 40-site tree per iteration, seed engine vs the PR-3
+// hot path (pooled connections, parallel fan-out, parse cache,
+// singleflight + cached DBs).
+func BenchmarkTreeHotPath(b *testing.B) {
+	web := TreeWeb(TreeOpts{Fanout: 3, Depth: 3, PagesPerSite: 1, MarkerFrac: 0.6, FillerWords: 30, Seed: 7})
+	src := fmt.Sprintf(`select d.url from document d such that %q N|(G*3) d where d.text contains %q`,
+		web.First(), webgraph.Marker)
+	b.Run("baseline", func(b *testing.B) {
+		benchQuery(b, web, ServerOptions{NoConnPool: true, SerialFanout: true, NoParseCache: true, NoSingleflight: true}, src)
+	})
+	b.Run("optimized", func(b *testing.B) {
+		benchQuery(b, web, ServerOptions{CacheDBs: true, Workers: 4}, src,
+			func(d *Deployment, n int) {
+				m := d.Metrics().Snapshot()
+				b.ReportMetric(float64(m.ConnReused)/float64(n), "conn-reused/op")
+				b.ReportMetric(float64(m.ConnDialed)/float64(n), "conn-dialed/op")
+				b.ReportMetric(float64(m.ParseCacheHits)/float64(n), "parse-hits/op")
+			})
+	})
 }

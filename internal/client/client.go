@@ -140,9 +140,15 @@ type Query struct {
 	journal   *trace.Journal
 	spanSeq   atomic.Int64
 
+	// pool reuses connections from the query's endpoint to the query
+	// servers it talks to repeatedly (root dispatch, fallback rejoins);
+	// closed when the query finishes.
+	pool *netsim.Pool
+
 	mu          sync.Mutex
-	counts      map[string]int // signed CHT entry counts
-	nonzero     int            // number of keys with a nonzero count
+	conns       map[net.Conn]bool // accepted collector connections
+	counts      map[string]int    // signed CHT entry counts
+	nonzero     int               // number of keys with a nonzero count
 	tables      map[int]*ResultTable
 	rowSeen     map[int]map[string]bool
 	stitched    []trace.Event // span events recovered from result reports
@@ -189,15 +195,19 @@ func (c *Client) Submit(w *disql.WebQuery) (*Query, error) {
 		return nil, fmt.Errorf("client: result collector: %w", err)
 	}
 	q := &Query{
-		id:         wire.QueryID{User: c.user, Site: endpoint, Num: num},
-		web:        w,
-		tr:         c.tr,
-		hybrid:     c.hybrid,
-		reapGrace:  c.reapGrace,
-		met:        c.met,
-		journal:    c.journal,
-		ln:         ln,
-		doneCh:     make(chan struct{}),
+		id:        wire.QueryID{User: c.user, Site: endpoint, Num: num},
+		web:       w,
+		tr:        c.tr,
+		hybrid:    c.hybrid,
+		reapGrace: c.reapGrace,
+		met:       c.met,
+		journal:   c.journal,
+		ln:        ln,
+		doneCh:    make(chan struct{}),
+		pool: netsim.NewPool(c.tr, endpoint, netsim.PoolOptions{
+			Wrap: func(c net.Conn) net.Conn { return wire.NewFramed(c) },
+		}),
+		conns:      make(map[net.Conn]bool),
 		counts:     make(map[string]int),
 		tables:     make(map[int]*ResultTable),
 		rowSeen:    make(map[int]map[string]bool),
@@ -321,12 +331,50 @@ func (q *Query) FallbackStats() FallbackStats {
 }
 
 func (q *Query) dispatch(site string, msg *wire.CloneMsg) error {
-	conn, err := q.tr.Dial(q.id.Site, server.Endpoint(site))
+	return q.poolSend(server.Endpoint(site), msg)
+}
+
+// poolSend delivers one message to the named endpoint over the query's
+// connection pool. A send that fails on a reused connection — unless the
+// fabric's fault injection ate the frame — is redone once over a fresh
+// dial, so a stale pooled connection never masquerades as a down site.
+func (q *Query) poolSend(to string, msg any) error {
+	conn, reused, err := q.pool.Get(to)
 	if err != nil {
 		return err
 	}
-	defer conn.Close()
-	return wire.Send(conn, msg)
+	if q.met != nil {
+		if reused {
+			q.met.ConnReused.Add(1)
+		} else {
+			q.met.ConnDialed.Add(1)
+		}
+	}
+	err = wire.Send(conn, msg)
+	if err == nil {
+		q.pool.Put(to, conn)
+		return nil
+	}
+	conn.Close()
+	if !reused || errors.Is(err, netsim.ErrDropped) || errors.Is(err, netsim.ErrSevered) {
+		return err
+	}
+	if q.met != nil {
+		q.met.ConnStale.Add(1)
+	}
+	conn, err = q.pool.Dial(to)
+	if err != nil {
+		return err
+	}
+	if q.met != nil {
+		q.met.ConnDialed.Add(1)
+	}
+	if err := wire.Send(conn, msg); err != nil {
+		conn.Close()
+		return err
+	}
+	q.pool.Put(to, conn)
+	return nil
 }
 
 // collect is the Result Collector: it accepts connections on the query's
@@ -337,10 +385,32 @@ func (q *Query) collect() {
 		if err != nil {
 			return
 		}
+		// Track accepted connections so finish can close them: with
+		// connection pooling, servers hold their collector connections
+		// open between reports, and passive termination (Section 2.8)
+		// requires the next report on a finished query to FAIL at its
+		// sender. Closing only the listener would leave pooled
+		// connections deliverable forever.
+		q.mu.Lock()
+		if q.done {
+			q.mu.Unlock()
+			conn.Close()
+			continue
+		}
+		q.conns[conn] = true
+		q.mu.Unlock()
 		go func() {
-			defer conn.Close()
+			defer func() {
+				conn.Close()
+				q.mu.Lock()
+				delete(q.conns, conn)
+				q.mu.Unlock()
+			}()
+			// Reporting servers pool this connection and stream many
+			// frames over it; decode with a persistent session.
+			framed := wire.NewFramed(conn)
 			for {
-				msg, err := wire.Receive(conn)
+				msg, err := wire.Receive(framed)
 				if err != nil {
 					return
 				}
@@ -613,8 +683,14 @@ func (q *Query) finish(err error) {
 	q.stats.Duration = time.Since(q.started)
 	close(q.doneCh)
 	// Closing the collector endpoint releases the name and makes any
-	// straggler report fail fast at its sender.
+	// straggler report fail fast at its sender. The accepted connections
+	// must close too: senders pool them between reports, and passive
+	// termination relies on their next send failing.
 	q.ln.Close()
+	for conn := range q.conns {
+		conn.Close()
+	}
+	q.pool.Close()
 	if q.fb != nil {
 		q.fb.close()
 	}

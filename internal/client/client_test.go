@@ -36,8 +36,9 @@ func newFakeServer(t *testing.T, n *netsim.Network, site string) *fakeServer {
 			}
 			go func() {
 				defer conn.Close()
+				framed := wire.NewFramed(conn)
 				for {
-					msg, err := wire.Receive(conn)
+					msg, err := wire.Receive(framed)
 					if err != nil {
 						return
 					}

@@ -145,8 +145,8 @@ func (f *fallback) process(c *wire.CloneMsg) {
 	f.q.mu.Unlock()
 	f.q.jot(c, trace.Arrive, strconv.Itoa(len(c.Dest))+" dests (fallback)")
 
-	stages, err := nodeproc.ParseStages(c.Stages)
-	arrRem, err2 := pre.Parse(c.Rem)
+	stages, _, err := nodeproc.ParseStagesCached(c.Stages)
+	arrRem, _, err2 := pre.ParseCached(c.Rem)
 	if err != nil || err2 != nil || len(stages) == 0 {
 		f.retireAll(c)
 		return
@@ -309,11 +309,7 @@ func (f *fallback) addTargets(outs map[string]*wire.CloneMsg, order *[]string, f
 func (f *fallback) forward(oc *wire.CloneMsg) {
 	site := webgraph.Host(oc.Dest[0].URL)
 	f.q.jot(oc, trace.Forward, site)
-	conn, err := f.q.tr.Dial(f.q.id.Site, server.Endpoint(site))
-	if err == nil {
-		err = wire.Send(conn, oc)
-		conn.Close()
-	}
+	err := f.q.poolSend(server.Endpoint(site), oc)
 	if err == nil {
 		f.q.mu.Lock()
 		f.q.fstats.Rejoined++

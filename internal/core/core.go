@@ -29,6 +29,12 @@ type Config struct {
 	Web *webgraph.Web
 	// Net configures the simulated fabric (latency, bandwidth).
 	Net netsim.Options
+	// Transport, when set, runs the deployment over this transport (e.g.
+	// netsim.NewTCP for real sockets within one process) instead of a
+	// fresh simulated fabric. Network() then returns nil: the fabric's
+	// fault injection, traffic stats and transport-level trace observer
+	// are unavailable, and Net is ignored.
+	Transport netsim.Transport
 	// Server configures every query server (dedup mode, batching, trace).
 	Server server.Options
 	// User names the user submitting queries; defaults to "user".
@@ -67,7 +73,8 @@ type Config struct {
 // Deployment is a running WEBDIS installation over a simulated web.
 type Deployment struct {
 	web     *webgraph.Web
-	network *netsim.Network
+	network *netsim.Network  // nil when Config.Transport was supplied
+	tr      netsim.Transport // the transport everything runs over
 	hosts   map[string]*webserver.Host
 	servers map[string]*server.Server
 	client  *client.Client
@@ -119,9 +126,16 @@ func NewDeployment(cfg Config) (*Deployment, error) {
 			}
 		}
 	}
+	tr := cfg.Transport
+	var network *netsim.Network
+	if tr == nil {
+		network = netsim.New(netOpts)
+		tr = network
+	}
 	d := &Deployment{
 		web:           cfg.Web,
-		network:       netsim.New(netOpts),
+		network:       network,
+		tr:            tr,
 		hosts:         make(map[string]*webserver.Host),
 		servers:       make(map[string]*server.Server),
 		user:          user,
@@ -134,7 +148,7 @@ func NewDeployment(cfg Config) (*Deployment, error) {
 		h := webserver.NewHost(site, cfg.Web)
 		d.hosts[site] = h
 		if !cfg.NoDocService {
-			if err := h.Start(d.network); err != nil {
+			if err := h.Start(tr); err != nil {
 				d.Close()
 				return nil, err
 			}
@@ -150,14 +164,14 @@ func NewDeployment(cfg Config) (*Deployment, error) {
 			d.journals[site] = j
 			opts.Journal = j
 		}
-		s := server.New(site, h, d.network, met, opts)
+		s := server.New(site, h, tr, met, opts)
 		d.servers[site] = s
 		if err := s.Start(); err != nil {
 			d.Close()
 			return nil, err
 		}
 	}
-	d.client = client.New(d.network, user, user)
+	d.client = client.New(tr, user, user)
 	if cfg.Participate != nil || cfg.Hybrid {
 		d.client.SetHybrid(true)
 	}
@@ -226,8 +240,13 @@ func (d *Deployment) Run(src string, timeout time.Duration) (*client.Query, erro
 // Web returns the deployment's document corpus.
 func (d *Deployment) Web() *webgraph.Web { return d.web }
 
-// Network returns the simulated fabric (for stats and failure injection).
+// Network returns the simulated fabric (for stats and failure
+// injection), or nil when the deployment runs over Config.Transport.
 func (d *Deployment) Network() *netsim.Network { return d.network }
+
+// Transport returns the transport the deployment runs over: the
+// simulated fabric, or Config.Transport when one was supplied.
+func (d *Deployment) Transport() netsim.Transport { return d.tr }
 
 // Metrics returns the deployment-wide engine metrics: a fresh aggregate
 // of every site's instance plus the client's, materialized per call —

@@ -48,6 +48,7 @@ func All() []Experiment {
 		{"deadends", "§2.5 semantics", "dead-end scope: paper's examples vs literal Figure-4 pseudocode", func(w io.Writer) error { _, err := DeadEnds(w); return err }},
 		{"faults", "robustness / §2.8, §7.1", "fault injection: answer completeness under message loss, with retry, bounce and CHT reaping", func(w io.Writer) error { _, err := Faults(w); return err }},
 		{"trace", "observability / Figure 7", "causal tracing: journey reconstruction, tracing overhead, fault localization", func(w io.Writer) error { _, err := Tracing(w); return err }},
+		{"perf", "hot path / T13", "hot-path overhaul: pooled connections, parallel fan-out, parse cache, singleflight DB builds — before/after ablations (writes BENCH_PR3.json)", func(w io.Writer) error { _, err := Perf(w); return err }},
 	}
 }
 

@@ -102,6 +102,18 @@ func (n *Network) edgeBlocked(from, to string) bool {
 	return false
 }
 
+// Healthy reports whether a Dial from from to to would currently pass
+// the fabric's administrative checks (SetDown, Block, scheduled
+// down-windows and partitions). Connection pools use it to evict idle
+// connections to peers that have since been failed, preserving the
+// dial-time semantics of failure injection. It implements HealthChecker.
+func (n *Network) Healthy(from, to string) bool {
+	n.mu.Lock()
+	bad := n.down[to] || n.down[from] || n.edgeBlocked(from, to)
+	n.mu.Unlock()
+	return !bad && !n.faults.refuses(from, to)
+}
+
 // Listen registers name on the fabric.
 func (n *Network) Listen(name string) (net.Listener, error) {
 	n.mu.Lock()

@@ -1,0 +1,214 @@
+package netsim
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// acceptAll starts a listener that accepts (and holds open) every
+// incoming connection, returning a stop function.
+func acceptAll(t *testing.T, tr Transport, name string) func() {
+	t.Helper()
+	ln, err := tr.Listen(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var conns []net.Conn
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			mu.Lock()
+			conns = append(conns, c)
+			mu.Unlock()
+		}
+	}()
+	return func() {
+		ln.Close()
+		mu.Lock()
+		defer mu.Unlock()
+		for _, c := range conns {
+			c.Close()
+		}
+	}
+}
+
+func TestPoolReuse(t *testing.T) {
+	n := New(Options{})
+	defer acceptAll(t, n, "server")()
+
+	p := NewPool(n, "client", PoolOptions{})
+	c1, reused, err := p.Get("server")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reused {
+		t.Fatal("first Get reported reuse")
+	}
+	p.Put("server", c1)
+	if got := p.IdleCount(); got != 1 {
+		t.Fatalf("IdleCount = %d, want 1", got)
+	}
+	c2, reused, err := p.Get("server")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reused {
+		t.Fatal("second Get did not reuse")
+	}
+	if c2 != c1 {
+		t.Fatal("reuse returned a different connection")
+	}
+	if got := p.IdleCount(); got != 0 {
+		t.Fatalf("IdleCount after take = %d, want 0", got)
+	}
+	c2.Close()
+}
+
+func TestPoolIdleTTL(t *testing.T) {
+	n := New(Options{})
+	defer acceptAll(t, n, "server")()
+
+	p := NewPool(n, "client", PoolOptions{IdleTTL: time.Millisecond})
+	c, _, err := p.Get("server")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Put("server", c)
+	time.Sleep(5 * time.Millisecond)
+	c2, reused, err := p.Get("server")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if reused {
+		t.Fatal("expired idle connection was reused")
+	}
+	if got := p.IdleCount(); got != 0 {
+		t.Fatalf("IdleCount = %d, want 0 after TTL eviction", got)
+	}
+}
+
+// TestPoolHealthCheck: a peer going down must evict its idle connections
+// so the caller's dial observes the refusal — pooling must not let sends
+// tunnel through a down-window.
+func TestPoolHealthCheck(t *testing.T) {
+	n := New(Options{})
+	defer acceptAll(t, n, "server")()
+
+	p := NewPool(n, "client", PoolOptions{})
+	c, _, err := p.Get("server")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Put("server", c)
+
+	n.SetDown("server", true)
+	if _, reused, err := p.Get("server"); err == nil || reused {
+		t.Fatalf("Get to down peer: reused=%v err=%v, want dial refusal", reused, err)
+	}
+	if got := p.IdleCount(); got != 0 {
+		t.Fatalf("IdleCount = %d, want 0 after health eviction", got)
+	}
+
+	n.SetDown("server", false)
+	c2, reused, err := p.Get("server")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if reused {
+		t.Fatal("reuse reported after eviction emptied the pool")
+	}
+}
+
+func TestPoolPerPeerCap(t *testing.T) {
+	n := New(Options{})
+	defer acceptAll(t, n, "server")()
+
+	p := NewPool(n, "client", PoolOptions{MaxIdlePerPeer: 2})
+	var conns []net.Conn
+	for i := 0; i < 3; i++ {
+		c, _, err := p.Get("server")
+		if err != nil {
+			t.Fatal(err)
+		}
+		conns = append(conns, c)
+	}
+	for _, c := range conns {
+		p.Put("server", c)
+	}
+	if got := p.IdleCount(); got != 2 {
+		t.Fatalf("IdleCount = %d, want per-peer cap 2", got)
+	}
+}
+
+// TestPoolGlobalEviction: at the global cap the oldest idle connection
+// anywhere is evicted, so a newly idle connection always finds room.
+func TestPoolGlobalEviction(t *testing.T) {
+	n := New(Options{})
+	defer acceptAll(t, n, "a")()
+	defer acceptAll(t, n, "b")()
+	defer acceptAll(t, n, "c")()
+
+	p := NewPool(n, "client", PoolOptions{MaxIdle: 2})
+	for _, peer := range []string{"a", "b", "c"} {
+		c, _, err := p.Get(peer)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Put(peer, c)
+		time.Sleep(time.Millisecond) // distinct idle timestamps
+	}
+	if got := p.IdleCount(); got != 2 {
+		t.Fatalf("IdleCount = %d, want global cap 2", got)
+	}
+	// "a" went idle first and must have been the eviction victim.
+	ca, reused, err := p.Get("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ca.Close()
+	if reused {
+		t.Fatal("oldest idle connection survived global eviction")
+	}
+	cc, reused, err := p.Get("c")
+	if err != nil || !reused {
+		t.Fatalf("newest idle connection gone: reused=%v err=%v", reused, err)
+	}
+	cc.Close()
+}
+
+func TestPoolClose(t *testing.T) {
+	n := New(Options{})
+	defer acceptAll(t, n, "server")()
+
+	p := NewPool(n, "client", PoolOptions{})
+	c, _, err := p.Get("server")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Put("server", c)
+	p.Close()
+	if got := p.IdleCount(); got != 0 {
+		t.Fatalf("IdleCount = %d after Close", got)
+	}
+	// Get degrades to plain dialing on a closed pool.
+	c2, reused, err := p.Get("server")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if reused {
+		t.Fatal("closed pool reused a connection")
+	}
+	p.Put("server", c2) // must close, not retain
+	if got := p.IdleCount(); got != 0 {
+		t.Fatalf("IdleCount = %d, want 0 on closed pool", got)
+	}
+}

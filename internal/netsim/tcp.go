@@ -41,6 +41,15 @@ func (t *TCPTransport) SetDown(name string, down bool) {
 // Stats returns the transport's traffic collector.
 func (t *TCPTransport) Stats() *Stats { return t.stats }
 
+// Healthy reports whether a Dial from from to to would currently pass
+// the transport's down-marks, mirroring Network.Healthy for connection
+// pools. It implements HealthChecker.
+func (t *TCPTransport) Healthy(from, to string) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return !t.down[from] && !t.down[to]
+}
+
 // Register maps an endpoint name to a TCP address, so that other processes
 // can Dial it by name.
 func (t *TCPTransport) Register(name, hostport string) {

@@ -40,6 +40,27 @@ func ParseStages(ss []wire.StageMsg) ([]disql.Stage, error) {
 	return out, nil
 }
 
+// ParseStagesCached is ParseStages through pre's shared parse cache:
+// steady-state arrivals re-parse nothing, because every clone of one
+// query carries the same stage PRE strings. hits reports how many stage
+// PREs were served from the cache. The stage slice itself is still built
+// per call — Query and Export are per-message gob decodes and must not be
+// shared.
+func ParseStagesCached(ss []wire.StageMsg) (stages []disql.Stage, hits int, err error) {
+	out := make([]disql.Stage, len(ss))
+	for i, s := range ss {
+		e, hit, err := pre.ParseCached(s.PRE)
+		if err != nil {
+			return nil, hits, fmt.Errorf("nodeproc: stage %d: %w", i, err)
+		}
+		if hit {
+			hits++
+		}
+		out[i] = disql.Stage{PRE: e, Query: s.Query, Export: s.Export}
+	}
+	return out, hits, nil
+}
+
 // EncodeStages converts parsed stages into wire form.
 func EncodeStages(ss []disql.Stage) []wire.StageMsg {
 	out := make([]wire.StageMsg, len(ss))

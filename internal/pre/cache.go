@@ -1,0 +1,43 @@
+package pre
+
+import "sync"
+
+// parseCacheMax bounds the process-wide parse cache. The PREs that reach
+// a query server come from a small closed set per workload — the original
+// query's stage PREs plus their link derivatives — so the bound exists
+// only to keep a pathological stream of distinct strings from growing the
+// map forever. Crossing it flushes the whole map: an epoch flush needs no
+// per-entry bookkeeping and the next few arrivals simply repopulate the
+// working set.
+const parseCacheMax = 8192
+
+var parseCache = struct {
+	sync.RWMutex
+	m map[string]Expr
+}{m: make(map[string]Expr, 64)}
+
+// ParseCached is Parse through a process-wide cache keyed by the exact
+// source string; hit reports whether the expression came from the cache.
+// Sharing parsed expressions across goroutines and servers is safe
+// because expressions are immutable (see the package comment). Parse
+// errors are never cached: malformed strings are rare (they retire their
+// clones) and caching them would pin garbage.
+func ParseCached(s string) (e Expr, hit bool, err error) {
+	parseCache.RLock()
+	e, ok := parseCache.m[s]
+	parseCache.RUnlock()
+	if ok {
+		return e, true, nil
+	}
+	e, err = Parse(s)
+	if err != nil {
+		return nil, false, err
+	}
+	parseCache.Lock()
+	if len(parseCache.m) >= parseCacheMax {
+		parseCache.m = make(map[string]Expr, 64)
+	}
+	parseCache.m[s] = e
+	parseCache.Unlock()
+	return e, false, nil
+}

@@ -58,6 +58,29 @@ type Metrics struct {
 	// grace-window reaper (clones stranded by a crashed or partitioned
 	// site that will never report).
 	CHTReaped atomic.Int64
+
+	// ConnDialed counts fresh transport dials made by the send path.
+	ConnDialed atomic.Int64
+	// ConnReused counts sends served by an idle pooled connection
+	// instead of a fresh dial.
+	ConnReused atomic.Int64
+	// ConnStale counts reused connections that turned out dead (the peer
+	// closed them while idle) and were transparently replaced by a fresh
+	// dial within the same send attempt.
+	ConnStale atomic.Int64
+	// ParseCacheHits and ParseCacheMisses count arriving PRE strings
+	// (stage PREs plus the clone's remaining PRE) served by, or inserted
+	// into, the shared parse cache.
+	ParseCacheHits   atomic.Int64
+	ParseCacheMisses atomic.Int64
+	// DBBuildCoalesced counts database requests that joined another
+	// worker's in-flight build of the same node instead of running their
+	// own Database Constructor.
+	DBBuildCoalesced atomic.Int64
+	// ForwardNanos accumulates wall-clock nanoseconds spent shipping
+	// remote forwards per processed clone message — the fan-out critical
+	// path that the parallel forward workers shorten.
+	ForwardNanos atomic.Int64
 }
 
 // Snapshot is a plain-integer copy of Metrics.
@@ -81,6 +104,14 @@ type Snapshot struct {
 	Retries           int64
 	RecoveredByBounce int64
 	CHTReaped         int64
+
+	ConnDialed       int64
+	ConnReused       int64
+	ConnStale        int64
+	ParseCacheHits   int64
+	ParseCacheMisses int64
+	DBBuildCoalesced int64
+	ForwardNanos     int64
 }
 
 // Snapshot returns a consistent-enough copy for reporting (individual
@@ -106,6 +137,14 @@ func (m *Metrics) Snapshot() Snapshot {
 		Retries:           m.Retries.Load(),
 		RecoveredByBounce: m.RecoveredByBounce.Load(),
 		CHTReaped:         m.CHTReaped.Load(),
+
+		ConnDialed:       m.ConnDialed.Load(),
+		ConnReused:       m.ConnReused.Load(),
+		ConnStale:        m.ConnStale.Load(),
+		ParseCacheHits:   m.ParseCacheHits.Load(),
+		ParseCacheMisses: m.ParseCacheMisses.Load(),
+		DBBuildCoalesced: m.DBBuildCoalesced.Load(),
+		ForwardNanos:     m.ForwardNanos.Load(),
 	}
 }
 

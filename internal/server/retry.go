@@ -1,12 +1,14 @@
 package server
 
 import (
+	"errors"
 	"math/rand"
 	"net"
 	"strconv"
 	"sync"
 	"time"
 
+	"webdis/internal/netsim"
 	"webdis/internal/trace"
 	"webdis/internal/wire"
 )
@@ -93,43 +95,31 @@ func (s *Server) jotRetry(to string, msg any, attempt int, lastErr error) {
 	s.opts.Journal.Append(e)
 }
 
-// attemptSend performs one dial+send, bounded by timeout when positive.
+// attemptSend performs one delivery attempt, bounded by timeout when
+// positive.
 func (s *Server) attemptSend(to string, msg any, timeout time.Duration) error {
 	if timeout <= 0 {
-		conn, err := s.tr.Dial(Endpoint(s.site), to)
-		if err != nil {
-			return err
-		}
-		defer conn.Close()
-		return wire.Send(conn, msg)
+		return s.sendOnce(to, msg, nil)
 	}
 
 	// Run the attempt in a goroutine so a stalled dial or send cannot
-	// wedge the Query Processor; on timeout the connection (if any) is
-	// closed, which unblocks the send and bounds the goroutine's life.
+	// wedge the Query Processor; on timeout the attempt's current
+	// connection is closed, which unblocks the send and bounds the
+	// goroutine's life.
 	var mu sync.Mutex
 	var conn net.Conn
 	timedOut := false
-	done := make(chan error, 1)
-	go func() {
-		c, err := s.tr.Dial(Endpoint(s.site), to)
-		if err != nil {
-			done <- err
-			return
-		}
+	register := func(c net.Conn) bool {
 		mu.Lock()
+		defer mu.Unlock()
 		if timedOut {
-			mu.Unlock()
-			c.Close()
-			done <- errAttemptTimeout
-			return
+			return false
 		}
 		conn = c
-		mu.Unlock()
-		err = wire.Send(c, msg)
-		c.Close()
-		done <- err
-	}()
+		return true
+	}
+	done := make(chan error, 1)
+	go func() { done <- s.sendOnce(to, msg, register) }()
 	t := time.NewTimer(timeout)
 	defer t.Stop()
 	select {
@@ -144,6 +134,91 @@ func (s *Server) attemptSend(to string, msg any, timeout time.Duration) error {
 		mu.Unlock()
 		return errAttemptTimeout
 	}
+}
+
+// sendOnce delivers msg over a pooled or freshly dialed connection.
+// register, when non-nil, is offered every connection the attempt uses
+// (and nil once the connection is safely back in the pool) so a timed-out
+// attempt can close it; register returning false means the attempt
+// already timed out and the connection must not be used.
+//
+// Failure semantics match the seed's dial-per-message behaviour exactly:
+// dial refusals and the fabric's injected faults (ErrDropped, ErrSevered)
+// surface unchanged to the retry policy. The one pooling artifact — a
+// reused connection that died while idle, e.g. a result-collector
+// endpoint closed by passive termination — is transparently redone over
+// one fresh dial within the same attempt, whose outcome (refusal,
+// injected fault, success) is then exactly what the seed would have seen.
+func (s *Server) sendOnce(to string, msg any, register func(net.Conn) bool) error {
+	from := Endpoint(s.site)
+	if s.pool == nil {
+		conn, err := s.tr.Dial(from, to)
+		if err != nil {
+			return err
+		}
+		s.met.ConnDialed.Add(1)
+		if register != nil && !register(conn) {
+			conn.Close()
+			return errAttemptTimeout
+		}
+		defer conn.Close()
+		return wire.Send(conn, msg)
+	}
+
+	conn, reused, err := s.pool.Get(to)
+	if err != nil {
+		return err
+	}
+	if reused {
+		s.met.ConnReused.Add(1)
+	} else {
+		s.met.ConnDialed.Add(1)
+	}
+	if register != nil && !register(conn) {
+		conn.Close()
+		return errAttemptTimeout
+	}
+	err = wire.Send(conn, msg)
+	if err == nil {
+		if register != nil && !register(nil) {
+			// Timed out concurrently with success; the caller already gave
+			// up on this attempt, so do not re-pool the connection.
+			conn.Close()
+			return errAttemptTimeout
+		}
+		s.pool.Put(to, conn)
+		return nil
+	}
+	conn.Close()
+	if !reused || errors.Is(err, netsim.ErrDropped) || errors.Is(err, netsim.ErrSevered) {
+		// A fresh connection failed, or the fault injection ate the frame:
+		// report it unchanged. In particular an injected drop must NOT be
+		// transparently resent — the no-retry configuration demonstrably
+		// loses that frame, exactly as without pooling.
+		return err
+	}
+	// Stale pooled connection: redo once over a fresh dial.
+	s.met.ConnStale.Add(1)
+	conn, err = s.pool.Dial(to)
+	if err != nil {
+		return err
+	}
+	s.met.ConnDialed.Add(1)
+	if register != nil && !register(conn) {
+		conn.Close()
+		return errAttemptTimeout
+	}
+	err = wire.Send(conn, msg)
+	if err != nil {
+		conn.Close()
+		return err
+	}
+	if register != nil && !register(nil) {
+		conn.Close()
+		return errAttemptTimeout
+	}
+	s.pool.Put(to, conn)
+	return nil
 }
 
 type timeoutErr string

@@ -110,6 +110,27 @@ type Options struct {
 	// purge when both are positive.
 	LogPurgeAge   time.Duration
 	LogPurgeEvery time.Duration
+	// NoConnPool disables the per-peer connection pool: every remote send
+	// dials, sends and closes, the seed behaviour. The pool only skips
+	// handshakes — failure semantics are unchanged, because reuse is
+	// health-checked against the transport's failure injection and a send
+	// that fails on a reused connection for any reason other than an
+	// injected fault is transparently redone over a fresh dial.
+	NoConnPool bool
+	// SerialFanout ships a processed clone's remote forwards one at a
+	// time (the seed behaviour) instead of through the bounded fan-out
+	// worker group.
+	SerialFanout bool
+	// FanoutWorkers bounds the per-clone forward worker group (default 8,
+	// ignored under SerialFanout).
+	FanoutWorkers int
+	// NoParseCache disables the shared PRE parse cache: every arrival
+	// re-parses its stage PREs and remaining PRE, the seed behaviour.
+	NoParseCache bool
+	// NoSingleflight disables coalescing of concurrent database builds:
+	// N workers hitting one node all run the Database Constructor, the
+	// seed behaviour.
+	NoSingleflight bool
 	// Retry bounds the resilience loop around every remote send (clone
 	// forwards, result dispatches, bounces): per-attempt timeout and
 	// bounded exponential backoff with jitter. The zero value sends once
@@ -147,28 +168,47 @@ type Server struct {
 	// forwarded clone instance uniquely identifiable (see wire.DestNode).
 	seq atomic.Int64
 
-	// dbCache retains constructed databases when opts.CacheDBs is set.
-	dbMu    sync.Mutex
-	dbCache map[string]*relmodel.DB
+	// dbCache holds one entry per node whose database is built or being
+	// built: entries coalesce concurrent builds (singleflight) and, when
+	// opts.CacheDBs is set, persist the finished database for repeat
+	// visits. Read-mostly once warm, hence the RWMutex.
+	dbMu    sync.RWMutex
+	dbCache map[string]*dbEntry
 
-	mu   sync.Mutex
-	ln   net.Listener
-	stop chan struct{}
-	wg   sync.WaitGroup
+	// pool reuses connections to frequently dialed peers (other sites'
+	// query servers, the user-site's result collectors); nil under
+	// opts.NoConnPool.
+	pool *netsim.Pool
+
+	mu    sync.Mutex
+	ln    net.Listener
+	conns map[net.Conn]bool // accepted connections, open for the sender's pool
+	stop  chan struct{}
+	wg    sync.WaitGroup
 }
 
 // New returns a server for site, reading documents from docs and speaking
 // over tr. met may be shared across servers; it must not be nil.
 func New(site string, docs DocSource, tr netsim.Transport, met *Metrics, opts Options) *Server {
-	return &Server{
-		site:  site,
-		docs:  docs,
-		tr:    tr,
-		met:   met,
-		opts:  opts,
-		log:   nodeproc.NewLogTable(opts.dedup()),
-		queue: newCloneQueue(),
+	s := &Server{
+		site:    site,
+		docs:    docs,
+		tr:      tr,
+		met:     met,
+		opts:    opts,
+		log:     nodeproc.NewLogTable(opts.dedup()),
+		queue:   newCloneQueue(),
+		dbCache: make(map[string]*dbEntry),
 	}
+	if !opts.NoConnPool {
+		s.pool = netsim.NewPool(tr, Endpoint(site), netsim.PoolOptions{
+			// Pooled connections carry many frames, so attach a persistent
+			// wire codec: type descriptors then travel only on a
+			// connection's first frame.
+			Wrap: func(c net.Conn) net.Conn { return wire.NewFramed(c) },
+		})
+	}
+	return s
 }
 
 // Site returns the site this server runs at.
@@ -185,11 +225,14 @@ func (s *Server) Start() error {
 	}
 	s.mu.Lock()
 	s.ln = ln
+	s.conns = make(map[net.Conn]bool)
 	s.stop = make(chan struct{})
 	stop := s.stop
 	s.mu.Unlock()
 
-	// Query Receiver.
+	// Query Receiver. Accepted connections are tracked so Stop can close
+	// them: senders pool their connections across messages now, so a
+	// receive loop no longer ends with each message.
 	s.wg.Add(1)
 	go func() {
 		defer s.wg.Done()
@@ -198,10 +241,25 @@ func (s *Server) Start() error {
 			if err != nil {
 				return
 			}
+			s.mu.Lock()
+			if s.conns == nil {
+				s.mu.Unlock()
+				conn.Close()
+				continue
+			}
+			s.conns[conn] = true
+			s.mu.Unlock()
 			s.wg.Add(1)
 			go func() {
 				defer s.wg.Done()
-				s.receive(conn)
+				defer func() {
+					s.mu.Lock()
+					delete(s.conns, conn)
+					s.mu.Unlock()
+				}()
+				// The sender may pool this connection and stream many
+				// frames over it, so decode with a persistent session.
+				s.receive(wire.NewFramed(conn))
 			}()
 		}
 	}()
@@ -251,6 +309,8 @@ func (s *Server) Stop() {
 	s.mu.Lock()
 	ln := s.ln
 	s.ln = nil
+	conns := s.conns
+	s.conns = nil
 	if s.stop != nil {
 		close(s.stop)
 		s.stop = nil
@@ -259,8 +319,16 @@ func (s *Server) Stop() {
 	if ln != nil {
 		ln.Close()
 	}
+	// Close accepted connections so receive loops exit: their senders
+	// hold them open in pools between messages.
+	for conn := range conns {
+		conn.Close()
+	}
 	s.queue.close()
 	s.wg.Wait()
+	if s.pool != nil {
+		s.pool.Close()
+	}
 }
 
 // Enqueue hands a clone to the Query Processor directly, bypassing the
@@ -321,9 +389,8 @@ type outClone struct {
 // algorithm of Figure 3.
 func (s *Server) handle(c *wire.CloneMsg) {
 	s.jot(c, trace.Arrive, "", c.State(), strconv.Itoa(len(c.Dest))+" dests")
-	stages, err := nodeproc.ParseStages(c.Stages)
-	arrRem, err2 := pre.Parse(c.Rem)
-	if err != nil || err2 != nil || len(stages) == 0 {
+	stages, arrRem, err := s.parseClone(c)
+	if err != nil {
 		// A malformed clone cannot be processed, but its CHT entries must
 		// still be retired or the user-site would wait forever.
 		s.retireAll(c)
@@ -370,9 +437,51 @@ func (s *Server) handle(c *wire.CloneMsg) {
 	// must not overwrite the span's forward-failed fate.
 	s.jot(c, trace.Result, "", c.State(),
 		strconv.Itoa(len(updates))+" updates, "+strconv.Itoa(len(tables))+" tables")
-	for _, key := range order {
-		s.forward(outs[key])
+	s.forwardAll(outs, order)
+}
+
+// errNoStages rejects clones that carry no node-queries at all.
+var errNoStages = errors.New("server: clone carries no stages")
+
+// parseClone recovers the clone's parsed stages and arrival PRE. By
+// default both go through the shared parse cache, so a steady-state
+// arrival — including one about to be dropped as a duplicate — parses
+// nothing before its log-table check; Options.NoParseCache restores the
+// parse-per-arrival seed behaviour.
+func (s *Server) parseClone(c *wire.CloneMsg) ([]disql.Stage, pre.Expr, error) {
+	if s.opts.NoParseCache {
+		stages, err := nodeproc.ParseStages(c.Stages)
+		if err != nil {
+			return nil, nil, err
+		}
+		arrRem, err := pre.Parse(c.Rem)
+		if err != nil {
+			return nil, nil, err
+		}
+		if len(stages) == 0 {
+			return nil, nil, errNoStages
+		}
+		return stages, arrRem, nil
 	}
+	stages, hits, err := nodeproc.ParseStagesCached(c.Stages)
+	s.met.ParseCacheHits.Add(int64(hits))
+	s.met.ParseCacheMisses.Add(int64(len(c.Stages) - hits))
+	if err != nil {
+		return nil, nil, err
+	}
+	arrRem, hit, err := pre.ParseCached(c.Rem)
+	if hit {
+		s.met.ParseCacheHits.Add(1)
+	} else {
+		s.met.ParseCacheMisses.Add(1)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(stages) == 0 {
+		return nil, nil, errNoStages
+	}
+	return stages, arrRem, nil
 }
 
 // processNode runs the process() algorithm of Figure 4 for one
@@ -550,20 +659,103 @@ func (s *Server) addTargets(outs map[string]*outClone, order *[]string, f nodepr
 	return children
 }
 
+// dbEntry is one node's database build. The worker that creates the
+// entry runs the Database Constructor; everyone else waits on done, so
+// concurrent requests for one node coalesce into a single build.
+type dbEntry struct {
+	done chan struct{}
+	db   *relmodel.DB
+	err  error
+}
+
+// closedChan is a pre-closed done channel for entries born finished.
+var closedChan = func() chan struct{} {
+	ch := make(chan struct{})
+	close(ch)
+	return ch
+}()
+
 // database returns the node's virtual relations: the paper's Database
 // Constructor, building per evaluation and purging immediately, or — with
 // Options.CacheDBs, the paper's footnote-3 variant — retaining the
-// constructed database for repeat visits.
+// constructed database for repeat visits. Concurrent requests for one
+// node coalesce into a single build (even without CacheDBs, where the
+// entry lives only as long as the build); Options.NoSingleflight restores
+// the seed's check-then-insert behaviour, whose race window let N workers
+// build the same node N times.
 func (s *Server) database(node string) (*relmodel.DB, error) {
-	if s.opts.CacheDBs {
+	if s.opts.NoSingleflight {
+		return s.databaseUncoalesced(node)
+	}
+	s.dbMu.RLock()
+	e := s.dbCache[node]
+	s.dbMu.RUnlock()
+	if e == nil {
 		s.dbMu.Lock()
-		if db, ok := s.dbCache[node]; ok {
+		if e = s.dbCache[node]; e == nil {
+			e = &dbEntry{done: make(chan struct{})}
+			s.dbCache[node] = e
 			s.dbMu.Unlock()
-			s.met.DBCacheHits.Add(1)
-			return db, nil
+			e.db, e.err = s.buildDB(node)
+			close(e.done)
+			if e.err != nil || !s.opts.CacheDBs {
+				// Errors are never cached, and without CacheDBs the entry
+				// existed only to coalesce the in-flight build.
+				s.dbMu.Lock()
+				if s.dbCache[node] == e {
+					delete(s.dbCache, node)
+				}
+				s.dbMu.Unlock()
+			}
+			return e.db, e.err
 		}
 		s.dbMu.Unlock()
 	}
+	select {
+	case <-e.done:
+		if s.opts.CacheDBs && e.err == nil {
+			s.met.DBCacheHits.Add(1)
+		}
+	default:
+		s.met.DBBuildCoalesced.Add(1)
+		<-e.done
+	}
+	return e.db, e.err
+}
+
+// databaseUncoalesced is the seed's check-then-insert path, kept as the
+// NoSingleflight ablation.
+func (s *Server) databaseUncoalesced(node string) (*relmodel.DB, error) {
+	if s.opts.CacheDBs {
+		s.dbMu.RLock()
+		e := s.dbCache[node]
+		s.dbMu.RUnlock()
+		if e != nil {
+			select {
+			case <-e.done:
+				if e.err == nil {
+					s.met.DBCacheHits.Add(1)
+					return e.db, nil
+				}
+			default:
+			}
+		}
+	}
+	db, err := s.buildDB(node)
+	if err != nil {
+		return nil, err
+	}
+	if s.opts.CacheDBs {
+		s.dbMu.Lock()
+		s.dbCache[node] = &dbEntry{done: closedChan, db: db}
+		s.dbMu.Unlock()
+	}
+	return db, nil
+}
+
+// buildDB loads and parses the node's document: one Database Constructor
+// run.
+func (s *Server) buildDB(node string) (*relmodel.DB, error) {
 	content, err := s.docs.Get(node)
 	if err != nil {
 		return nil, err
@@ -573,14 +765,6 @@ func (s *Server) database(node string) (*relmodel.DB, error) {
 		return nil, err
 	}
 	s.met.DocsParsed.Add(1)
-	if s.opts.CacheDBs {
-		s.dbMu.Lock()
-		if s.dbCache == nil {
-			s.dbCache = make(map[string]*relmodel.DB)
-		}
-		s.dbCache[node] = db
-		s.dbMu.Unlock()
-	}
 	return db, nil
 }
 
@@ -604,19 +788,75 @@ func (s *Server) dispatchResults(c *wire.CloneMsg, updates []wire.CHTUpdate, tab
 	return true
 }
 
-// forward ships one outgoing clone: same-site clones go straight onto the
-// local queue, remote clones over the transport. A failed remote forward
-// retires the affected CHT entries so the user-site does not wait on
-// clones that never arrived.
-func (s *Server) forward(oc *outClone) {
-	sort.Slice(oc.msg.Dest, func(i, j int) bool { return oc.msg.Dest[i].URL < oc.msg.Dest[j].URL })
-	if oc.site == s.site {
-		s.met.LocalClones.Add(1)
+// fanoutWorkers returns the bound of the per-clone forward worker group.
+func (s *Server) fanoutWorkers() int {
+	if s.opts.FanoutWorkers > 0 {
+		return s.opts.FanoutWorkers
+	}
+	return 8
+}
+
+// forwardAll ships the processed clone's outgoing clones in their
+// deterministic order: destinations are sorted and the Forward jots
+// appended serially (so per-message trace ordering is stable), same-site
+// clones go straight onto the local queue, and the remote clones are then
+// shipped through a bounded worker group so one slow peer does not
+// serialize the whole fan-out. forwardAll returns only when every remote
+// send has resolved, preserving the seed's "clone fully processed before
+// the next queue item" property per worker. CHT bookkeeping is unaffected
+// by the concurrency: every entry was announced by dispatchResults before
+// any forward, and each remote clone still produces exactly one fate
+// (forwarded, bounced, or retired) regardless of completion order.
+func (s *Server) forwardAll(outs map[string]*outClone, order []string) {
+	var remote []*outClone
+	for _, key := range order {
+		oc := outs[key]
+		sort.Slice(oc.msg.Dest, func(i, j int) bool { return oc.msg.Dest[i].URL < oc.msg.Dest[j].URL })
 		s.jot(oc.msg, trace.Forward, "", oc.msg.State(), oc.site)
-		s.Enqueue(oc.msg)
+		if oc.site == s.site {
+			s.met.LocalClones.Add(1)
+			s.Enqueue(oc.msg)
+			continue
+		}
+		remote = append(remote, oc)
+	}
+	if len(remote) == 0 {
 		return
 	}
-	s.jot(oc.msg, trace.Forward, "", oc.msg.State(), oc.site)
+	start := time.Now()
+	workers := s.fanoutWorkers()
+	if s.opts.SerialFanout || workers <= 1 || len(remote) == 1 {
+		for _, oc := range remote {
+			s.forwardRemote(oc)
+		}
+	} else {
+		if workers > len(remote) {
+			workers = len(remote)
+		}
+		ch := make(chan *outClone)
+		var wg sync.WaitGroup
+		for i := 0; i < workers; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for oc := range ch {
+					s.forwardRemote(oc)
+				}
+			}()
+		}
+		for _, oc := range remote {
+			ch <- oc
+		}
+		close(ch)
+		wg.Wait()
+	}
+	s.met.ForwardNanos.Add(time.Since(start).Nanoseconds())
+}
+
+// forwardRemote ships one outgoing clone over the transport. A failed
+// forward retires the affected CHT entries so the user-site does not wait
+// on clones that never arrived.
+func (s *Server) forwardRemote(oc *outClone) {
 	err := s.send(Endpoint(oc.site), oc.msg)
 	if err != nil {
 		if s.opts.Hybrid && s.bounce(oc.msg, bounceReason(err, s.opts.Retry)) {

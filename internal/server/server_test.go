@@ -49,8 +49,9 @@ func newHarness(t *testing.T, web *webgraph.Web, site string, opts Options) *har
 			}
 			go func() {
 				defer conn.Close()
+				framed := wire.NewFramed(conn)
 				for {
-					msg, err := wire.Receive(conn)
+					msg, err := wire.Receive(framed)
 					if err != nil {
 						return
 					}
@@ -347,8 +348,9 @@ func TestServerMaxHops(t *testing.T) {
 			}
 			go func() {
 				defer conn.Close()
+				framed := wire.NewFramed(conn)
 				for {
-					if _, err := wire.Receive(conn); err != nil {
+					if _, err := wire.Receive(framed); err != nil {
 						return
 					}
 				}

@@ -266,9 +266,109 @@ type envelope struct {
 // maxFrame bounds a frame to guard against corrupt length prefixes.
 const maxFrame = 64 << 20
 
+// Framed wraps a connection with a persistent gob session: one encoder
+// and one decoder for the connection's lifetime. The on-wire format is
+// the same length-prefixed framing Send and Receive have always used,
+// but type descriptors travel only in a connection's first frame instead
+// of every frame — the dominant per-message cost once connections are
+// pooled and carry many frames (a fresh gob codec re-compiles and
+// re-transmits the full type set each time).
+//
+// A Framed connection is a session: after any Send or Receive error its
+// codec state is undefined and the connection must be closed, never
+// retried — exactly what every caller already does. One goroutine sends
+// and one receives; neither method is safe for concurrent use with
+// itself.
+//
+// Interop: a sender using plain Send opens a fresh gob stream per frame,
+// which a Framed receiver handles (each dial-per-message connection is a
+// one-frame session). The reverse — plain Receive of a Framed sender's
+// second frame — does not work, so receivers wrap first, senders only
+// ever reuse connections through a pool that wraps.
+type Framed struct {
+	net.Conn
+	encBuf bytes.Buffer
+	enc    *gob.Encoder
+	fr     frameReader
+	dec    *gob.Decoder
+}
+
+// NewFramed wraps conn in a persistent gob session; wrapping a Framed
+// connection returns it unchanged.
+func NewFramed(conn net.Conn) *Framed {
+	if f, ok := conn.(*Framed); ok {
+		return f
+	}
+	return &Framed{Conn: conn}
+}
+
+// frameReader feeds the persistent decoder the concatenated payloads of
+// the connection's frames, stripping the length prefixes.
+type frameReader struct {
+	conn      net.Conn
+	remaining int
+}
+
+func (r *frameReader) Read(p []byte) (int, error) {
+	for r.remaining == 0 {
+		var lenbuf [4]byte
+		if _, err := io.ReadFull(r.conn, lenbuf[:]); err != nil {
+			return 0, err
+		}
+		n := binary.BigEndian.Uint32(lenbuf[:])
+		if n > maxFrame {
+			return 0, fmt.Errorf("wire: frame of %d bytes exceeds limit", n)
+		}
+		r.remaining = int(n)
+	}
+	if len(p) > r.remaining {
+		p = p[:r.remaining]
+	}
+	n, err := r.conn.Read(p)
+	r.remaining -= n
+	return n, err
+}
+
+func (f *Framed) send(env *envelope) error {
+	if f.enc == nil {
+		f.enc = gob.NewEncoder(&f.encBuf)
+	}
+	f.encBuf.Reset()
+	if err := f.enc.Encode(env); err != nil {
+		return fmt.Errorf("wire: encode %s: %w", env.Kind, err)
+	}
+	payload := f.encBuf.Bytes()
+	frame := make([]byte, 4+len(payload))
+	binary.BigEndian.PutUint32(frame[:4], uint32(len(payload)))
+	copy(frame[4:], payload)
+	if _, err := f.Conn.Write(frame); err != nil {
+		return fmt.Errorf("wire: send %s: %w", env.Kind, err)
+	}
+	if mm, ok := f.Conn.(netsim.MessageMarker); ok {
+		mm.MarkMessage(env.Kind)
+	}
+	return nil
+}
+
+func (f *Framed) receive() (any, error) {
+	if f.dec == nil {
+		f.fr = frameReader{conn: f.Conn}
+		f.dec = gob.NewDecoder(&f.fr)
+	}
+	var env envelope
+	if err := f.dec.Decode(&env); err != nil {
+		if err == io.EOF {
+			return nil, err
+		}
+		return nil, fmt.Errorf("wire: decode: %w", err)
+	}
+	return unwrap(&env)
+}
+
 // Send encodes msg as one length-prefixed gob frame on conn and attributes
 // it to the connection's edge when the transport is instrumented. msg must
-// be one of *CloneMsg, *ResultMsg, *FetchReq, *FetchResp.
+// be one of *CloneMsg, *ResultMsg, *FetchReq, *FetchResp. On a Framed
+// connection the session's persistent encoder is used.
 func Send(conn net.Conn, msg any) error {
 	var env envelope
 	switch m := msg.(type) {
@@ -284,6 +384,9 @@ func Send(conn net.Conn, msg any) error {
 		env = envelope{Kind: KindFetchResp, FetchResp: m}
 	default:
 		return fmt.Errorf("wire: cannot send %T", msg)
+	}
+	if f, ok := conn.(*Framed); ok {
+		return f.send(&env)
 	}
 	var buf bytes.Buffer
 	buf.Write(make([]byte, 4)) // length placeholder, patched below
@@ -302,8 +405,12 @@ func Send(conn net.Conn, msg any) error {
 }
 
 // Receive reads one frame from conn and returns the contained message as
-// one of *CloneMsg, *ResultMsg, *FetchReq, *FetchResp.
+// one of *CloneMsg, *ResultMsg, *FetchReq, *FetchResp. On a Framed
+// connection the session's persistent decoder is used.
 func Receive(conn net.Conn) (any, error) {
+	if f, ok := conn.(*Framed); ok {
+		return f.receive()
+	}
 	var lenbuf [4]byte
 	if _, err := io.ReadFull(conn, lenbuf[:]); err != nil {
 		return nil, err
@@ -320,6 +427,11 @@ func Receive(conn net.Conn) (any, error) {
 	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&env); err != nil {
 		return nil, fmt.Errorf("wire: decode: %w", err)
 	}
+	return unwrap(&env)
+}
+
+// unwrap validates an envelope and returns its payload message.
+func unwrap(env *envelope) (any, error) {
 	switch env.Kind {
 	case KindClone:
 		if env.Clone == nil {
