@@ -13,11 +13,21 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"webdis/internal/experiments"
 )
 
 func main() {
+	// A deployment is many communicating processes folded into one; on a
+	// single-CPU box give the runtime a second scheduling slot so an idle
+	// M can sit in blocking netpoll and field socket readiness promptly
+	// while a busy Query Processor saturates the other. Without it every
+	// TCP delivery waits for sysmon's ~10ms poll beat, which drowns the
+	// latency experiments.
+	if runtime.GOMAXPROCS(0) < 2 {
+		runtime.GOMAXPROCS(2)
+	}
 	list := flag.Bool("list", false, "list available experiments")
 	exp := flag.String("exp", "all", "experiment to run, or 'all'")
 	flag.Parse()

@@ -51,7 +51,8 @@ var ErrCancelled = errors.New("client: query cancelled")
 var ErrTimeout = errors.New("client: wait timed out")
 
 // Client is a WEBDIS user-site. It can run many queries, each with its own
-// Result Collector endpoint ("<base>/q<n>").
+// Result Collector endpoint ("<base>/q<n>"), or many queries multiplexed
+// over one Session endpoint ("<base>/s<n>").
 type Client struct {
 	tr        netsim.Transport
 	user      string
@@ -62,8 +63,9 @@ type Client struct {
 	journal   *trace.Journal
 	resolve   func(term string) []string
 
-	mu   sync.Mutex
-	next int
+	mu       sync.Mutex
+	next     int
+	sessions int
 }
 
 // New returns a client for the given user dialing from endpoints under
@@ -159,8 +161,14 @@ type Query struct {
 	lastReport  time.Time // last CHT activity, watched by the reaper
 	partial     bool      // completed by reaping, not by full accounting
 	unreachable []string  // sites whose entries were reaped
+	shed        bool      // a site refused the query under admission control
 	err         error
 	done        bool
+
+	// sess, when non-nil, owns the collector endpoint: results are routed
+	// to this query by id over the session's shared listener and pool,
+	// and finish detaches from the session instead of closing them.
+	sess *Session
 }
 
 // ID returns the query's global identifier.
@@ -171,6 +179,19 @@ func (q *Query) ID() wire.QueryID { return q.id }
 // entered first, then the query is dispatched to each StartNode's site
 // (batched per site, Section 3.2 item 4).
 func (c *Client) Submit(w *disql.WebQuery) (*Query, error) {
+	return c.submit(w, wire.Budget{}, nil)
+}
+
+// SubmitBudget submits a web-query carrying a resource budget: the root
+// clones ship with b, every spawned clone inherits and decrements it,
+// and the sites enforce it locally (typed EXPIRED terminations that keep
+// the CHT exact). b.Weight also sets the query's share under a site's
+// weighted fair scheduler.
+func (c *Client) SubmitBudget(w *disql.WebQuery, b wire.Budget) (*Query, error) {
+	return c.submit(w, b, nil)
+}
+
+func (c *Client) submit(w *disql.WebQuery, b wire.Budget, sess *Session) (*Query, error) {
 	if err := w.Validate(); err != nil {
 		return nil, err
 	}
@@ -189,24 +210,15 @@ func (c *Client) Submit(w *disql.WebQuery) (*Query, error) {
 	num := c.next
 	c.mu.Unlock()
 
-	endpoint := fmt.Sprintf("%s/q%d", c.base, num)
-	ln, err := c.tr.Listen(endpoint)
-	if err != nil {
-		return nil, fmt.Errorf("client: result collector: %w", err)
-	}
 	q := &Query{
-		id:        wire.QueryID{User: c.user, Site: endpoint, Num: num},
-		web:       w,
-		tr:        c.tr,
-		hybrid:    c.hybrid,
-		reapGrace: c.reapGrace,
-		met:       c.met,
-		journal:   c.journal,
-		ln:        ln,
-		doneCh:    make(chan struct{}),
-		pool: netsim.NewPool(c.tr, endpoint, netsim.PoolOptions{
-			Wrap: func(c net.Conn) net.Conn { return wire.NewFramed(c) },
-		}),
+		web:        w,
+		tr:         c.tr,
+		hybrid:     c.hybrid,
+		reapGrace:  c.reapGrace,
+		met:        c.met,
+		journal:    c.journal,
+		sess:       sess,
+		doneCh:     make(chan struct{}),
 		conns:      make(map[net.Conn]bool),
 		counts:     make(map[string]int),
 		tables:     make(map[int]*ResultTable),
@@ -214,7 +226,27 @@ func (c *Client) Submit(w *disql.WebQuery) (*Query, error) {
 		started:    time.Now(),
 		lastReport: time.Now(),
 	}
-	go q.collect()
+	if sess != nil {
+		// The session owns the collector endpoint and connection pool;
+		// reports are routed to this query by its id.
+		q.id = wire.QueryID{User: c.user, Site: sess.endpoint, Num: num}
+		q.pool = sess.pool
+		if err := sess.register(q); err != nil {
+			return nil, err
+		}
+	} else {
+		endpoint := fmt.Sprintf("%s/q%d", c.base, num)
+		ln, err := c.tr.Listen(endpoint)
+		if err != nil {
+			return nil, fmt.Errorf("client: result collector: %w", err)
+		}
+		q.id = wire.QueryID{User: c.user, Site: endpoint, Num: num}
+		q.ln = ln
+		q.pool = netsim.NewPool(c.tr, endpoint, netsim.PoolOptions{
+			Wrap: func(c net.Conn) net.Conn { return wire.NewFramed(c) },
+		})
+		go q.collect()
+	}
 	if q.reapGrace > 0 {
 		go q.reaper()
 	}
@@ -235,7 +267,7 @@ func (c *Client) Submit(w *disql.WebQuery) (*Query, error) {
 			sites = append(sites, site)
 		}
 		seq++
-		dest := wire.DestNode{URL: node, Origin: endpoint, Seq: seq}
+		dest := wire.DestNode{URL: node, Origin: q.id.Site, Seq: seq}
 		bySite[site] = append(bySite[site], dest)
 		q.addEntry(wire.CHTEntry{Node: node, State: state, Origin: dest.Origin, Seq: dest.Seq})
 	}
@@ -250,10 +282,11 @@ func (c *Client) Submit(w *disql.WebQuery) (*Query, error) {
 			Rem:    state.Rem,
 			Base:   0,
 			Stages: nodeproc.EncodeStages(stages),
+			Budget: b,
 		}
 		if q.journal != nil {
 			// Root spans: one per site batch, parented by nothing.
-			msg.Span = wire.SpanID{Origin: endpoint, Seq: q.spanSeq.Add(1)}
+			msg.Span = wire.SpanID{Origin: q.id.Site, Seq: q.spanSeq.Add(1)}
 			q.journal.Append(trace.Event{
 				Query: q.id.String(), Span: msg.Span, Kind: trace.Dispatch,
 				State: state.String(), Detail: site,
@@ -321,6 +354,35 @@ func (q *Query) bounced(c *wire.CloneMsg) {
 	fb := q.fb
 	q.mu.Unlock()
 	fb.enqueue(c)
+}
+
+// shedded handles a typed SHED refusal: a site over its high watermark
+// declined to start this query. The clone's entries retire (it will
+// never be processed) and the query surfaces the refusal via Shed —
+// distinct from the fault-path bounce, which still owes processing.
+func (q *Query) shedded(m *wire.ShedMsg) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.done {
+		return
+	}
+	q.lastReport = time.Now()
+	q.shed = true
+	q.jot(m.Clone, trace.Shed, m.Site)
+	st := m.Clone.State()
+	for _, dest := range m.Clone.Dest {
+		q.retire(wire.CHTEntry{Node: dest.URL, State: st, Origin: dest.Origin, Seq: dest.Seq})
+	}
+	q.maybeComplete()
+}
+
+// Shed reports whether any site refused the query under admission
+// control (load shedding). A shed query still completes — with answers
+// only from the sites that accepted it; resubmit later for the rest.
+func (q *Query) Shed() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.shed
 }
 
 // FallbackStats returns the query's hybrid fallback counters.
@@ -423,6 +485,10 @@ func (q *Query) collect() {
 					if m.Clone.ID.Num == q.id.Num {
 						q.bounced(m.Clone)
 					}
+				case *wire.ShedMsg:
+					if m.Clone.ID.Num == q.id.Num {
+						q.shedded(m)
+					}
 				}
 			}
 		}()
@@ -474,9 +540,15 @@ func (q *Query) jot(c *wire.CloneMsg, kind trace.Kind, detail string) {
 // journals cannot be read. Callers hold q.mu.
 func (q *Query) stitch(rm *wire.ResultMsg) {
 	at := trace.Now()
+	// An expiry report books the span's fate as EXPIRED, not processed,
+	// so budget terminations reconcile exactly in the stitched journey.
+	kind := trace.Result
+	if rm.Expired {
+		kind = trace.Expire
+	}
 	q.stitched = append(q.stitched, trace.Event{
 		At: at, Site: rm.Site, Query: rm.ID.String(), Span: rm.Span,
-		Kind: trace.Result, Hop: rm.Hop,
+		Kind: kind, Hop: rm.Hop,
 		Detail: strconv.Itoa(len(rm.Updates)) + " updates, " + strconv.Itoa(len(rm.Tables)) + " tables",
 	})
 	for _, link := range rm.Spawned {
@@ -682,15 +754,24 @@ func (q *Query) finish(err error) {
 	q.err = err
 	q.stats.Duration = time.Since(q.started)
 	close(q.doneCh)
-	// Closing the collector endpoint releases the name and makes any
-	// straggler report fail fast at its sender. The accepted connections
-	// must close too: senders pool them between reports, and passive
-	// termination relies on their next send failing.
-	q.ln.Close()
-	for conn := range q.conns {
-		conn.Close()
+	if q.sess != nil {
+		// The endpoint and pool belong to the session and stay open for
+		// its other queries; this query just leaves the routing table.
+		// Straggler reports are then dropped by the router rather than
+		// failing at their sender — passive termination applies at the
+		// session's granularity, when Session.Close closes the endpoint.
+		q.sess.detach(q.id.Num)
+	} else {
+		// Closing the collector endpoint releases the name and makes any
+		// straggler report fail fast at its sender. The accepted
+		// connections must close too: senders pool them between reports,
+		// and passive termination relies on their next send failing.
+		q.ln.Close()
+		for conn := range q.conns {
+			conn.Close()
+		}
+		q.pool.Close()
 	}
-	q.pool.Close()
 	if q.fb != nil {
 		q.fb.close()
 	}

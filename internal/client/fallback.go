@@ -277,6 +277,11 @@ func (f *fallback) addTargets(outs map[string]*wire.CloneMsg, order *[]string, f
 				Stages: nodeproc.EncodeStages(stages),
 				Hops:   c.Hops + 1,
 				Env:    env,
+				// A rejoining clone keeps the query's budget, one hop
+				// spent, so distributed enforcement resumes where it
+				// left off. (The fallback itself only evaluates clones
+				// already admitted and paid for.)
+				Budget: c.Budget.Spend(),
 			}
 			if f.q.journal != nil || !c.Span.IsZero() {
 				oc.Span = wire.SpanID{Origin: f.q.id.Site, Seq: f.q.spanSeq.Add(1)}

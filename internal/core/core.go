@@ -20,6 +20,7 @@ import (
 	"webdis/internal/trace"
 	"webdis/internal/webgraph"
 	"webdis/internal/webserver"
+	"webdis/internal/wire"
 )
 
 // Config describes a deployment.
@@ -206,6 +207,20 @@ func (d *Deployment) Index() (*index.Index, error) {
 // Submit dispatches a parsed web-query from the deployment's user-site.
 func (d *Deployment) Submit(w *disql.WebQuery) (*client.Query, error) {
 	return d.client.Submit(w)
+}
+
+// SubmitBudget dispatches a parsed web-query carrying an execution
+// budget (deadline, hop/clone/row quotas, scheduling weight); the budget
+// travels on every clone and is inherited, decremented, by its children.
+func (d *Deployment) SubmitBudget(w *disql.WebQuery, b wire.Budget) (*client.Query, error) {
+	return d.client.SubmitBudget(w, b)
+}
+
+// NewSession opens a multi-query session at the user-site: one result
+// endpoint shared by many concurrent queries, the client side of the
+// multi-user workload the scheduler exists for. Close it when done.
+func (d *Deployment) NewSession() (*client.Session, error) {
+	return d.client.NewSession()
 }
 
 // SubmitDISQL parses and dispatches a DISQL query.

@@ -9,6 +9,7 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"sort"
 	"sync"
 	"time"
 
@@ -49,6 +50,7 @@ func All() []Experiment {
 		{"faults", "robustness / §2.8, §7.1", "fault injection: answer completeness under message loss, with retry, bounce and CHT reaping", func(w io.Writer) error { _, err := Faults(w); return err }},
 		{"trace", "observability / Figure 7", "causal tracing: journey reconstruction, tracing overhead, fault localization", func(w io.Writer) error { _, err := Tracing(w); return err }},
 		{"perf", "hot path / T13", "hot-path overhaul: pooled connections, parallel fan-out, parse cache, singleflight DB builds — before/after ablations (writes BENCH_PR3.json)", func(w io.Writer) error { _, err := Perf(w); return err }},
+		{"load", "scheduling / T14", "multi-query load: weighted-fair vs FIFO latency, admission-control shedding, wire-carried deadline expiry (writes BENCH_PR4.json)", func(w io.Writer) error { _, err := Load(w); return err }},
 	}
 }
 
@@ -68,6 +70,7 @@ type runOut struct {
 	results []client.ResultTable
 	qstats  client.Stats
 	metrics server.Snapshot
+	sites   map[string]server.Snapshot // per-site attribution of metrics
 	net     netsim.Counters
 	toUser  netsim.Counters // traffic into the user-site's result collector
 	trace   []server.Event
@@ -104,6 +107,7 @@ func runDistributed(web *webgraph.Web, netOpts netsim.Options, srvOpts server.Op
 		results: q.Results(),
 		qstats:  q.Stats(),
 		metrics: d.Metrics().Snapshot(),
+		sites:   d.SiteSnapshots(),
 		net:     sn.Total(),
 		toUser:  sn.To(q.ID().Site),
 		elapsed: time.Since(start),
@@ -179,6 +183,37 @@ func table(w io.Writer, header []string, rows [][]string) {
 	for _, r := range rows {
 		line(r)
 	}
+}
+
+// siteTable prints one row per site with the scheduler-facing counters:
+// where work queued, where admission control engaged, what was shed or
+// budget-terminated. Sites with no activity at all are elided.
+func siteTable(w io.Writer, title string, sites map[string]server.Snapshot) {
+	names := make([]string, 0, len(sites))
+	for site := range sites {
+		names = append(names, site)
+	}
+	sort.Strings(names)
+	var rows [][]string
+	for _, site := range names {
+		s := sites[site]
+		if s.Evaluations+s.LocalClones+s.ClonesForwarded+s.QueueDepth+
+			s.QueueHighWater+s.Shed+s.BudgetExpired == 0 {
+			continue
+		}
+		rows = append(rows, []string{
+			site,
+			fmt.Sprint(s.Evaluations),
+			fmt.Sprint(s.ClonesForwarded),
+			fmt.Sprint(s.LocalClones),
+			fmt.Sprint(s.QueueDepth),
+			fmt.Sprint(s.QueueHighWater),
+			fmt.Sprint(s.Shed),
+			fmt.Sprint(s.BudgetExpired),
+		})
+	}
+	fmt.Fprintln(w, title)
+	table(w, []string{"site", "evals", "fwd", "local", "qdepth", "qhigh", "shed", "expired"}, rows)
 }
 
 func fmtBytes(n int64) string {

@@ -389,3 +389,55 @@ func TestPerfShape(t *testing.T) {
 		}
 	}
 }
+
+func TestLoadShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load harness is slow")
+	}
+	// Few probes, no artifact: the structure of the result is under test,
+	// not the latency ratios (those are recorded from a quiet machine in
+	// BENCH_PR4.json; CI noise would make gating on them flaky).
+	out, err := loadRun(io.Discard, 4, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Cells) != 4 {
+		t.Fatalf("grid has %d cells, want 4 (pipe/tcp x fifo/fair)", len(out.Cells))
+	}
+	for _, c := range out.Cells {
+		if c.UnloadedP50Ms <= 0 || c.LoadedP50Ms <= 0 || c.RatioP95 <= 0 {
+			t.Errorf("%s/%s: non-positive latency %+v", c.Transport, c.Sched, c)
+		}
+		if c.LightRows == 0 {
+			t.Errorf("%s/%s: probe delivered no rows", c.Transport, c.Sched)
+		}
+		if c.HeavyCompleted == 0 {
+			t.Errorf("%s/%s: loaded phase completed no heavy queries", c.Transport, c.Sched)
+		}
+	}
+	// Shedding: some of the volley must bounce with a typed SHED, the
+	// client and server counts must agree, and no admitted query may lose
+	// rows — in-flight work is never shed.
+	s := out.Shed
+	if s.ShedQueries == 0 {
+		t.Error("shed segment never shed a query")
+	}
+	if int64(s.ShedQueries) != s.ShedMetric {
+		t.Errorf("client saw %d sheds, server counted %d", s.ShedQueries, s.ShedMetric)
+	}
+	if s.Submitted != s.Admitted+s.ShedQueries {
+		t.Errorf("submitted %d != admitted %d + shed %d", s.Submitted, s.Admitted, s.ShedQueries)
+	}
+	if s.LostRows != 0 {
+		t.Errorf("admitted queries lost %d rows under shedding", s.LostRows)
+	}
+	// Expiry: the deadline must cut the scan short and the server-side
+	// expiry count must reconcile 1:1 with EXPIRED fates in the journey.
+	e := out.Expiry
+	if !e.Reconciled {
+		t.Errorf("expiry not reconciled: %d budget-expired vs %d EXPIRED fates", e.BudgetExpired, e.FateExpired)
+	}
+	if e.DeliveredRows >= e.TruthRows {
+		t.Errorf("deadline did not clip the scan: delivered %d of %d", e.DeliveredRows, e.TruthRows)
+	}
+}

@@ -177,5 +177,7 @@ func Campus(w io.Writer) (*CampusOut, error) {
 	fmt.Fprintf(w, "\nCHT: %d entries entered, %d retired, peak %d live; completion detected in %v\n",
 		out.qstats.EntriesAdded, out.qstats.EntriesRetired, out.qstats.PeakLive, out.qstats.Duration.Round(0))
 	kindTable(w, "message mix (netsim per-kind counts):", out.net.ByKind)
+	fmt.Fprintln(w)
+	siteTable(w, "per-site scheduler counters:", out.sites)
 	return res, nil
 }

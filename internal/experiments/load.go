@@ -1,0 +1,565 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"webdis/internal/client"
+	"webdis/internal/core"
+	"webdis/internal/disql"
+	"webdis/internal/netsim"
+	"webdis/internal/sched"
+	"webdis/internal/server"
+	"webdis/internal/trace"
+	"webdis/internal/webgraph"
+	"webdis/internal/wire"
+)
+
+// T14: the multi-query scheduler under concurrent load. Three segments:
+//
+//   - Fairness: light interactive probes race a sustained heavy workload
+//     at one query server, FIFO vs weighted-fair drain, over the pipe
+//     fabric and real TCP. The claim: fair keeps the light p95 near its
+//     unloaded value while FIFO multiplies it by the backlog.
+//   - Shedding: admission control over the high watermark refuses fresh
+//     queries with a typed SHED bounce while every admitted query still
+//     delivers its complete answer.
+//   - Expiry: a wire-carried deadline terminates in-flight clones with
+//     typed EXPIRED reports that reconcile 1:1 in the stitched journey.
+
+// LoadCell is one (transport, scheduler) fairness measurement.
+type LoadCell struct {
+	Transport string `json:"transport"` // pipe | tcp
+	Sched     string `json:"sched"`     // fifo | fair
+	Probes    int    `json:"probes"`    // light probes measured per phase
+
+	UnloadedP50Ms float64 `json:"unloaded_p50_ms"`
+	UnloadedP95Ms float64 `json:"unloaded_p95_ms"`
+	LoadedP50Ms   float64 `json:"loaded_p50_ms"`
+	LoadedP95Ms   float64 `json:"loaded_p95_ms"`
+	// RatioP95 is loaded p95 / unloaded p95 — the fairness headline.
+	RatioP95 float64 `json:"ratio_p95"`
+
+	HeavyCompleted int `json:"heavy_completed"` // heavy queries finished during the loaded phase
+	LightRows      int `json:"light_rows"`      // rows per probe (sanity: constant)
+}
+
+// LoadShed is the admission-control segment's outcome.
+type LoadShed struct {
+	Submitted  int   `json:"submitted"`
+	Admitted   int   `json:"admitted"`
+	ShedQueries int  `json:"shed_queries"` // queries bounced with Query.Shed()
+	ShedMetric int64 `json:"shed_metric"`  // server-side typed SHED count
+	Activations int64 `json:"activations"` // times the high watermark engaged
+	QueuePeak  int   `json:"queue_peak"`   // deepest the bounded queue ever got
+	TruthRows  int   `json:"truth_rows"`   // complete answer of one heavy query
+	LostRows   int   `json:"lost_rows"`    // rows missing across admitted queries (must be 0)
+}
+
+// LoadExpiry is the deadline segment's outcome.
+type LoadExpiry struct {
+	DeadlineMs    float64 `json:"deadline_ms"`
+	BudgetExpired int64   `json:"budget_expired"` // server-side expiry count
+	FateExpired   int     `json:"fate_expired"`   // EXPIRED fates in the stitched journey
+	Reconciled    bool    `json:"reconciled"`     // the two agree 1:1
+	TruthRows     int     `json:"truth_rows"`
+	DeliveredRows int     `json:"delivered_rows"` // partial answer under the deadline
+}
+
+// LoadOut is the T14 result.
+type LoadOut struct {
+	Cells  []LoadCell `json:"cells"`
+	Shed   LoadShed   `json:"shed"`
+	Expiry LoadExpiry `json:"expiry"`
+}
+
+// Cell returns the named fairness cell.
+func (o *LoadOut) Cell(transport, sched string) *LoadCell {
+	for i := range o.Cells {
+		if o.Cells[i].Transport == transport && o.Cells[i].Sched == sched {
+			return &o.Cells[i]
+		}
+	}
+	return nil
+}
+
+// Load-web geometry. One site, one Query Processor worker: every clone of
+// every query contends for the same queue, which is the regime the
+// scheduler exists for.
+const (
+	loadSite   = "load.example"
+	loadChains = 40 // chain heads the heavy query fans into (burst width)
+	loadDepth  = 2  // chain nodes past each head
+	loadFan    = 5  // marked leaf pages per chain node
+	loadProbes = 12 // pages one light probe reads
+)
+
+// loadWeb builds the contention topology: a hub fanning into loadChains
+// local chains (the heavy scan), plus loadProbes standalone probe pages
+// (the light query). Everything lives on one site so one server's queue
+// serializes all of it.
+func loadWeb() *webgraph.Web {
+	w := webgraph.NewWeb()
+	r := rand.New(rand.NewSource(11))
+	filler := func(p *webgraph.Page, words int) {
+		for words > 0 {
+			n := 40 + r.Intn(40)
+			if n > words {
+				n = words
+			}
+			var sb strings.Builder
+			for i := 0; i < n; i++ {
+				fmt.Fprintf(&sb, "w%d ", r.Intn(5000))
+			}
+			p.AddText(sb.String())
+			words -= n
+		}
+	}
+	base := "http://" + loadSite + "/"
+
+	hub := w.NewPage(base+"hub.html", "Load workload hub")
+	filler(hub, 200)
+	leafNo := 0
+	leaf := func(p *webgraph.Page) {
+		for f := 0; f < loadFan; f++ {
+			leafNo++
+			url := fmt.Sprintf("%sleaf%d.html", base, leafNo)
+			p.AddLink(url, "leaf")
+			lp := w.NewPage(url, fmt.Sprintf("Leaf %d", leafNo))
+			lp.AddText("This page carries the payload token " + webgraph.Marker + ".")
+			filler(lp, 1600)
+		}
+	}
+	for i := 1; i <= loadChains; i++ {
+		head := w.NewPage(fmt.Sprintf("%shead%d.html", base, i), fmt.Sprintf("chain head %d", i))
+		filler(head, 220)
+		hub.AddLink(fmt.Sprintf("/head%d.html", i), "chain")
+		leaf(head)
+		prev := head
+		for j := 1; j <= loadDepth; j++ {
+			url := fmt.Sprintf("%schain%d_%d.html", base, i, j)
+			prev.AddLink(url, "next")
+			node := w.NewPage(url, fmt.Sprintf("Chain %d node %d", i, j))
+			filler(node, 220)
+			leaf(node)
+			prev = node
+		}
+	}
+	for m := 1; m <= loadProbes; m++ {
+		p := w.NewPage(fmt.Sprintf("%sprobe%d.html", base, m), fmt.Sprintf("Probe %d", m))
+		p.AddText("The beacon shines here.")
+		// The probe pages are deliberately substantial: the probe's own
+		// evaluation cost is the unloaded baseline the ratios divide by,
+		// and it must sit well above scheduler-wakeup jitter for the
+		// loaded/unloaded comparison to measure queueing, not noise.
+		filler(p, 24000)
+	}
+	return w
+}
+
+// loadHeavyDISQL is the heavy scan: stage 1 matches every chain head one
+// local link from the hub, and each head advances to stage 2 with its own
+// binding — a burst of per-head clones that then walk their chains. One
+// heavy query therefore keeps ~loadChains clone batches queued at once.
+// The d0.title reference in stage 2 is what makes the stages correlated:
+// each head's continuation carries its own environment, so the per-head
+// clones cannot batch back into one message.
+func loadHeavyDISQL() string {
+	return fmt.Sprintf(`
+select d0.url, d1.url
+from document d0 such that %q L d0,
+where d0.title contains "chain"
+     document d1 such that d0 (L*%d) d1,
+where (d1.text contains %q) and (d0.title contains "chain")
+`, "http://"+loadSite+"/hub.html", loadDepth+1, webgraph.Marker)
+}
+
+// loadLightDISQL is the light probe: one multi-source batch, evaluated in
+// a single clone — the 2-hop-lookup class of query that FIFO starves.
+func loadLightDISQL() string {
+	urls := make([]string, loadProbes)
+	for m := range urls {
+		urls[m] = fmt.Sprintf("%q", fmt.Sprintf("http://%s/probe%d.html", loadSite, m+1))
+	}
+	return fmt.Sprintf(`select d.url from document d such that (%s) N d where d.text contains "beacon"`,
+		strings.Join(urls, ", "))
+}
+
+// Load runs T14 and writes BENCH_PR4.json.
+func Load(w io.Writer) (*LoadOut, error) {
+	return loadRun(w, 40, "BENCH_PR4.json")
+}
+
+// loadRun is the parameterized body; outPath == "" skips the JSON
+// artifact (the shape test's mode).
+func loadRun(w io.Writer, probes int, outPath string) (*LoadOut, error) {
+	// The experiment measures scheduling latency in the tails, so two
+	// process-wide knobs are pinned for its duration: at least two
+	// scheduler slots (so socket readiness is fielded by an idle M
+	// instead of waiting out sysmon's ~10ms poll beat while the Query
+	// Processor saturates one CPU), and a relaxed GC target (each probe
+	// parses ~100 KiB of text, and at the default target the collector's
+	// assist pauses land in every percentile this experiment reports).
+	if runtime.GOMAXPROCS(0) < 2 {
+		defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(2))
+	}
+	defer debug.SetGCPercent(debug.SetGCPercent(1000))
+
+	out := &LoadOut{}
+	for _, transport := range []string{"pipe", "tcp"} {
+		for _, schedName := range []string{"fifo", "fair"} {
+			cell, err := loadCell(transport, schedName, probes)
+			if err != nil {
+				return nil, fmt.Errorf("load %s/%s: %w", transport, schedName, err)
+			}
+			out.Cells = append(out.Cells, *cell)
+		}
+	}
+	shed, err := loadShedSegment()
+	if err != nil {
+		return nil, fmt.Errorf("load shed: %w", err)
+	}
+	out.Shed = *shed
+	exp, err := loadExpirySegment()
+	if err != nil {
+		return nil, fmt.Errorf("load expiry: %w", err)
+	}
+	out.Expiry = *exp
+
+	fmt.Fprintln(w, "T14: multi-query admission control and fair scheduling")
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "fairness: light-probe latency, unloaded vs under a sustained heavy scan")
+	fmt.Fprintln(w, "(one site, one worker; 5 concurrent heavy scans resubmitted continuously)")
+	var rows [][]string
+	for _, c := range out.Cells {
+		rows = append(rows, []string{
+			c.Transport, c.Sched, fmt.Sprint(c.Probes),
+			fmt.Sprintf("%.2f", c.UnloadedP50Ms), fmt.Sprintf("%.2f", c.UnloadedP95Ms),
+			fmt.Sprintf("%.2f", c.LoadedP50Ms), fmt.Sprintf("%.2f", c.LoadedP95Ms),
+			fmt.Sprintf("%.1fx", c.RatioP95), fmt.Sprint(c.HeavyCompleted),
+		})
+	}
+	table(w, []string{"transport", "sched", "probes", "idle p50", "idle p95", "loaded p50", "loaded p95", "p95 ratio", "heavy done"}, rows)
+
+	s := out.Shed
+	fmt.Fprintf(w, "\nshedding: %d heavy queries submitted, %d admitted, %d shed (typed SHED; server counted %d)\n",
+		s.Submitted, s.Admitted, s.ShedQueries, s.ShedMetric)
+	fmt.Fprintf(w, "  watermark engaged %d time(s), queue peak %d; admitted answers complete: %d rows each, %d lost\n",
+		s.Activations, s.QueuePeak, s.TruthRows, s.LostRows)
+
+	e := out.Expiry
+	fmt.Fprintf(w, "\nexpiry: deadline %.1f ms cut the heavy scan to %d of %d rows\n",
+		e.DeadlineMs, e.DeliveredRows, e.TruthRows)
+	fmt.Fprintf(w, "  %d clones expired server-side; stitched journey shows %d EXPIRED fates (reconciled: %v)\n",
+		e.BudgetExpired, e.FateExpired, e.Reconciled)
+
+	if outPath != "" {
+		blob, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			return nil, err
+		}
+		if err := os.WriteFile(outPath, append(blob, '\n'), 0o644); err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(w, "\nmachine-readable results written to %s\n", outPath)
+	}
+	return out, nil
+}
+
+// loadCell measures one fairness cell: unloaded light probes, then the
+// same probes while two heavy scans keep the site's queue backlogged.
+func loadCell(transport, schedName string, probes int) (*LoadCell, error) {
+	opts := server.Options{}
+	if schedName == "fair" {
+		opts.Sched = sched.Options{Fair: true}
+	}
+	cfg := core.Config{Web: loadWeb(), Server: opts, NoDocService: true}
+	if transport == "tcp" {
+		cfg.Transport = netsim.NewTCP()
+	}
+	d, err := core.NewDeployment(cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer d.Close()
+	// The probes and the heavy load generators are different users:
+	// each gets its own session, so each has its own Result Collector
+	// endpoint. (Sharing one session would serialize the probe's
+	// completion reports behind the heavy queries' result traffic on
+	// the session's pooled connection — a FIFO outside the scheduler
+	// that would drown exactly the signal this cell measures.)
+	probeSess, err := d.Client().NewSession()
+	if err != nil {
+		return nil, err
+	}
+	defer probeSess.Close()
+	heavySess, err := d.Client().NewSession()
+	if err != nil {
+		return nil, err
+	}
+	defer heavySess.Close()
+
+	cell := &LoadCell{Transport: transport, Sched: schedName, Probes: probes}
+	probe := func() (time.Duration, error) {
+		wq, err := disql.Parse(loadLightDISQL())
+		if err != nil {
+			return 0, err
+		}
+		start := time.Now()
+		q, err := probeSess.SubmitBudget(wq, wire.Budget{Weight: 4})
+		if err != nil {
+			return 0, err
+		}
+		if err := q.Wait(30 * time.Second); err != nil {
+			return 0, err
+		}
+		cell.LightRows = 0
+		for _, t := range q.Results() {
+			cell.LightRows += len(t.Rows)
+		}
+		if cell.LightRows == 0 {
+			return 0, fmt.Errorf("light probe found no rows")
+		}
+		return time.Since(start), nil
+	}
+	phase := func() ([]time.Duration, error) {
+		durs := make([]time.Duration, 0, probes)
+		for i := 0; i < probes; i++ {
+			el, err := probe()
+			if err != nil {
+				return nil, err
+			}
+			durs = append(durs, el)
+			time.Sleep(2 * time.Millisecond)
+		}
+		sort.Slice(durs, func(i, k int) bool { return durs[i] < durs[k] })
+		return durs, nil
+	}
+
+	// Unloaded baseline (2 warmups populate the parse cache and pools).
+	for i := 0; i < 2; i++ {
+		if _, err := probe(); err != nil {
+			return nil, err
+		}
+	}
+	idle, err := phase()
+	if err != nil {
+		return nil, err
+	}
+
+	// Loaded: five heavy scans resubmitted continuously.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var heavyDone atomic.Int64
+	heavyErr := make(chan error, 5)
+	for i := 0; i < 5; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				wq, err := disql.Parse(loadHeavyDISQL())
+				if err != nil {
+					heavyErr <- err
+					return
+				}
+				q, err := heavySess.Submit(wq)
+				if err != nil {
+					return // session closed under us: cell is over
+				}
+				if err := q.Wait(30 * time.Second); err != nil {
+					return
+				}
+				heavyDone.Add(1)
+			}
+		}()
+	}
+	time.Sleep(100 * time.Millisecond) // let the backlog establish
+	loaded, err := phase()
+	close(stop)
+	wg.Wait()
+	if err != nil {
+		return nil, err
+	}
+	select {
+	case err := <-heavyErr:
+		return nil, err
+	default:
+	}
+
+	ms := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1e3 }
+	p := func(durs []time.Duration, q float64) time.Duration {
+		i := int(q * float64(len(durs)))
+		if i >= len(durs) {
+			i = len(durs) - 1
+		}
+		return durs[i]
+	}
+	cell.UnloadedP50Ms = ms(p(idle, 0.5))
+	cell.UnloadedP95Ms = ms(p(idle, 0.95))
+	cell.LoadedP50Ms = ms(p(loaded, 0.5))
+	cell.LoadedP95Ms = ms(p(loaded, 0.95))
+	if cell.UnloadedP95Ms > 0 {
+		cell.RatioP95 = cell.LoadedP95Ms / cell.UnloadedP95Ms
+	}
+	cell.HeavyCompleted = int(heavyDone.Load())
+	return cell, nil
+}
+
+// loadTruthRows runs one heavy scan on a clean unbounded deployment and
+// returns its complete answer size.
+func loadTruthRows() (int, error) {
+	d, err := core.NewDeployment(core.Config{Web: loadWeb(), NoDocService: true})
+	if err != nil {
+		return 0, err
+	}
+	defer d.Close()
+	q, err := d.Run(loadHeavyDISQL(), 30*time.Second)
+	if err != nil {
+		return 0, err
+	}
+	rows := 0
+	for _, t := range q.Results() {
+		rows += len(t.Rows)
+	}
+	return rows, nil
+}
+
+// loadShedSegment drives the site past its high watermark and verifies
+// the contract: fresh queries bounce with a typed SHED, admitted queries
+// lose nothing, and the queue stays bounded.
+func loadShedSegment() (*LoadShed, error) {
+	truth, err := loadTruthRows()
+	if err != nil {
+		return nil, err
+	}
+	d, err := core.NewDeployment(core.Config{
+		Web: loadWeb(), NoDocService: true,
+		Server: server.Options{Sched: sched.Options{Fair: true, HighWater: 8, LowWater: 4}},
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer d.Close()
+	sess, err := d.Client().NewSession()
+	if err != nil {
+		return nil, err
+	}
+	defer sess.Close()
+
+	out := &LoadShed{TruthRows: truth}
+	// The burst: a dozen heavy queries rapid-fired back to back, parsed
+	// up front so nothing but the wire separates the submissions. The
+	// first arrivals are admitted and their clone bursts alone push the
+	// depth past the watermark (each root fans into loadChains queued
+	// clones), so the tail of the volley arrives over it and is shed —
+	// no client-side depth polling, which a busy single-CPU box defeats,
+	// is involved. If the processor drains fast enough to admit a whole
+	// volley, another is fired.
+	const volley = 12
+	parsed := make([]*disql.WebQuery, volley)
+	for i := range parsed {
+		if parsed[i], err = disql.Parse(loadHeavyDISQL()); err != nil {
+			return nil, err
+		}
+	}
+	var qs []*client.Query
+	for round := 0; round < 3 && out.ShedQueries == 0; round++ {
+		for _, wq := range parsed {
+			q, err := sess.Submit(wq)
+			if err != nil {
+				return nil, err
+			}
+			qs = append(qs, q)
+		}
+		out.Submitted = len(qs)
+		out.ShedQueries, out.Admitted, out.LostRows = 0, 0, 0
+		for _, q := range qs {
+			if err := q.Wait(30 * time.Second); err != nil {
+				return nil, err
+			}
+			rows := 0
+			for _, t := range q.Results() {
+				rows += len(t.Rows)
+			}
+			if q.Shed() {
+				out.ShedQueries++
+				if rows != 0 {
+					return nil, fmt.Errorf("shed query delivered %d rows", rows)
+				}
+				continue
+			}
+			out.Admitted++
+			out.LostRows += truth - rows
+		}
+	}
+	met := d.Metrics().Snapshot()
+	out.ShedMetric = met.Shed
+	out.Activations = met.QueueHighWater
+	out.QueuePeak = d.Server(loadSite).SchedStats().Peak
+	return out, nil
+}
+
+// loadExpirySegment runs the heavy scan under a deadline calibrated to
+// about a third of its unloaded runtime, then reconciles the server-side
+// expiry count against the EXPIRED fates in the journey stitched from
+// result reports alone.
+func loadExpirySegment() (*LoadExpiry, error) {
+	d, err := core.NewDeployment(core.Config{Web: loadWeb(), NoDocService: true, Trace: true})
+	if err != nil {
+		return nil, err
+	}
+	defer d.Close()
+
+	// Calibration: one untimed run measures the full scan.
+	start := time.Now()
+	q0, err := d.Run(loadHeavyDISQL(), 30*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	elapsed := time.Since(start)
+	out := &LoadExpiry{}
+	for _, t := range q0.Results() {
+		out.TruthRows += len(t.Rows)
+	}
+
+	budget := elapsed / 3
+	out.DeadlineMs = float64(budget.Microseconds()) / 1e3
+	wq, err := disql.Parse(loadHeavyDISQL())
+	if err != nil {
+		return nil, err
+	}
+	q, err := d.Client().SubmitBudget(wq, wire.Budget{Deadline: time.Now().Add(budget).UnixNano()})
+	if err != nil {
+		return nil, err
+	}
+	if err := q.Wait(30 * time.Second); err != nil {
+		return nil, fmt.Errorf("deadline run did not settle: %w", err)
+	}
+	for _, t := range q.Results() {
+		out.DeliveredRows += len(t.Rows)
+	}
+	out.BudgetExpired = d.Metrics().BudgetExpired.Load()
+	jy := trace.BuildJourney(q.ID().String(), q.TraceEvents())
+	for _, n := range jy.Spans {
+		if n.Fate == trace.FateExpired {
+			out.FateExpired++
+		}
+	}
+	out.Reconciled = out.FateExpired == int(out.BudgetExpired) && out.BudgetExpired > 0
+	return out, nil
+}

@@ -1,0 +1,221 @@
+package sched
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func drain(t *testing.T, q *Queue[int], n int) []int {
+	t.Helper()
+	out := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		v, ok := q.Pop()
+		if !ok {
+			t.Fatalf("queue closed after %d pops, want %d", i, n)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func TestZeroOptionsIsFIFO(t *testing.T) {
+	q := New[int](Options{})
+	for i := 0; i < 6; i++ {
+		if v := q.Push("q1", 0, false, i); v != Admitted {
+			t.Fatalf("push %d: verdict %v", i, v)
+		}
+	}
+	for i, v := range drain(t, q, 6) {
+		if v != i {
+			t.Fatalf("pop %d = %d, want arrival order", i, v)
+		}
+	}
+}
+
+func TestFairInterleavesFlows(t *testing.T) {
+	// Flow A floods 8 items before flow B's single item arrives; fair
+	// mode must serve B within one round instead of after all of A.
+	q := New[int](Options{Fair: true})
+	for i := 0; i < 8; i++ {
+		q.Push("a", 1, false, 100+i)
+	}
+	q.Push("b", 1, false, 200)
+	got := drain(t, q, 9)
+	posB := -1
+	for i, v := range got {
+		if v == 200 {
+			posB = i
+		}
+	}
+	if posB < 0 || posB > 2 {
+		t.Fatalf("flow b served at position %d of %v, want within one DRR round", posB, got)
+	}
+}
+
+func TestFairWeightedShares(t *testing.T) {
+	// Two backlogged flows with weights 3 and 1: over the first rounds
+	// the heavy flow must receive ~3x the service of the light one.
+	q := New[int](Options{Fair: true})
+	for i := 0; i < 30; i++ {
+		q.Push("heavy", 3, false, 1)
+		q.Push("light", 1, false, 2)
+	}
+	heavy := 0
+	for _, v := range drain(t, q, 8) {
+		if v == 1 {
+			heavy++
+		}
+	}
+	// 8 pops = two full rounds of (3 heavy + 1 light).
+	if heavy != 6 {
+		t.Fatalf("heavy served %d of first 8, want 6 (3:1 weights)", heavy)
+	}
+}
+
+func TestFairNewFlowServedNearPointer(t *testing.T) {
+	// The DRR+ insertion property: a flow entering a busy ring is placed
+	// just after the service pointer, so its first item is served after
+	// at most the current flow's quantum — not after a full rotation.
+	q := New[int](Options{Fair: true})
+	for i := 0; i < 5; i++ {
+		q.Push("a", 1, false, 1)
+		q.Push("b", 1, false, 2)
+	}
+	if got := drain(t, q, 2); got[0] != 1 || got[1] != 2 {
+		t.Fatalf("warmup pops = %v", got) // pointer now past a and b
+	}
+	q.Push("c", 1, false, 3)
+	got := drain(t, q, 3)
+	posC := -1
+	for i, v := range got {
+		if v == 3 {
+			posC = i
+		}
+	}
+	// With 8 a/b items still backlogged, c must surface within the next
+	// two pops (the in-progress flow's quantum), not after the backlog.
+	if posC < 0 || posC > 1 {
+		t.Fatalf("late flow served at position %d of %v", posC, got)
+	}
+}
+
+func TestAdmissionShedsFreshOverHighWater(t *testing.T) {
+	activations := 0
+	q := New[int](Options{HighWater: 4, LowWater: 2, OnActivate: func() { activations++ }})
+	for i := 0; i < 4; i++ {
+		if v := q.Push("inflight", 0, false, i); v != Admitted {
+			t.Fatalf("in-flight push %d: verdict %v", i, v)
+		}
+	}
+	// Depth at the watermark: a fresh flow is shed, in-flight work and
+	// items of flows already queued here are not.
+	if v := q.Push("new1", 0, true, 9); v != Shed {
+		t.Fatalf("fresh over watermark: verdict %v, want Shed", v)
+	}
+	if v := q.Push("inflight", 0, false, 4); v != Admitted {
+		t.Fatal("non-fresh push must never be shed")
+	}
+	if v := q.Push("inflight", 0, true, 5); v != Admitted {
+		t.Fatal("fresh item of an already-queued flow must not be shed")
+	}
+	st := q.Stats()
+	if st.Shed != 1 || st.Activations != 1 || !st.Shedding || activations != 1 {
+		t.Fatalf("stats = %+v, activations = %d", st, activations)
+	}
+
+	// Hysteresis: still shedding until the depth drains below LowWater.
+	drain(t, q, 3) // depth 6 -> 3
+	if v := q.Push("new2", 0, true, 9); v != Shed {
+		t.Fatalf("at depth 3 (>= LowWater 2): verdict %v, want Shed", v)
+	}
+	drain(t, q, 2) // depth 3 -> 1
+	if v := q.Push("new3", 0, true, 9); v != Admitted {
+		t.Fatal("below LowWater admissions must resume")
+	}
+}
+
+func TestCloseUnblocksPop(t *testing.T) {
+	q := New[int](Options{Fair: true})
+	done := make(chan bool)
+	go func() {
+		_, ok := q.Pop()
+		done <- ok
+	}()
+	time.Sleep(5 * time.Millisecond)
+	q.Close()
+	select {
+	case ok := <-done:
+		if ok {
+			t.Fatal("pop on a closed queue reported ok")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("pop did not unblock on close")
+	}
+	if v := q.Push("q", 0, false, 1); v != Closed {
+		t.Fatalf("push after close: verdict %v", v)
+	}
+}
+
+// TestConcurrentPushPopClose is the shutdown race test: many pushers
+// and poppers churn both queue modes while Close lands mid-traffic.
+// Run under -race; the assertion is simply no deadlock and no panic.
+func TestConcurrentPushPopClose(t *testing.T) {
+	for _, opts := range []Options{
+		{},
+		{Fair: true},
+		{Fair: true, HighWater: 8, LowWater: 4},
+	} {
+		q := New[int](opts)
+		var wg sync.WaitGroup
+		keys := []string{"q1", "q2", "q3", "q4"}
+		for p := 0; p < 4; p++ {
+			wg.Add(1)
+			go func(p int) {
+				defer wg.Done()
+				for i := 0; i < 500; i++ {
+					q.Push(keys[i%len(keys)], i%3, i%7 == 0, i)
+				}
+			}(p)
+		}
+		for c := 0; c < 4; c++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					if _, ok := q.Pop(); !ok {
+						return
+					}
+				}
+			}()
+		}
+		time.Sleep(2 * time.Millisecond)
+		q.Close()
+		doneCh := make(chan struct{})
+		go func() { wg.Wait(); close(doneCh) }()
+		select {
+		case <-doneCh:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("opts %+v: goroutines wedged across close", opts)
+		}
+	}
+}
+
+func TestStatsTrackDepthAndPeak(t *testing.T) {
+	q := New[int](Options{Fair: true})
+	q.Push("a", 0, false, 1)
+	q.Push("a", 0, false, 2)
+	q.Push("b", 0, false, 3)
+	st := q.Stats()
+	if st.Depth != 3 || st.Peak != 3 || st.Flows != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	drain(t, q, 3)
+	st = q.Stats()
+	if st.Depth != 0 || st.Peak != 3 || st.Flows != 0 {
+		t.Fatalf("after drain: %+v", st)
+	}
+	if q.Len() != 0 {
+		t.Fatalf("Len = %d", q.Len())
+	}
+}

@@ -81,6 +81,22 @@ type Metrics struct {
 	// remote forwards per processed clone message — the fan-out critical
 	// path that the parallel forward workers shorten.
 	ForwardNanos atomic.Int64
+
+	// QueueDepth is a gauge: clones currently admitted to the scheduler
+	// queue but not yet handed to a worker.
+	QueueDepth atomic.Int64
+	// QueueHighWater counts the times admission control newly engaged
+	// (the queue depth crossed the high watermark).
+	QueueHighWater atomic.Int64
+	// Shed counts fresh clones refused by admission control and returned
+	// to the user-site with a typed SHED message.
+	Shed atomic.Int64
+	// BudgetExpired counts clones terminated (or forwards suppressed) for
+	// exceeding their wire-carried budget: deadline, hop quota, or clone
+	// quota.
+	BudgetExpired atomic.Int64
+	// RowsClipped counts result rows discarded by the budget's row quota.
+	RowsClipped atomic.Int64
 }
 
 // Snapshot is a plain-integer copy of Metrics.
@@ -112,6 +128,12 @@ type Snapshot struct {
 	ParseCacheMisses int64
 	DBBuildCoalesced int64
 	ForwardNanos     int64
+
+	QueueDepth     int64
+	QueueHighWater int64
+	Shed           int64
+	BudgetExpired  int64
+	RowsClipped    int64
 }
 
 // Snapshot returns a consistent-enough copy for reporting (individual
@@ -145,6 +167,12 @@ func (m *Metrics) Snapshot() Snapshot {
 		ParseCacheMisses: m.ParseCacheMisses.Load(),
 		DBBuildCoalesced: m.DBBuildCoalesced.Load(),
 		ForwardNanos:     m.ForwardNanos.Load(),
+
+		QueueDepth:     m.QueueDepth.Load(),
+		QueueHighWater: m.QueueHighWater.Load(),
+		Shed:           m.Shed.Load(),
+		BudgetExpired:  m.BudgetExpired.Load(),
+		RowsClipped:    m.RowsClipped.Load(),
 	}
 }
 

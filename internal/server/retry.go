@@ -2,6 +2,7 @@ package server
 
 import (
 	"errors"
+	"hash/fnv"
 	"math/rand"
 	"net"
 	"strconv"
@@ -12,6 +13,36 @@ import (
 	"webdis/internal/trace"
 	"webdis/internal/wire"
 )
+
+// lockedRand is the server's private, seeded randomness. math/rand's
+// *Rand is not concurrency-safe and the global source is not seedable
+// per server, so each server carries its own source behind a mutex —
+// workers and fan-out goroutines all draw jitter from it. A fixed seed
+// makes retry/backoff schedules (and so the chaos differential runs)
+// reproducible.
+type lockedRand struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// newLockedRand seeds a server's randomness. A zero seed derives a
+// stable per-site seed from the site name, so two servers never share a
+// jitter schedule yet every run replays identically.
+func newLockedRand(seed int64, site string) *lockedRand {
+	if seed == 0 {
+		h := fnv.New64a()
+		h.Write([]byte(site))
+		seed = int64(h.Sum64())
+	}
+	return &lockedRand{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Int63n mirrors rand.Int63n over the locked source.
+func (l *lockedRand) Int63n(n int64) int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.rng.Int63n(n)
+}
 
 // RetryPolicy bounds the forward-resilience loop wrapped around every
 // remote send (clone forwards, result dispatches, bounces). The zero
@@ -40,8 +71,9 @@ func (r RetryPolicy) attempts() int {
 	return r.Attempts
 }
 
-// backoff returns the pause before retry number n (1-based), jittered.
-func (r RetryPolicy) backoff(n int) time.Duration {
+// backoff returns the pause before retry number n (1-based), jittered
+// ±25% from the server's seeded source so schedules are reproducible.
+func (r RetryPolicy) backoff(n int, rng *lockedRand) time.Duration {
 	if r.Base <= 0 {
 		return 0
 	}
@@ -49,8 +81,7 @@ func (r RetryPolicy) backoff(n int) time.Duration {
 	if r.Max > 0 && d > r.Max {
 		d = r.Max
 	}
-	// ±25% jitter; rand's global source is concurrency-safe.
-	j := time.Duration(rand.Int63n(int64(d)/2+1)) - d/4
+	j := time.Duration(rng.Int63n(int64(d)/2+1)) - d/4
 	return d + j
 }
 
@@ -63,7 +94,7 @@ func (s *Server) send(to string, msg any) error {
 		if i > 1 {
 			s.met.Retries.Add(1)
 			s.jotRetry(to, msg, i, err)
-			if !s.pause(pol.backoff(i - 1)) {
+			if !s.pause(pol.backoff(i-1, s.rng)) {
 				return err // server stopping; give up quietly
 			}
 		}

@@ -23,6 +23,7 @@ package server
 import (
 	"errors"
 	"net"
+	"runtime"
 	"sort"
 	"strconv"
 	"sync"
@@ -34,6 +35,7 @@ import (
 	"webdis/internal/nodeproc"
 	"webdis/internal/pre"
 	"webdis/internal/relmodel"
+	"webdis/internal/sched"
 	"webdis/internal/trace"
 	"webdis/internal/webgraph"
 	"webdis/internal/wire"
@@ -136,6 +138,16 @@ type Options struct {
 	// bounded exponential backoff with jitter. The zero value sends once
 	// with no timeout — the paper's failure-is-terminal behaviour.
 	Retry RetryPolicy
+	// Sched configures the Query Processor's clone scheduler (package
+	// sched): weighted fair queueing across concurrent queries and
+	// watermark admission control with typed SHED refusals. The zero
+	// value is the seed behaviour — one unbounded FIFO, nothing shed.
+	Sched sched.Options
+	// Seed seeds the server's private randomness (retry-backoff jitter).
+	// Zero derives a stable per-site seed from the site name, so runs
+	// are reproducible either way; set it only to decorrelate sites
+	// differently across repetitions.
+	Seed int64
 	// Trace, when set, receives processing events.
 	Trace Tracer
 	// Journal, when set, receives causal trace events (package trace):
@@ -163,7 +175,10 @@ type Server struct {
 	opts Options
 	log  *nodeproc.LogTable
 
-	queue *cloneQueue
+	queue *sched.Queue[*wire.CloneMsg]
+	// rng is the server's private randomness (retry-backoff jitter),
+	// seeded from Options.Seed so chaos runs replay deterministically.
+	rng *lockedRand
 	// seq numbers the CHT entries this server creates, making each
 	// forwarded clone instance uniquely identifiable (see wire.DestNode).
 	seq atomic.Int64
@@ -197,9 +212,20 @@ func New(site string, docs DocSource, tr netsim.Transport, met *Metrics, opts Op
 		met:     met,
 		opts:    opts,
 		log:     nodeproc.NewLogTable(opts.dedup()),
-		queue:   newCloneQueue(),
+		rng:     newLockedRand(opts.Seed, site),
 		dbCache: make(map[string]*dbEntry),
 	}
+	// The scheduler's activation hook feeds the QueueHighWater counter;
+	// any hook the caller installed still runs.
+	schedOpts := opts.Sched
+	userHook := schedOpts.OnActivate
+	schedOpts.OnActivate = func() {
+		met.QueueHighWater.Add(1)
+		if userHook != nil {
+			userHook()
+		}
+	}
+	s.queue = sched.New[*wire.CloneMsg](schedOpts)
 	if !opts.NoConnPool {
 		s.pool = netsim.NewPool(tr, Endpoint(site), netsim.PoolOptions{
 			// Pooled connections carry many frames, so attach a persistent
@@ -276,11 +302,19 @@ func (s *Server) Start() error {
 		go func() {
 			defer s.wg.Done()
 			for {
-				clone, ok := s.queue.pop()
+				clone, ok := s.queue.Pop()
 				if !ok {
 					return
 				}
+				s.met.QueueDepth.Add(-1)
 				s.handle(clone)
+				// Yield between clone batches. A backlogged processor is
+				// CPU-bound; without this, on a small GOMAXPROCS every
+				// goroutine the batch made runnable (result collectors,
+				// waiting clients) sits out a full preemption slice
+				// before it runs, which costs every in-flight query tens
+				// of milliseconds of completion latency per batch.
+				runtime.Gosched()
 			}
 		}()
 	}
@@ -324,7 +358,7 @@ func (s *Server) Stop() {
 	for conn := range conns {
 		conn.Close()
 	}
-	s.queue.close()
+	s.queue.Close()
 	s.wg.Wait()
 	if s.pool != nil {
 		s.pool.Close()
@@ -334,7 +368,40 @@ func (s *Server) Stop() {
 // Enqueue hands a clone to the Query Processor directly, bypassing the
 // network: used for same-site forwarding (a clone is only "explicitly
 // forwarded" when the next node lives on a different site) and by tests.
-func (s *Server) Enqueue(c *wire.CloneMsg) { s.queue.push(c) }
+func (s *Server) Enqueue(c *wire.CloneMsg) { s.admit(c) }
+
+// SchedStats returns the scheduler queue's counters: current and peak
+// depth, queued flows, sheds and watermark activations.
+func (s *Server) SchedStats() sched.Stats { return s.queue.Stats() }
+
+// admit offers one clone to the scheduler. Admission control may refuse
+// it: a fresh root dispatch (hop 0, query not already queued here)
+// arriving over the high watermark is returned to the user-site with a
+// typed SHED message instead of being queued. Forwarded clones of
+// admitted queries and local re-enqueues are never refused — in-flight
+// work always completes, keeping CHT accounting sound under load.
+func (s *Server) admit(c *wire.CloneMsg) {
+	switch s.queue.Push(c.ID.String(), c.Budget.Weight, c.Hops == 0, c) {
+	case sched.Admitted:
+		s.met.QueueDepth.Add(1)
+	case sched.Shed:
+		s.shedClone(c)
+	case sched.Closed:
+		// Server stopping: the clone is discarded (seed semantics); the
+		// user-site's reaper retires whatever entries it had announced.
+	}
+}
+
+// shedClone returns a refused clone to the user-site with the typed
+// SHED message, so its CHT entries retire and the caller sees the
+// refusal (Query.Shed) rather than a hang. Best-effort: if even the
+// user-site is unreachable, the reaper owns the stranded entries.
+func (s *Server) shedClone(c *wire.CloneMsg) {
+	s.met.Shed.Add(1)
+	s.trace("", c.State(), "shed", "over high watermark")
+	s.jot(c, trace.Shed, "", c.State(), "over high watermark")
+	s.send(c.ID.Site, &wire.ShedMsg{Clone: c, Site: s.site})
+}
 
 // receive drains clone messages from one connection.
 func (s *Server) receive(conn net.Conn) {
@@ -348,7 +415,7 @@ func (s *Server) receive(conn net.Conn) {
 		if !ok {
 			return
 		}
-		s.queue.push(clone)
+		s.admit(clone)
 	}
 }
 
@@ -385,15 +452,42 @@ type outClone struct {
 	dests map[string]bool
 }
 
+// budgetState is the mutable remainder of a clone's budget while its
+// message is processed: the clone-spawn and result-row quotas, both in
+// the positive-remaining / 0-unlimited / negative-exhausted sentinel
+// convention of wire.Budget.
+type budgetState struct {
+	clones int
+	rows   int
+}
+
+// spendOne decrements a sentinel quota in place (no-op when unlimited;
+// 1 spends to the -1 exhaustion sentinel, never to the unlimited 0).
+func spendOne(q *int) {
+	switch {
+	case *q == 1:
+		*q = -1
+	case *q > 1:
+		*q--
+	}
+}
+
 // handle processes one received clone message: the process_query
 // algorithm of Figure 3.
 func (s *Server) handle(c *wire.CloneMsg) {
 	s.jot(c, trace.Arrive, "", c.State(), strconv.Itoa(len(c.Dest))+" dests")
+	if c.Budget.ExpiredAt(time.Now().UnixNano()) {
+		// The query's deadline passed in transit: the typed EXPIRED
+		// terminate. No evaluation, no children — the entries retire so
+		// the CHT still balances and the trace fate is exact.
+		s.expire(c, "deadline passed")
+		return
+	}
 	stages, arrRem, err := s.parseClone(c)
 	if err != nil {
 		// A malformed clone cannot be processed, but its CHT entries must
 		// still be retired or the user-site would wait forever.
-		s.retireAll(c)
+		s.retireAll(c, false)
 		return
 	}
 
@@ -401,6 +495,7 @@ func (s *Server) handle(c *wire.CloneMsg) {
 	var order []string // deterministic forwarding order
 	var updates []wire.CHTUpdate
 	var tables []wire.NodeTable
+	bs := &budgetState{clones: c.Budget.Clones, rows: c.Budget.Rows}
 
 	seen := make(map[string]bool)
 	for _, dest := range c.Dest {
@@ -408,9 +503,22 @@ func (s *Server) handle(c *wire.CloneMsg) {
 			continue
 		}
 		seen[dest.URL] = true
-		upd, tbls := s.processNode(dest, arrRem, stages, c, outs, &order)
+		upd, tbls := s.processNode(dest, arrRem, stages, c, outs, &order, bs)
 		updates = append(updates, upd)
 		tables = append(tables, tbls...)
+	}
+
+	// Children inherit the budget with this hop spent: one hop off the
+	// hop quota, the row quota as it now stands, and the remaining
+	// clone-spawn quota divided among them.
+	if !c.Budget.IsZero() {
+		childB := c.Budget.Spend()
+		childB.Rows = bs.rows
+		for i, key := range order {
+			b := childB
+			b.Clones = divideQuota(bs.clones, len(order), i)
+			outs[key].msg.Budget = b
+		}
 	}
 
 	// Span links of the clones about to be forwarded, echoed on the
@@ -438,6 +546,38 @@ func (s *Server) handle(c *wire.CloneMsg) {
 	s.jot(c, trace.Result, "", c.State(),
 		strconv.Itoa(len(updates))+" updates, "+strconv.Itoa(len(tables))+" tables")
 	s.forwardAll(outs, order)
+}
+
+// expire terminates a clone that exceeded its wire-carried budget: its
+// CHT entries retire with the typed EXPIRED report so the user-site
+// books the span's fate as expired, not processed — the budget analog
+// of the paper's passive termination, but accounted, not silent.
+func (s *Server) expire(c *wire.CloneMsg, reason string) {
+	s.met.BudgetExpired.Add(1)
+	s.trace("", c.State(), "expired", reason)
+	s.jot(c, trace.Expire, "", c.State(), reason)
+	s.retireAll(c, true)
+}
+
+// divideQuota splits a remaining clone-spawn quota among n children,
+// giving child i its share: as even as possible, remainder to the first
+// children, and a zero share landing on the -1 exhaustion sentinel
+// (never on the unlimited 0).
+func divideQuota(q, n, i int) int {
+	if q == 0 || n == 0 {
+		return q
+	}
+	if q < 0 {
+		return -1
+	}
+	share := q / n
+	if i < q%n {
+		share++
+	}
+	if share == 0 {
+		share = -1
+	}
+	return share
 }
 
 // errNoStages rejects clones that carry no node-queries at all.
@@ -487,7 +627,7 @@ func (s *Server) parseClone(c *wire.CloneMsg) ([]disql.Stage, pre.Expr, error) {
 // processNode runs the process() algorithm of Figure 4 for one
 // destination node, accumulating outgoing clones in outs. It returns the
 // node's CHT update and any result tables.
-func (s *Server) processNode(dest wire.DestNode, arrRem pre.Expr, stages []disql.Stage, c *wire.CloneMsg, outs map[string]*outClone, order *[]string) (wire.CHTUpdate, []wire.NodeTable) {
+func (s *Server) processNode(dest wire.DestNode, arrRem pre.Expr, stages []disql.Stage, c *wire.CloneMsg, outs map[string]*outClone, order *[]string, bs *budgetState) (wire.CHTUpdate, []wire.NodeTable) {
 	node := dest.URL
 	arrival := wire.CHTEntry{
 		Node:   node,
@@ -573,10 +713,31 @@ func (s *Server) processNode(dest wire.DestNode, arrRem pre.Expr, stages []disql
 				s.jot(c, trace.Evaluate, node, st, "answered q"+strconv.Itoa(it.base+1))
 			}
 			if len(it.stages[0].Query.Select) > 0 && !res.Table.Empty() {
-				tables = append(tables, wire.NodeTable{
-					Node: node, Stage: it.base,
-					Cols: res.Table.Cols, Rows: res.Table.Rows,
-				})
+				rows := res.Table.Rows
+				if bs.rows != 0 {
+					// Row quota: keep what remains, clip the rest.
+					keep := 0
+					if bs.rows > 0 {
+						keep = bs.rows
+					}
+					if keep > len(rows) {
+						keep = len(rows)
+					}
+					if clipped := len(rows) - keep; clipped > 0 {
+						s.met.RowsClipped.Add(int64(clipped))
+						s.trace(node, st, "clipped", strconv.Itoa(clipped)+" rows over quota")
+					}
+					rows = rows[:keep]
+					for i := 0; i < keep; i++ {
+						spendOne(&bs.rows)
+					}
+				}
+				if len(rows) > 0 {
+					tables = append(tables, wire.NodeTable{
+						Node: node, Stage: it.base,
+						Cols: res.Table.Cols, Rows: rows,
+					})
+				}
 			}
 		} else {
 			s.met.PureRoutes.Add(1)
@@ -588,10 +749,14 @@ func (s *Server) processNode(dest wire.DestNode, arrRem pre.Expr, stages []disql
 			s.jot(c, trace.Route, node, st, detail)
 		}
 
-		if s.opts.MaxHops > 0 && c.Hops >= s.opts.MaxHops {
+		if clamped, detail, byBudget := s.hopClamped(c); clamped {
 			if len(res.Continue) > 0 || res.Advance {
-				s.met.HopsClamped.Add(1)
-				s.trace(node, st, "clamped", "hop bound reached")
+				if byBudget {
+					s.met.BudgetExpired.Add(1)
+				} else {
+					s.met.HopsClamped.Add(1)
+				}
+				s.trace(node, st, "clamped", detail)
 			}
 			if res.Advance {
 				// Stage advance happens at the same node (no hop), so it
@@ -603,7 +768,7 @@ func (s *Server) processNode(dest wire.DestNode, arrRem pre.Expr, stages []disql
 		}
 		for _, f := range res.Continue {
 			update.Children = append(update.Children,
-				s.addTargets(outs, order, f, it.stages, it.base, it.env, c)...)
+				s.addTargets(outs, order, f, it.stages, it.base, it.env, c, bs)...)
 		}
 		if res.Advance {
 			work = append(work, item{it.stages[1].PRE, it.stages[1:], it.base + 1,
@@ -613,9 +778,25 @@ func (s *Server) processNode(dest wire.DestNode, arrRem pre.Expr, stages []disql
 	return update, tables
 }
 
+// hopClamped reports whether clone c may not forward further: its
+// wire-carried hop quota is spent, or the site's MaxHops safety bound
+// is reached. byBudget distinguishes the two for metric attribution.
+func (s *Server) hopClamped(c *wire.CloneMsg) (clamped bool, detail string, byBudget bool) {
+	if c.Budget.Hops < 0 {
+		return true, "hop quota spent", true
+	}
+	if s.opts.MaxHops > 0 && c.Hops >= s.opts.MaxHops {
+		return true, "hop bound reached", false
+	}
+	return false, "", false
+}
+
 // addTargets merges one Forward into the per-(site, state) outgoing
 // clones and returns the CHT child entries for the targets newly added.
-func (s *Server) addTargets(outs map[string]*outClone, order *[]string, f nodeproc.Forward, stages []disql.Stage, base int, env map[string]string, c *wire.CloneMsg) []wire.CHTEntry {
+// The budget's clone-spawn quota is charged per clone message created;
+// once spent, further messages are suppressed before their entries are
+// announced, so there is nothing to retire.
+func (s *Server) addTargets(outs map[string]*outClone, order *[]string, f nodeproc.Forward, stages []disql.Stage, base int, env map[string]string, c *wire.CloneMsg, bs *budgetState) []wire.CHTEntry {
 	state := wire.State{NumQ: len(stages), Rem: f.Rem.String()}
 	envKey := wire.EnvKey(env)
 	var children []wire.CHTEntry
@@ -627,6 +808,12 @@ func (s *Server) addTargets(outs map[string]*outClone, order *[]string, f nodepr
 		}
 		oc := outs[key]
 		if oc == nil {
+			if bs.clones < 0 {
+				s.met.BudgetExpired.Add(1)
+				s.trace(tgt.URL, state, "clamped", "clone quota spent")
+				continue
+			}
+			spendOne(&bs.clones)
 			oc = &outClone{
 				site: site,
 				msg: &wire.CloneMsg{
@@ -867,7 +1054,7 @@ func (s *Server) forwardRemote(oc *outClone) {
 		s.met.ForwardFailed.Add(1)
 		s.trace("", oc.msg.State(), "forward-failed", oc.site)
 		s.jot(oc.msg, trace.ForwardFailed, "", oc.msg.State(), oc.site)
-		s.retireAll(oc.msg)
+		s.retireAll(oc.msg, false)
 		return
 	}
 	s.met.ClonesForwarded.Add(1)
@@ -900,8 +1087,13 @@ func (s *Server) bounce(c *wire.CloneMsg, reason string) bool {
 }
 
 // retireAll dispatches CHT retirements for every destination of a clone
-// that will never be processed.
-func (s *Server) retireAll(c *wire.CloneMsg) {
+// that will never be processed. expired marks the typed EXPIRED
+// retirement (budget enforcement), which the user-site books as the
+// span's fate instead of "processed".
+func (s *Server) retireAll(c *wire.CloneMsg, expired bool) {
+	if len(c.Dest) == 0 {
+		return
+	}
 	st := c.State()
 	updates := make([]wire.CHTUpdate, 0, len(c.Dest))
 	for _, dest := range c.Dest {
@@ -909,51 +1101,13 @@ func (s *Server) retireAll(c *wire.CloneMsg) {
 			Node: dest.URL, State: st, Origin: dest.Origin, Seq: dest.Seq,
 		}})
 	}
-	s.dispatchResults(c, updates, nil, nil)
-}
-
-// cloneQueue is the Query Processor's unbounded FIFO of pending clones.
-// It must be unbounded because the processor enqueues same-site clones
-// while processing — a bounded channel would deadlock on self-forwarding.
-type cloneQueue struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
-	items  []*wire.CloneMsg
-	closed bool
-}
-
-func newCloneQueue() *cloneQueue {
-	q := &cloneQueue{}
-	q.cond = sync.NewCond(&q.mu)
-	return q
-}
-
-func (q *cloneQueue) push(c *wire.CloneMsg) {
-	q.mu.Lock()
-	if !q.closed {
-		q.items = append(q.items, c)
-		q.cond.Signal()
+	msg := &wire.ResultMsg{ID: c.ID, Updates: updates, Expired: expired}
+	if s.traced(c) {
+		msg.Span, msg.Site, msg.Hop = c.Span, s.site, c.Hops
 	}
-	q.mu.Unlock()
-}
-
-func (q *cloneQueue) pop() (*wire.CloneMsg, bool) {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	for len(q.items) == 0 && !q.closed {
-		q.cond.Wait()
+	// A failed dispatch means the user-site is gone; its reaper owns the
+	// stranded entries (same semantics as a failed result dispatch).
+	if s.send(c.ID.Site, msg) == nil {
+		s.met.ResultMsgs.Add(1)
 	}
-	if q.closed {
-		return nil, false
-	}
-	c := q.items[0]
-	q.items = q.items[1:]
-	return c, true
-}
-
-func (q *cloneQueue) close() {
-	q.mu.Lock()
-	q.closed = true
-	q.cond.Broadcast()
-	q.mu.Unlock()
 }

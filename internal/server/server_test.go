@@ -240,7 +240,13 @@ func TestServerSubsumptionRewrite(t *testing.T) {
 
 	// The paper's query-multiple-rewrite: the superset arrival is
 	// rewritten at x (L*4 -> L·L*3) and again at the next node y, where
-	// the forwarded L*3 covers the logged L*1.
+	// the forwarded L*3 covers the logged L*1. The second rewrite rides
+	// the continuation clone, which may still be queued when x's own
+	// report (the third message) lands — poll the counter, don't race it.
+	deadline := time.Now().Add(5 * time.Second)
+	for h.met.DupRewritten.Load() < 2 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
 	if h.met.DupRewritten.Load() != 2 {
 		t.Fatalf("DupRewritten = %d", h.met.DupRewritten.Load())
 	}

@@ -69,6 +69,13 @@ const (
 	ForwardFailed Kind = "forward-failed"
 	// Reap is the user-site retiring orphaned CHT entries.
 	Reap Kind = "reap"
+	// Expire is a clone terminated for exceeding its wire-carried budget
+	// (deadline passed, or a quota spent): the typed EXPIRED retirement.
+	// Its CHT entries retire without children.
+	Expire Kind = "expire"
+	// Shed is a fresh clone refused by admission control — the site was
+	// over its high watermark — and returned to the user-site unstarted.
+	Shed Kind = "shed"
 )
 
 // Transport-level events, written by the netsim observer hook.

@@ -23,6 +23,13 @@ const (
 	// FateInFlight: the clone was sent but no arrival or report was ever
 	// journaled — it vanished on the wire (or the journal is partial).
 	FateInFlight = "in-flight"
+	// FateExpired: the clone was terminated for exceeding its budget
+	// (deadline or quota); its entries were retired with a typed EXPIRED
+	// report, so the query still completes — with fewer answers.
+	FateExpired = "expired"
+	// FateShed: the clone was refused by admission control before any
+	// processing — the query never started at that site.
+	FateShed = "shed"
 )
 
 // SpanNode is one clone message in a reconstructed journey.
@@ -136,6 +143,15 @@ func BuildJourney(query string, events []Event) *Journey {
 			n.Fate = FateBounced
 		case Terminate:
 			n.Fate = FateTerminated
+		case Expire:
+			// Like Result, the expiry report may be the only evidence of
+			// the enforcing site (TCP stitch).
+			if n.Site == "" {
+				n.Site = e.Site
+			}
+			n.Fate = FateExpired
+		case Shed:
+			n.Fate = FateShed
 		case Retry:
 			n.Retries++
 		}

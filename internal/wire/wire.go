@@ -119,6 +119,67 @@ type CloneMsg struct {
 	// dispatch). Zero Span means tracing is off for this message.
 	Span   SpanID
 	Parent SpanID
+	// Budget is the query's resource budget, inherited (and decremented)
+	// by every clone spawned from this one. The zero Budget is unlimited.
+	Budget Budget
+}
+
+// Budget carries a query's resource limits on the wire, following the
+// per-query hop/time budgets that federated-search mediators and the DXQ
+// network spec treat as first-class protocol elements. Each clone
+// inherits its parent's budget with the consumed portion subtracted, so
+// enforcement is local: a site can terminate an expired or exhausted
+// clone without any coordination beyond the typed EXPIRED retirement
+// that keeps CHT accounting exact.
+//
+// The quota fields use a three-way sentinel convention: positive means
+// remaining quota, zero means unlimited (so the zero Budget changes
+// nothing), and negative means exhausted — needed because decrementing a
+// quota of 1 must not land on the "unlimited" zero.
+type Budget struct {
+	// Deadline is the absolute wall-clock deadline in Unix nanoseconds
+	// (0 = none). Absolute rather than relative so it survives
+	// forwarding without per-hop clock arithmetic; sites share the
+	// simulated deployment's clock.
+	Deadline int64
+	// Hops is the remaining hop quota: how many more links the query may
+	// traverse below this clone.
+	Hops int
+	// Clones is the remaining clone-spawn quota: how many more clone
+	// messages the whole subtree below this clone may create. A parent
+	// divides its remaining quota among the clones it spawns.
+	Clones int
+	// Rows is the remaining result-row quota for the subtree.
+	Rows int
+	// Weight is the query's scheduling weight (0 = default weight 1):
+	// its share of a site's service under weighted fair queueing.
+	Weight int
+}
+
+// IsZero reports whether the budget is entirely unlimited.
+func (b Budget) IsZero() bool {
+	return b.Deadline == 0 && b.Hops == 0 && b.Clones == 0 && b.Rows == 0 && b.Weight == 0
+}
+
+// ExpiredAt reports whether the deadline has passed at the given time.
+func (b Budget) ExpiredAt(now int64) bool {
+	return b.Deadline != 0 && now > b.Deadline
+}
+
+// Spend returns the budget a child clone inherits after one hop: the hop
+// quota decremented (1 spends to -1, exhausted, never to the unlimited
+// 0). Deadline, Rows, Clones and Weight carry over; callers divide the
+// clone quota separately because it is split among siblings, not
+// inherited whole.
+func (b Budget) Spend() Budget {
+	if b.Hops > 0 {
+		if b.Hops == 1 {
+			b.Hops = -1
+		} else {
+			b.Hops--
+		}
+	}
+	return b
 }
 
 // EnvKey returns a canonical fingerprint of an environment, used in
@@ -201,6 +262,13 @@ type ResultMsg struct {
 	ID      QueryID
 	Updates []CHTUpdate
 	Tables  []NodeTable
+	// Expired marks a report whose entries were retired because the
+	// clone exceeded its Budget (deadline or quota) rather than being
+	// processed: the typed EXPIRED terminate. The CHT arithmetic is
+	// identical — entries retire, no children — but the user-site
+	// records the spans as expired, not processed, so trace fates
+	// reconcile exactly.
+	Expired bool
 	// Span is the span of the clone message whose processing produced
 	// this report (zero when untraced); Site and Hop locate it.
 	Span SpanID
@@ -244,11 +312,25 @@ const (
 	BounceRetryExhausted = "retry-exhausted"
 )
 
+// ShedMsg returns a refused clone to the user-site: the typed SHED
+// bounce of admission control, distinct from the fault-path BounceMsg.
+// A bounced clone is still owed processing (the fallback evaluates it
+// centrally); a shed clone is refused outright — the site was over its
+// high watermark and declined to start a NEW query. The user-site
+// retires the clone's CHT entries and surfaces Query.Shed so the caller
+// can retry later, rather than silently absorbing the refusal into the
+// degraded-mode path.
+type ShedMsg struct {
+	Clone *CloneMsg
+	Site  string // site that refused the clone
+}
+
 // Message kind strings, used for per-kind traffic accounting.
 const (
 	KindClone     = "clone"
 	KindResult    = "result"
 	KindBounce    = "bounce"
+	KindShed      = "shed"
 	KindFetchReq  = "fetch-req"
 	KindFetchResp = "fetch-resp"
 )
@@ -259,6 +341,7 @@ type envelope struct {
 	Clone     *CloneMsg
 	Result    *ResultMsg
 	Bounce    *BounceMsg
+	Shed      *ShedMsg
 	FetchReq  *FetchReq
 	FetchResp *FetchResp
 }
@@ -378,6 +461,8 @@ func Send(conn net.Conn, msg any) error {
 		env = envelope{Kind: KindResult, Result: m}
 	case *BounceMsg:
 		env = envelope{Kind: KindBounce, Bounce: m}
+	case *ShedMsg:
+		env = envelope{Kind: KindShed, Shed: m}
 	case *FetchReq:
 		env = envelope{Kind: KindFetchReq, FetchReq: m}
 	case *FetchResp:
@@ -448,6 +533,11 @@ func unwrap(env *envelope) (any, error) {
 			return nil, fmt.Errorf("wire: empty %s envelope", env.Kind)
 		}
 		return env.Bounce, nil
+	case KindShed:
+		if env.Shed == nil || env.Shed.Clone == nil {
+			return nil, fmt.Errorf("wire: empty %s envelope", env.Kind)
+		}
+		return env.Shed, nil
 	case KindFetchReq:
 		if env.FetchReq == nil {
 			return nil, fmt.Errorf("wire: empty %s envelope", env.Kind)

@@ -283,3 +283,54 @@ func TestReceiveBadGob(t *testing.T) {
 		t.Fatal("bad gob should fail to decode")
 	}
 }
+
+func TestShedRoundTrip(t *testing.T) {
+	in := &ShedMsg{Clone: sampleClone(), Site: "b.example/query"}
+	out, ok := roundTrip(t, in).(*ShedMsg)
+	if !ok || !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", in, out)
+	}
+}
+
+func TestBudgetRoundTrip(t *testing.T) {
+	in := sampleClone()
+	in.Budget = Budget{Deadline: 12345, Hops: 4, Clones: 9, Rows: 100, Weight: 3}
+	out := roundTrip(t, in).(*CloneMsg)
+	if !reflect.DeepEqual(in.Budget, out.Budget) {
+		t.Fatalf("budget mismatch: %+v vs %+v", in.Budget, out.Budget)
+	}
+}
+
+func TestBudgetSemantics(t *testing.T) {
+	if !(Budget{}).IsZero() {
+		t.Error("zero budget must be unlimited")
+	}
+	if (Budget{Weight: 1}).IsZero() {
+		t.Error("weighted budget is not zero")
+	}
+	b := Budget{Deadline: 100}
+	if b.ExpiredAt(100) {
+		t.Error("deadline is inclusive")
+	}
+	if !b.ExpiredAt(101) {
+		t.Error("past the deadline must expire")
+	}
+	if (Budget{}).ExpiredAt(1 << 60) {
+		t.Error("no deadline never expires")
+	}
+	// Hop quota spends down through the -1 exhaustion sentinel, never
+	// landing on the unlimited 0.
+	b = Budget{Hops: 2}
+	if b = b.Spend(); b.Hops != 1 {
+		t.Fatalf("hops after one spend = %d", b.Hops)
+	}
+	if b = b.Spend(); b.Hops != -1 {
+		t.Fatalf("hops after two spends = %d, want -1 (exhausted)", b.Hops)
+	}
+	if b = b.Spend(); b.Hops != -1 {
+		t.Fatalf("spending an exhausted budget changed it: %d", b.Hops)
+	}
+	if b = (Budget{}).Spend(); b.Hops != 0 {
+		t.Fatalf("unlimited hops spent to %d", b.Hops)
+	}
+}

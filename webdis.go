@@ -49,8 +49,10 @@ import (
 	"webdis/internal/netsim"
 	"webdis/internal/nodeproc"
 	"webdis/internal/pre"
+	"webdis/internal/sched"
 	"webdis/internal/server"
 	"webdis/internal/webgraph"
+	"webdis/internal/wire"
 )
 
 // Core deployment types.
@@ -98,6 +100,25 @@ type (
 	DownWindow = netsim.DownWindow
 	// EdgeBlock is one asymmetric partition of a FaultPlan.
 	EdgeBlock = netsim.EdgeBlock
+	// SchedOptions configure every server's clone scheduler
+	// (ServerOptions.Sched): FIFO (the zero value, the paper's queue),
+	// weighted fair drain, and watermark admission control.
+	SchedOptions = sched.Options
+	// SchedStats is a point-in-time summary of one server's queue.
+	SchedStats = sched.Stats
+)
+
+// Multi-query workloads.
+type (
+	// Budget is a wire-carried execution budget: an absolute deadline,
+	// hop/clone/row quotas and a scheduling weight. It travels on every
+	// clone message; children inherit it decremented. The zero Budget is
+	// unlimited. Submit with Deployment.SubmitBudget or
+	// Session.SubmitBudget.
+	Budget = wire.Budget
+	// Session is a multi-query user-site session: one result endpoint
+	// shared by many concurrent queries (Deployment.NewSession).
+	Session = client.Session
 )
 
 // Log-table dedup modes (paper Section 3.1.1 and extensions).
