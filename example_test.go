@@ -1,0 +1,77 @@
+package webdis
+
+import (
+	"context"
+	"fmt"
+	"sort"
+)
+
+// ExampleDeployment_RunContext shows the context-first entry point with
+// the pull iterator: rows stream in as sites answer, and the loop sees
+// them without waiting for distributed completion (RunContext itself
+// returns once the CHT drains).
+func ExampleDeployment_RunContext() {
+	web := NewWeb()
+	web.NewPage("http://a.example/p.html", "P").AddText("the needle")
+
+	d, err := NewDeployment(Config{Web: web})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer d.Close()
+
+	q, err := d.RunContext(context.Background(),
+		`select d.url from document d such that "http://a.example/p.html" N d where d.text contains "needle"`)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	for stage, row := range q.Rows() {
+		fmt.Println(stage, row[0])
+	}
+	// Output: 0 http://a.example/p.html
+}
+
+// ExampleQuery_Stream consumes results incrementally over a channel
+// while the query runs; cancelling the context would stop both the
+// stream and the query's in-flight clones.
+func ExampleQuery_Stream() {
+	web := NewWeb()
+	home := web.NewPage("http://a.example/index.html", "Home")
+	home.AddText("needle one")
+	home.AddLink("/more.html", "more")
+	web.NewPage("http://a.example/more.html", "More").AddText("needle two")
+
+	d, err := NewDeployment(Config{Web: web})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer d.Close()
+
+	w, err := ParseDISQL(
+		`select d.url from document d such that "http://a.example/index.html" N|L d where d.text contains "needle"`)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	q, err := d.SubmitContext(context.Background(), w)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	var urls []string
+	for r := range q.Stream(context.Background()) {
+		urls = append(urls, r.Row[0])
+	}
+	sort.Strings(urls)
+	for _, u := range urls {
+		fmt.Println(u)
+	}
+	fmt.Println("err:", q.Err())
+	// Output:
+	// http://a.example/index.html
+	// http://a.example/more.html
+	// err: <nil>
+}

@@ -21,12 +21,25 @@
 // Cancellation is passive, exactly as in Section 2.8: Cancel closes the
 // query's listening endpoint; when a server later fails to deliver results
 // on that endpoint it purges the query locally instead of forwarding it,
-// so no termination messages ever chase clones across the web.
+// so no termination messages ever chase clones across the web. Active
+// termination is layered on top, not instead: Stop (triggered by
+// Budget.FirstN at the user-site, or by a cancelled submit context)
+// broadcasts a typed StopMsg to every site with live CHT entries, whose
+// clones then retire with the typed STOPPED fate — so early termination
+// is measured through the CHT and the trace rather than inferred from
+// starvation.
+//
+// Results are consumable while clones are still executing: every merged
+// row is appended to an ordered stream log, and Rows (a pull iterator)
+// or Stream (a bounded channel) deliver them incrementally with
+// watermark-based backpressure accounting in Stats.
 package client
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"iter"
 	"net"
 	"sort"
 	"strconv"
@@ -50,18 +63,56 @@ var ErrCancelled = errors.New("client: query cancelled")
 // ErrTimeout is returned by Wait when the deadline passes first.
 var ErrTimeout = errors.New("client: wait timed out")
 
+// ErrShed reports that at least one site refused the query under
+// admission control: the answer covers only the sites that accepted it.
+var ErrShed = errors.New("client: query shed by admission control")
+
+// ErrExpired reports that at least one clone was terminated for
+// exceeding the query's wire-carried budget: the answer is clipped.
+var ErrExpired = errors.New("client: query budget expired")
+
+// ErrPartial reports that the query completed degraded: the reaper
+// retired orphaned CHT entries, so part of the web went unanswered.
+var ErrPartial = errors.New("client: query completed partial")
+
+// Options configure a Client in one shot: the consolidated form of the
+// deprecated Set* setters, threaded down from core.Config. The zero
+// value is a plain user-site: no hybrid fallback, no reaper, no tracing.
+type Options struct {
+	// Hybrid enables the Section 7.1 migration path: clones addressed to
+	// sites without a query server — bounced back by servers or refused
+	// at submission — are evaluated centrally at the user-site by
+	// downloading their documents, and re-enter distributed processing at
+	// the next participating site.
+	Hybrid bool
+	// ReapGrace arms the orphan-CHT reaper: when a query has seen no
+	// report for the grace window while CHT entries remain outstanding,
+	// the reaper retires the orphans, marks the query Partial with the
+	// sites it could not account for, and completes it. Zero or negative
+	// disables the reaper.
+	ReapGrace time.Duration
+	// Metrics shares a deployment-wide metrics collector so client-side
+	// protocol events (reaped CHT entries, connection reuse) appear in
+	// the same snapshot as the servers' counters. Optional.
+	Metrics *server.Metrics
+	// Journal arms causal tracing: root clones get span ids, every
+	// dispatch/reap is journaled here, and span contexts echoed on result
+	// reports are stitched into the query's remote view (Query.TraceEvents).
+	Journal *trace.Journal
+	// IndexResolver is the search-index lookup used to resolve
+	// `index("term")` StartNode sources (the paper's Section 1.1 automated
+	// StartNode selection). Queries with an index source fail without one.
+	IndexResolver func(term string) []string
+}
+
 // Client is a WEBDIS user-site. It can run many queries, each with its own
 // Result Collector endpoint ("<base>/q<n>"), or many queries multiplexed
 // over one Session endpoint ("<base>/s<n>").
 type Client struct {
-	tr        netsim.Transport
-	user      string
-	base      string
-	hybrid    bool
-	reapGrace time.Duration
-	met       *server.Metrics
-	journal   *trace.Journal
-	resolve   func(term string) []string
+	tr   netsim.Transport
+	user string
+	base string
+	opts Options
 
 	mu       sync.Mutex
 	next     int
@@ -69,43 +120,44 @@ type Client struct {
 }
 
 // New returns a client for the given user dialing from endpoints under
-// base (e.g. "user").
+// base (e.g. "user") with zero Options.
 func New(tr netsim.Transport, user, base string) *Client {
-	return &Client{tr: tr, user: user, base: base}
+	return NewWith(tr, user, base, Options{})
+}
+
+// NewWith returns a client configured by opts.
+func NewWith(tr netsim.Transport, user, base string, opts Options) *Client {
+	return &Client{tr: tr, user: user, base: base, opts: opts}
 }
 
 // SetHybrid enables the Section 7.1 migration path for queries submitted
-// afterwards: clones addressed to sites without a query server — bounced
-// back by servers or refused at submission — are evaluated centrally at
-// the user-site by downloading their documents, and re-enter distributed
-// processing at the next participating site.
-func (c *Client) SetHybrid(on bool) { c.hybrid = on }
+// afterwards.
+//
+// Deprecated: set Options.Hybrid via NewWith.
+func (c *Client) SetHybrid(on bool) { c.opts.Hybrid = on }
 
 // SetReapGrace arms the orphan-CHT reaper for queries submitted
-// afterwards: when a query has seen no report for the grace window while
-// CHT entries remain outstanding, the reaper retires the orphans, marks
-// the query Partial with the sites it could not account for, and
-// completes it — so a crashed or partitioned site degrades the answer
-// instead of wedging completion detection until the Wait deadline.
-// A zero or negative grace disables the reaper (the default).
-func (c *Client) SetReapGrace(grace time.Duration) { c.reapGrace = grace }
+// afterwards.
+//
+// Deprecated: set Options.ReapGrace via NewWith.
+func (c *Client) SetReapGrace(grace time.Duration) { c.opts.ReapGrace = grace }
 
-// SetMetrics shares a deployment-wide metrics collector so client-side
-// protocol events (reaped CHT entries) appear in the same snapshot as the
-// servers' counters. Optional.
-func (c *Client) SetMetrics(m *server.Metrics) { c.met = m }
+// SetMetrics shares a deployment-wide metrics collector.
+//
+// Deprecated: set Options.Metrics via NewWith.
+func (c *Client) SetMetrics(m *server.Metrics) { c.opts.Metrics = m }
 
-// SetJournal arms causal tracing for queries submitted afterwards: root
-// clones get span ids, every dispatch/reap is journaled here, and span
-// contexts echoed on result reports are stitched into the query's remote
-// view (see Query.TraceEvents).
-func (c *Client) SetJournal(j *trace.Journal) { c.journal = j }
+// SetJournal arms causal tracing for queries submitted afterwards.
+//
+// Deprecated: set Options.Journal via NewWith.
+func (c *Client) SetJournal(j *trace.Journal) { c.opts.Journal = j }
 
 // SetIndexResolver installs the search-index lookup used to resolve
-// `index("term")` StartNode sources (the paper's Section 1.1 automated
-// StartNode selection). Queries with an index source fail without one.
+// `index("term")` StartNode sources.
+//
+// Deprecated: set Options.IndexResolver via NewWith.
 func (c *Client) SetIndexResolver(resolve func(term string) []string) {
-	c.resolve = resolve
+	c.opts.IndexResolver = resolve
 }
 
 // ResultTable is the merged result of one node-query across all answering
@@ -116,15 +168,38 @@ type ResultTable struct {
 	Rows  [][]string
 }
 
-// Stats describes one query's CHT protocol activity.
+// StreamRow is one result row delivered incrementally: the node-query
+// stage it answers and the row itself.
+type StreamRow struct {
+	Stage int
+	Row   []string
+}
+
+// Stats describes one query's CHT protocol and streaming activity.
 type Stats struct {
 	ResultMsgs     int           // result/CHT messages received
+	Reports        int           // logical reports merged (≥ ResultMsgs under batching)
 	EntriesAdded   int           // CHT entries entered (StartNodes + children)
 	EntriesRetired int           // entries retired by reports
 	GhostReports   int           // reports for entries not live (late/purged)
 	PeakLive       int           // maximum simultaneously live entries
 	Reaped         int           // orphaned entries retired by the grace-window reaper
 	Duration       time.Duration // submit to completion
+
+	// Streaming watermarks. RowsStreamed counts rows pulled through Rows
+	// or Stream by the furthest consumer; ConsumerLag is the gauge of
+	// merged rows still buffered ahead of that consumer (equal to the
+	// total row count when nothing consumes the stream); StreamHighWater
+	// is the peak lag observed — how far the producers ran ahead.
+	RowsStreamed    int
+	ConsumerLag     int
+	StreamHighWater int
+	// StopsSent counts active-termination StopMsg broadcasts shipped to
+	// sites with live CHT entries (Budget.FirstN or Stop/ctx cancel).
+	StopsSent int
+	// FirstRow is the submit-to-first-streamed-row latency (0 until a
+	// first row arrives) — the headline number streaming improves.
+	FirstRow time.Duration
 }
 
 // Query is one in-flight or finished web-query at the user-site.
@@ -162,8 +237,25 @@ type Query struct {
 	partial     bool      // completed by reaping, not by full accounting
 	unreachable []string  // sites whose entries were reaped
 	shed        bool      // a site refused the query under admission control
+	expired     bool      // a clone was terminated by budget enforcement
 	err         error
 	done        bool
+
+	// Streaming: every merged row is appended to the ordered log srows;
+	// Rows and Stream deliver from it incrementally, waiting on scond
+	// when they catch the producers. sread is the furthest consumer's
+	// position, the watermark against which backpressure is accounted.
+	srows []StreamRow
+	sread int
+	scond *sync.Cond // tied to mu; broadcast on append and finish
+
+	// Active termination: firstN is the user-site row target
+	// (Budget.FirstN); once satisfied — or Stop is called — stopping
+	// flips and a typed StopMsg is broadcast to every site with live CHT
+	// entries, stopSent deduplicating per site.
+	firstN   int
+	stopping bool
+	stopSent map[string]bool
 
 	// sess, when non-nil, owns the collector endpoint: results are routed
 	// to this query by id over the session's shared listener and pool,
@@ -186,9 +278,48 @@ func (c *Client) Submit(w *disql.WebQuery) (*Query, error) {
 // clones ship with b, every spawned clone inherits and decrements it,
 // and the sites enforce it locally (typed EXPIRED terminations that keep
 // the CHT exact). b.Weight also sets the query's share under a site's
-// weighted fair scheduler.
+// weighted fair scheduler. b.FirstN arms active early termination at the
+// user-site: once that many rows have been merged, a typed StopMsg is
+// broadcast along the CHT's live entries.
 func (c *Client) SubmitBudget(w *disql.WebQuery, b wire.Budget) (*Query, error) {
 	return c.submit(w, b, nil)
+}
+
+// SubmitContext submits a web-query bound to ctx: when ctx ends before
+// the query completes, the query is actively stopped (StopMsg broadcast)
+// and cancelled. The ctx does not bound Submit itself, which returns
+// immediately after dispatch.
+func (c *Client) SubmitContext(ctx context.Context, w *disql.WebQuery) (*Query, error) {
+	return c.SubmitBudgetContext(ctx, w, wire.Budget{})
+}
+
+// SubmitBudgetContext is SubmitContext with a resource budget.
+func (c *Client) SubmitBudgetContext(ctx context.Context, w *disql.WebQuery, b wire.Budget) (*Query, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	q, err := c.submit(w, b, nil)
+	if err != nil {
+		return nil, err
+	}
+	q.watch(ctx)
+	return q, nil
+}
+
+// watch ties the query to ctx: if ctx ends first, the query is actively
+// stopped and then cancelled (passive close).
+func (q *Query) watch(ctx context.Context) {
+	if ctx.Done() == nil {
+		return
+	}
+	go func() {
+		select {
+		case <-q.doneCh:
+		case <-ctx.Done():
+			q.Stop("context cancelled")
+			q.Cancel()
+		}
+	}()
 }
 
 func (c *Client) submit(w *disql.WebQuery, b wire.Budget, sess *Session) (*Query, error) {
@@ -197,10 +328,10 @@ func (c *Client) submit(w *disql.WebQuery, b wire.Budget, sess *Session) (*Query
 	}
 	start := w.Start
 	if w.StartTerm != "" {
-		if c.resolve == nil {
+		if c.opts.IndexResolver == nil {
 			return nil, fmt.Errorf("client: query uses index(%q) but no index resolver is installed", w.StartTerm)
 		}
-		start = c.resolve(w.StartTerm)
+		start = c.opts.IndexResolver(w.StartTerm)
 		if len(start) == 0 {
 			return nil, fmt.Errorf("client: index(%q) matched no documents", w.StartTerm)
 		}
@@ -210,13 +341,18 @@ func (c *Client) submit(w *disql.WebQuery, b wire.Budget, sess *Session) (*Query
 	num := c.next
 	c.mu.Unlock()
 
+	if b.FirstN > 0 && (b.Rows == 0 || b.Rows > b.FirstN) {
+		// First-N implies the row quota: servers clip what the user-site
+		// would discard anyway, before it ever crosses the wire.
+		b.Rows = b.FirstN
+	}
 	q := &Query{
 		web:        w,
 		tr:         c.tr,
-		hybrid:     c.hybrid,
-		reapGrace:  c.reapGrace,
-		met:        c.met,
-		journal:    c.journal,
+		hybrid:     c.opts.Hybrid,
+		reapGrace:  c.opts.ReapGrace,
+		met:        c.opts.Metrics,
+		journal:    c.opts.Journal,
 		sess:       sess,
 		doneCh:     make(chan struct{}),
 		conns:      make(map[net.Conn]bool),
@@ -225,7 +361,10 @@ func (c *Client) submit(w *disql.WebQuery, b wire.Budget, sess *Session) (*Query
 		rowSeen:    make(map[int]map[string]bool),
 		started:    time.Now(),
 		lastReport: time.Now(),
+		firstN:     b.FirstN,
+		stopSent:   make(map[string]bool),
 	}
+	q.scond = sync.NewCond(&q.mu)
 	if sess != nil {
 		// The session owns the collector endpoint and connection pool;
 		// reports are routed to this query by its id.
@@ -497,28 +636,41 @@ func (q *Query) collect() {
 
 // merge implements receive_results of Figure 2 under the counting-CHT
 // refinement: retire the processed entry, enter the children, and check
-// for completion.
+// for completion. One ResultMsg carries one report (the seed wire form)
+// or a server-batched frame of several; both merge under one lock hold.
+// After the lock drops, any pending active-termination broadcast
+// (Budget.FirstN newly satisfied, or new sites appearing while stopping)
+// is shipped.
 func (q *Query) merge(rm *wire.ResultMsg) {
 	q.mu.Lock()
-	defer q.mu.Unlock()
 	if q.done {
+		q.mu.Unlock()
 		return
 	}
 	q.stats.ResultMsgs++
 	q.lastReport = time.Now()
-	if !rm.Span.IsZero() {
-		q.stitch(rm)
-	}
-	for _, t := range rm.Tables {
-		q.mergeTable(t)
-	}
-	for _, u := range rm.Updates {
-		q.retire(u.Processed)
-		for _, child := range u.Children {
-			q.addEntry(child)
+	rm.Each(func(r *wire.Report) {
+		q.stats.Reports++
+		if !r.Span.IsZero() {
+			q.stitch(rm.ID, r)
 		}
-	}
+		if r.Expired {
+			q.expired = true
+		}
+		for _, t := range r.Tables {
+			q.mergeTable(t)
+		}
+		for _, u := range r.Updates {
+			q.retire(u.Processed)
+			for _, child := range u.Children {
+				q.addEntry(child)
+			}
+		}
+	})
 	q.maybeComplete()
+	stops := q.stopTargets()
+	q.mu.Unlock()
+	q.broadcastStop(stops, "first-n satisfied")
 }
 
 // jot appends one causal event for clone c to the query's journal (used
@@ -538,23 +690,27 @@ func (q *Query) jot(c *wire.CloneMsg, kind trace.Kind, detail string) {
 // spawned. This is the user-site's remote view of the clone tree — enough
 // to reconstruct the journey over a real network, where the remote sites'
 // journals cannot be read. Callers hold q.mu.
-func (q *Query) stitch(rm *wire.ResultMsg) {
+func (q *Query) stitch(id wire.QueryID, r *wire.Report) {
 	at := trace.Now()
-	// An expiry report books the span's fate as EXPIRED, not processed,
-	// so budget terminations reconcile exactly in the stitched journey.
+	// A typed retirement books the span's fate as EXPIRED or STOPPED, not
+	// processed, so budget and active terminations reconcile exactly in
+	// the stitched journey.
 	kind := trace.Result
-	if rm.Expired {
+	switch {
+	case r.Stopped:
+		kind = trace.Stop
+	case r.Expired:
 		kind = trace.Expire
 	}
 	q.stitched = append(q.stitched, trace.Event{
-		At: at, Site: rm.Site, Query: rm.ID.String(), Span: rm.Span,
-		Kind: kind, Hop: rm.Hop,
-		Detail: strconv.Itoa(len(rm.Updates)) + " updates, " + strconv.Itoa(len(rm.Tables)) + " tables",
+		At: at, Site: r.Site, Query: id.String(), Span: r.Span,
+		Kind: kind, Hop: r.Hop,
+		Detail: strconv.Itoa(len(r.Updates)) + " updates, " + strconv.Itoa(len(r.Tables)) + " tables",
 	})
-	for _, link := range rm.Spawned {
+	for _, link := range r.Spawned {
 		q.stitched = append(q.stitched, trace.Event{
-			At: at, Site: rm.Site, Query: rm.ID.String(), Span: link.Span,
-			Parent: rm.Span, Kind: trace.Forward, Hop: rm.Hop + 1, Detail: link.Site,
+			At: at, Site: r.Site, Query: id.String(), Span: link.Span,
+			Parent: r.Span, Kind: trace.Forward, Hop: r.Hop + 1, Detail: link.Site,
 		})
 	}
 }
@@ -617,6 +773,7 @@ func (q *Query) mergeTable(t wire.NodeTable) {
 		q.rowSeen[t.Stage] = make(map[string]bool)
 	}
 	seen := q.rowSeen[t.Stage]
+	fresh := false
 	for _, row := range t.Rows {
 		key := rowKey(row)
 		if seen[key] {
@@ -624,7 +781,98 @@ func (q *Query) mergeTable(t wire.NodeTable) {
 		}
 		seen[key] = true
 		rt.Rows = append(rt.Rows, row)
+		if len(q.srows) == 0 && q.stats.FirstRow == 0 {
+			q.stats.FirstRow = time.Since(q.started)
+		}
+		q.srows = append(q.srows, StreamRow{Stage: t.Stage, Row: row})
+		fresh = true
 	}
+	if fresh {
+		if lag := len(q.srows) - q.sread; lag > q.stats.StreamHighWater {
+			q.stats.StreamHighWater = lag
+		}
+		q.scond.Broadcast()
+	}
+}
+
+// stopTargets flips the query into stopping mode once Budget.FirstN is
+// satisfied (or Stop already flipped it) and returns the sites with live
+// CHT entries that have not been told yet. Callers hold q.mu; the actual
+// sends happen outside the lock via broadcastStop.
+func (q *Query) stopTargets() []string {
+	if !q.stopping && q.firstN > 0 && len(q.srows) >= q.firstN {
+		q.stopping = true
+	}
+	if !q.stopping || q.done {
+		return nil
+	}
+	var sites []string
+	for key := range q.counts {
+		// Key layout is "node§state§origin§seq" (wire.CHTEntry.Key); the
+		// node's host is the site holding — or about to receive — the
+		// clone.
+		i := strings.Index(key, "§")
+		if i <= 0 {
+			continue
+		}
+		site := webgraph.Host(key[:i])
+		if q.stopSent[site] {
+			continue
+		}
+		q.stopSent[site] = true
+		sites = append(sites, site)
+	}
+	sort.Strings(sites)
+	return sites
+}
+
+// broadcastStop ships the typed StopMsg to each site's query server:
+// active early termination, the measured counterpart of the paper's
+// §2.8 passive starvation. Best-effort — an unreachable site's clones
+// still retire through forward failures or the reaper. Callers must NOT
+// hold q.mu.
+func (q *Query) broadcastStop(sites []string, reason string) {
+	if len(sites) == 0 {
+		return
+	}
+	sent := 0
+	for _, site := range sites {
+		if q.poolSend(server.Endpoint(site), &wire.StopMsg{ID: q.id, Reason: reason}) == nil {
+			sent++
+		}
+	}
+	q.mu.Lock()
+	q.stats.StopsSent += sent
+	q.mu.Unlock()
+	if q.journal != nil {
+		q.journal.Append(trace.Event{
+			Query: q.id.String(), Kind: trace.Stop,
+			Detail: reason + " -> " + strings.Join(sites, ","),
+		})
+	}
+}
+
+// Stop actively terminates the query's in-flight work: a typed StopMsg
+// is broadcast to every site with live CHT entries (and, as entries for
+// new sites keep arriving, to those too). The query itself keeps
+// collecting — the stopped clones retire through the CHT with the typed
+// STOPPED fate, so completion happens through the normal accounting,
+// sooner, with the answers gathered so far. Combine with Cancel to also
+// abandon collection.
+func (q *Query) Stop(reason string) {
+	q.mu.Lock()
+	q.stopping = true
+	stops := q.stopTargets()
+	q.mu.Unlock()
+	q.broadcastStop(stops, reason)
+}
+
+// Stopped reports whether active termination was triggered (by
+// Budget.FirstN, Stop, or a cancelled submit context).
+func (q *Query) Stopped() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.stopping
 }
 
 func rowKey(row []string) string {
@@ -754,6 +1002,7 @@ func (q *Query) finish(err error) {
 	q.err = err
 	q.stats.Duration = time.Since(q.started)
 	close(q.doneCh)
+	q.scond.Broadcast() // wake stream consumers: no more rows are coming
 	if q.sess != nil {
 		// The endpoint and pool belong to the session and stay open for
 		// its other queries; this query just leaves the routing table.
@@ -786,24 +1035,36 @@ func (q *Query) Cancel() {
 	q.finish(ErrCancelled)
 }
 
-// Wait blocks until the query completes, is cancelled, or the timeout
-// elapses (timeout <= 0 waits forever). It returns nil on normal
-// completion.
-func (q *Query) Wait(timeout time.Duration) error {
-	var timer <-chan time.Time
-	if timeout > 0 {
-		t := time.NewTimer(timeout)
-		defer t.Stop()
-		timer = t.C
-	}
+// WaitContext blocks until the query completes or ctx ends. A passed
+// deadline returns ErrTimeout and leaves the query running (the old
+// Wait(timeout) contract); an explicit cancellation actively stops the
+// query — StopMsg broadcast, then Cancel — and returns ErrCancelled.
+func (q *Query) WaitContext(ctx context.Context) error {
 	select {
 	case <-q.doneCh:
 		q.mu.Lock()
 		defer q.mu.Unlock()
 		return q.err
-	case <-timer:
-		return ErrTimeout
+	case <-ctx.Done():
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			return ErrTimeout
+		}
+		q.Stop("wait context cancelled")
+		q.Cancel()
+		return ErrCancelled
 	}
+}
+
+// Wait blocks until the query completes, is cancelled, or the timeout
+// elapses (timeout <= 0 waits forever). It returns nil on normal
+// completion. It is the timeout form of WaitContext.
+func (q *Query) Wait(timeout time.Duration) error {
+	if timeout <= 0 {
+		return q.WaitContext(context.Background())
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	return q.WaitContext(ctx)
 }
 
 // Done reports whether the query has finished.
@@ -850,11 +1111,133 @@ func (q *Query) RowCount() int {
 	return n
 }
 
-// Stats returns a copy of the query's protocol statistics.
+// Stats returns a copy of the query's protocol statistics. The
+// streaming gauges are computed at call time: RowsStreamed is the
+// furthest consumer's position, ConsumerLag the rows merged ahead of it.
 func (q *Query) Stats() Stats {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	return q.stats
+	st := q.stats
+	st.RowsStreamed = q.sread
+	st.ConsumerLag = len(q.srows) - q.sread
+	return st
+}
+
+// Expired reports whether any clone was terminated for exceeding the
+// query's budget: the answer is clipped, not exhaustive.
+func (q *Query) Expired() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.expired
+}
+
+// Err types how a finished query degraded, matchable with errors.Is: nil
+// for a clean, complete answer; ErrCancelled/ErrTimeout when the query
+// was abandoned; otherwise any applicable combination of ErrShed
+// (admission control refused sites), ErrPartial (orphaned entries
+// reaped) and ErrExpired (budget clipped clones), joined. A non-nil Err
+// does not mean Results is empty — it means the answer's coverage is
+// qualified.
+func (q *Query) Err() error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.err != nil {
+		return q.err
+	}
+	var errs []error
+	if q.shed {
+		errs = append(errs, ErrShed)
+	}
+	if q.partial {
+		errs = append(errs, ErrPartial)
+	}
+	if q.expired {
+		errs = append(errs, ErrExpired)
+	}
+	return errors.Join(errs...)
+}
+
+// Rows returns the query's result rows as an incremental pull iterator
+// yielding (stage, row) in merge order: rows already gathered come
+// immediately, then the iterator blocks for new rows until the query
+// finishes. Every call iterates the full sequence from the first row, so
+// ranging after completion replays exactly the rows Results holds
+// (unsorted, deduplicated). Breaking out of the range is safe and leaks
+// nothing — the iterator is pull-based, with no goroutine behind it.
+func (q *Query) Rows() iter.Seq2[int, []string] {
+	return func(yield func(int, []string) bool) {
+		i := 0
+		q.mu.Lock()
+		for {
+			for i < len(q.srows) {
+				r := q.srows[i]
+				i++
+				if i > q.sread {
+					q.sread = i
+				}
+				q.mu.Unlock()
+				ok := yield(r.Stage, r.Row)
+				q.mu.Lock()
+				if !ok {
+					q.mu.Unlock()
+					return
+				}
+			}
+			if q.done {
+				q.mu.Unlock()
+				return
+			}
+			q.scond.Wait()
+		}
+	}
+}
+
+// Stream returns a bounded channel of the query's rows in merge order,
+// from the first row. The channel closes when the query finishes (after
+// delivering every row) or when ctx ends — the abandon-safe form of
+// Rows for select loops. A slow consumer never blocks merge: rows spill
+// into the query's ordered log and the lag is accounted in Stats.
+func (q *Query) Stream(ctx context.Context) <-chan StreamRow {
+	ch := make(chan StreamRow, 64)
+	stop := make(chan struct{})
+	go func() {
+		// Waker: a cond-waiting pump cannot select on ctx, so turn the
+		// ctx's end into a broadcast.
+		select {
+		case <-ctx.Done():
+			q.mu.Lock()
+			q.scond.Broadcast()
+			q.mu.Unlock()
+		case <-stop:
+		}
+	}()
+	go func() {
+		defer close(ch)
+		defer close(stop)
+		i := 0
+		for {
+			q.mu.Lock()
+			for i >= len(q.srows) && !q.done && ctx.Err() == nil {
+				q.scond.Wait()
+			}
+			if ctx.Err() != nil || i >= len(q.srows) {
+				q.mu.Unlock()
+				return
+			}
+			r := q.srows[i]
+			i++
+			if i > q.sread {
+				q.sread = i
+			}
+			q.mu.Unlock()
+			select {
+			case ch <- r:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	return ch
 }
 
 // Results returns the merged result tables ordered by stage, with rows

@@ -1,6 +1,7 @@
 package client
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -79,6 +80,26 @@ func (s *Session) Submit(w *disql.WebQuery) (*Query, error) {
 // Client.SubmitBudget).
 func (s *Session) SubmitBudget(w *disql.WebQuery, b wire.Budget) (*Query, error) {
 	return s.c.submit(w, b, s)
+}
+
+// SubmitContext is Submit bound to ctx: when ctx ends before the query
+// completes, the query is actively stopped and cancelled (see
+// Client.SubmitContext). The session itself stays open.
+func (s *Session) SubmitContext(ctx context.Context, w *disql.WebQuery) (*Query, error) {
+	return s.SubmitBudgetContext(ctx, w, wire.Budget{})
+}
+
+// SubmitBudgetContext is SubmitContext with a resource budget.
+func (s *Session) SubmitBudgetContext(ctx context.Context, w *disql.WebQuery, b wire.Budget) (*Query, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	q, err := s.c.submit(w, b, s)
+	if err != nil {
+		return nil, err
+	}
+	q.watch(ctx)
+	return q, nil
 }
 
 // register adds a query to the routing table.

@@ -6,6 +6,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -172,24 +173,23 @@ func NewDeployment(cfg Config) (*Deployment, error) {
 			return nil, err
 		}
 	}
-	d.client = client.New(tr, user, user)
-	if cfg.Participate != nil || cfg.Hybrid {
-		d.client.SetHybrid(true)
-	}
-	d.client.SetReapGrace(cfg.ReapGrace)
-	d.client.SetMetrics(d.clientMetrics)
 	if cfg.Trace {
 		d.clientJournal = trace.NewJournal(user, cfg.TraceCapacity)
-		d.client.SetJournal(d.clientJournal)
 	}
-	// Resolve index("term") StartNode sources against the deployment's
-	// search index, built lazily on first use.
-	d.client.SetIndexResolver(func(term string) []string {
-		ix, err := d.Index()
-		if err != nil {
-			return nil
-		}
-		return ix.URLs(term, 0)
+	d.client = client.NewWith(tr, user, user, client.Options{
+		Hybrid:    cfg.Participate != nil || cfg.Hybrid,
+		ReapGrace: cfg.ReapGrace,
+		Metrics:   d.clientMetrics,
+		Journal:   d.clientJournal,
+		// Resolve index("term") StartNode sources against the deployment's
+		// search index, built lazily on first use.
+		IndexResolver: func(term string) []string {
+			ix, err := d.Index()
+			if err != nil {
+				return nil
+			}
+			return ix.URLs(term, 0)
+		},
 	})
 	return d, nil
 }
@@ -250,6 +250,37 @@ func (d *Deployment) Run(src string, timeout time.Duration) (*client.Query, erro
 		return q, err
 	}
 	return q, nil
+}
+
+// RunContext submits a DISQL query bound to ctx and waits for it. A ctx
+// that ends first actively stops the query's in-flight clones (typed
+// StopMsg broadcast) and cancels collection; the partial results
+// gathered remain readable on the returned query. The context-first form
+// of Run.
+func (d *Deployment) RunContext(ctx context.Context, src string) (*client.Query, error) {
+	w, err := disql.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	q, err := d.client.SubmitContext(ctx, w)
+	if err != nil {
+		return nil, err
+	}
+	if err := q.WaitContext(ctx); err != nil {
+		if errors.Is(err, client.ErrTimeout) {
+			// A ctx deadline, unlike an explicit cancel, does not cancel
+			// the query from inside WaitContext; match Run's contract.
+			q.Cancel()
+		}
+		return q, err
+	}
+	return q, nil
+}
+
+// SubmitContext dispatches a parsed web-query bound to ctx (see
+// client.Client.SubmitContext).
+func (d *Deployment) SubmitContext(ctx context.Context, w *disql.WebQuery) (*client.Query, error) {
+	return d.client.SubmitContext(ctx, w)
 }
 
 // Web returns the deployment's document corpus.

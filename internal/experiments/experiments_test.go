@@ -441,3 +441,60 @@ func TestLoadShape(t *testing.T) {
 		t.Errorf("deadline did not clip the scan: delivered %d of %d", e.DeliveredRows, e.TruthRows)
 	}
 }
+
+func TestStreamShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stream grid is slow")
+	}
+	// Few measured runs, no artifact: structure and invariants, not the
+	// ratios (single-machine CI numbers are too noisy to gate on).
+	out, err := streamRun(io.Discard, 2, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Latency) != 4 { // campus+tree40 x pipe+tcp
+		t.Fatalf("latency grid has %d rows, want 4", len(out.Latency))
+	}
+	for _, r := range out.Latency {
+		if r.FirstRowMs <= 0 || r.CompleteMs <= 0 || r.FirstRowMs > r.CompleteMs {
+			t.Errorf("%s/%s: first-row %v / complete %v", r.Transport, r.Topology, r.FirstRowMs, r.CompleteMs)
+		}
+		// Streamed/buffered parity is asserted per run inside the cell;
+		// the counts surface here.
+		if r.Rows == 0 || r.Streamed != r.Rows {
+			t.Errorf("%s/%s: streamed %d of %d rows", r.Transport, r.Topology, r.Streamed, r.Rows)
+		}
+	}
+	if len(out.Batch) != 2 {
+		t.Fatalf("batch grid has %d rows, want 2", len(out.Batch))
+	}
+	off, on := out.Batch[0], out.Batch[1]
+	if off.Rows != on.Rows {
+		t.Errorf("batching changed the answer: %d vs %d rows", off.Rows, on.Rows)
+	}
+	if off.ResultMsgs != off.ResultReports {
+		t.Errorf("batch-off coalesced: %d msgs, %d reports", off.ResultMsgs, off.ResultReports)
+	}
+	if on.ResultMsgs >= on.ResultReports {
+		t.Errorf("batch-on did not coalesce: %d msgs, %d reports", on.ResultMsgs, on.ResultReports)
+	}
+	if on.WireFrames != on.ResultMsgs {
+		t.Errorf("fabric saw %d result frames, metrics counted %d", on.WireFrames, on.ResultMsgs)
+	}
+	if len(out.Stop) != 2 {
+		t.Fatalf("stop grid has %d rows, want 2", len(out.Stop))
+	}
+	quota, firstn := out.Stop[0], out.Stop[1]
+	if quota.Rows != firstn.Rows {
+		t.Errorf("termination policies answered differently: %d vs %d rows", quota.Rows, firstn.Rows)
+	}
+	if quota.StopsSent != 0 || quota.Stopped != 0 {
+		t.Errorf("quota-only cell stopped clones: %+v", quota)
+	}
+	if firstn.StopsSent == 0 {
+		t.Errorf("first-n cell sent no stops: %+v", firstn)
+	}
+	if firstn.Bytes >= quota.Bytes {
+		t.Errorf("active stop saved no bytes: %d vs %d", firstn.Bytes, quota.Bytes)
+	}
+}

@@ -56,14 +56,14 @@ type LoadCell struct {
 
 // LoadShed is the admission-control segment's outcome.
 type LoadShed struct {
-	Submitted  int   `json:"submitted"`
-	Admitted   int   `json:"admitted"`
-	ShedQueries int  `json:"shed_queries"` // queries bounced with Query.Shed()
-	ShedMetric int64 `json:"shed_metric"`  // server-side typed SHED count
-	Activations int64 `json:"activations"` // times the high watermark engaged
-	QueuePeak  int   `json:"queue_peak"`   // deepest the bounded queue ever got
-	TruthRows  int   `json:"truth_rows"`   // complete answer of one heavy query
-	LostRows   int   `json:"lost_rows"`    // rows missing across admitted queries (must be 0)
+	Submitted   int   `json:"submitted"`
+	Admitted    int   `json:"admitted"`
+	ShedQueries int   `json:"shed_queries"` // queries bounced with Query.Shed()
+	ShedMetric  int64 `json:"shed_metric"`  // server-side typed SHED count
+	Activations int64 `json:"activations"`  // times the high watermark engaged
+	QueuePeak   int   `json:"queue_peak"`   // deepest the bounded queue ever got
+	TruthRows   int   `json:"truth_rows"`   // complete answer of one heavy query
+	LostRows    int   `json:"lost_rows"`    // rows missing across admitted queries (must be 0)
 }
 
 // LoadExpiry is the deadline segment's outcome.

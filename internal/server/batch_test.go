@@ -1,0 +1,178 @@
+package server
+
+import (
+	"testing"
+	"time"
+
+	"webdis/internal/webgraph"
+	"webdis/internal/wire"
+)
+
+// waitCounter polls an int64 loader until it reaches n.
+func waitCounter(t *testing.T, what string, load func() int64, n int64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if load() >= n {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s >= %d (have %d)", what, n, load())
+}
+
+// TestBatchOptionsDefaults pins the option semantics: zero is disabled,
+// either bound alone enables with the other defaulted.
+func TestBatchOptionsDefaults(t *testing.T) {
+	var zero BatchOptions
+	if zero.Enabled() {
+		t.Error("zero BatchOptions enabled")
+	}
+	byRows := BatchOptions{MaxRows: 16}
+	if !byRows.Enabled() || byRows.maxRows() != 16 || byRows.maxAge() <= 0 {
+		t.Errorf("MaxRows-only: enabled=%v rows=%d age=%v", byRows.Enabled(), byRows.maxRows(), byRows.maxAge())
+	}
+	byAge := BatchOptions{MaxAge: time.Second}
+	if !byAge.Enabled() || byAge.maxAge() != time.Second || byAge.maxRows() <= 0 {
+		t.Errorf("MaxAge-only: enabled=%v rows=%d age=%v", byAge.Enabled(), byAge.maxRows(), byAge.maxAge())
+	}
+}
+
+// TestResultBatchCoalesces sends three clone messages for one query and
+// checks their reports ride fewer result frames than arrivals: the
+// batcher coalesces everything produced inside the age window.
+func TestResultBatchCoalesces(t *testing.T) {
+	web := webgraph.Campus()
+	h := newHarness(t, web, "dsl.serc.iisc.ernet.in", Options{
+		ResultBatch: BatchOptions{MaxRows: 1000, MaxAge: 200 * time.Millisecond},
+	})
+	for seq := int64(1); seq <= 3; seq++ {
+		c := campusStage2Clone("http://dsl.serc.iisc.ernet.in/index.html")
+		c.Dest[0].Seq = seq
+		h.send(t, c)
+	}
+	// Three arrivals (plus local continuations) produce at least four
+	// logical reports; wait for them to be buffered, then flushed.
+	waitCounter(t, "ResultReports", h.met.ResultReports.Load, 4)
+	waitCounter(t, "ResultMsgs", h.met.ResultMsgs.Load, 1)
+	time.Sleep(20 * time.Millisecond) // allow a straggler flush to land
+
+	h.mu.Lock()
+	msgs := make([]*wire.ResultMsg, len(h.msgs))
+	copy(msgs, h.msgs)
+	h.mu.Unlock()
+	reports := 0
+	for _, m := range msgs {
+		if len(m.Reports) == 0 {
+			t.Error("batched frame carries no Reports slice")
+		}
+		m.Each(func(*wire.Report) { reports++ })
+	}
+	if int64(reports) != h.met.ResultReports.Load() {
+		t.Errorf("frames carry %d reports, metrics counted %d", reports, h.met.ResultReports.Load())
+	}
+	if len(msgs) >= reports {
+		t.Errorf("no coalescing: %d frames for %d reports", len(msgs), reports)
+	}
+	if got := h.met.ResultMsgs.Load(); got != int64(len(msgs)) {
+		t.Errorf("ResultMsgs = %d, sink saw %d frames", got, len(msgs))
+	}
+}
+
+// TestResultBatchFlushesOnRows checks the row bound forces an immediate
+// flush: with MaxAge effectively infinite, the row-bearing report still
+// arrives promptly.
+func TestResultBatchFlushesOnRows(t *testing.T) {
+	web := webgraph.Campus()
+	h := newHarness(t, web, "dsl.serc.iisc.ernet.in", Options{
+		ResultBatch: BatchOptions{MaxRows: 1, MaxAge: time.Hour},
+	})
+	h.send(t, campusStage2Clone("http://dsl.serc.iisc.ernet.in/index.html"))
+	// The people page answers with one row; rows >= MaxRows flushes
+	// inline, long before the hour-long age bound.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		h.mu.Lock()
+		rows := 0
+		for _, m := range h.msgs {
+			m.Each(func(r *wire.Report) { rows += r.Rows() })
+		}
+		h.mu.Unlock()
+		if rows >= 1 {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("row-bearing report never flushed under the row bound")
+}
+
+// TestServerStopMsgTerminatesClone checks the active-stop path: a
+// StopMsg marks the query, and a later clone for it dies with the typed
+// STOPPED retirement instead of being evaluated.
+func TestServerStopMsgTerminatesClone(t *testing.T) {
+	web := webgraph.Campus()
+	h := newHarness(t, web, "dsl.serc.iisc.ernet.in", Options{})
+
+	conn, err := h.net.Dial(sinkName, Endpoint(h.server.Site()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wire.Send(conn, &wire.StopMsg{ID: testID, Reason: "test stop"}); err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+	// The stop is handled on the receive path; give it a beat to land.
+	waitStop := time.Now().Add(5 * time.Second)
+	for time.Now().Before(waitStop) {
+		if h.server.isStopped(testID.String()) {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	h.send(t, campusStage2Clone("http://dsl.serc.iisc.ernet.in/index.html"))
+	msgs := h.waitMsgs(t, 1)
+	if !msgs[0].Stopped {
+		t.Errorf("retirement not typed as stopped: %+v", msgs[0])
+	}
+	if len(msgs[0].Updates) != 1 || len(msgs[0].Tables) != 0 {
+		t.Errorf("stopped clone should retire without evaluating: %+v", msgs[0])
+	}
+	m := h.met.Snapshot()
+	if m.Stopped != 1 {
+		t.Errorf("Stopped = %d, want 1", m.Stopped)
+	}
+	if m.Evaluations != 0 {
+		t.Errorf("Evaluations = %d, want 0 (stop precedes evaluation)", m.Evaluations)
+	}
+}
+
+// TestResultBatchDeadQueryBlacklist checks passive termination under
+// batching: a flush that cannot reach the user-site books the query dead,
+// and later reports for it are dropped instead of re-dialing.
+func TestResultBatchDeadQueryBlacklist(t *testing.T) {
+	web := webgraph.Campus()
+	h := newHarness(t, web, "dsl.serc.iisc.ernet.in", Options{
+		ResultBatch: BatchOptions{MaxRows: 1000, MaxAge: 5 * time.Millisecond},
+	})
+	orphan := campusStage2Clone("http://dsl.serc.iisc.ernet.in/index.html")
+	orphan.ID = wire.QueryID{User: "t", Site: "nosuch/sink", Num: 9}
+	orphan.Dest[0].Origin = "nosuch/sink"
+	h.send(t, orphan)
+	waitCounter(t, "Terminated", h.met.Terminated.Load, 1)
+	if got := h.met.ResultMsgs.Load(); got != 0 {
+		t.Errorf("ResultMsgs = %d for an unreachable user-site", got)
+	}
+	// A second clone for the dead query is refused at dispatch: no new
+	// reports are buffered for it.
+	before := h.met.ResultReports.Load()
+	c2 := campusStage2Clone("http://dsl.serc.iisc.ernet.in/index.html")
+	c2.ID = orphan.ID
+	c2.Dest[0].Origin = "nosuch/sink"
+	c2.Dest[0].Seq = 2
+	h.send(t, c2)
+	waitCounter(t, "Terminated", h.met.Terminated.Load, 2)
+	if got := h.met.ResultReports.Load(); got != before {
+		t.Errorf("dead query still buffered reports: %d -> %d", before, got)
+	}
+}

@@ -97,6 +97,14 @@ type Metrics struct {
 	BudgetExpired atomic.Int64
 	// RowsClipped counts result rows discarded by the budget's row quota.
 	RowsClipped atomic.Int64
+	// Stopped counts clones terminated by the user-site's active-stop
+	// broadcast: the typed STOPPED retirement.
+	Stopped atomic.Int64
+	// ResultReports counts logical result reports produced (one per
+	// processed or retired clone message with something to say). Without
+	// batching it equals ResultMsgs; with batching the ratio
+	// ResultReports / ResultMsgs is the coalescing factor.
+	ResultReports atomic.Int64
 }
 
 // Snapshot is a plain-integer copy of Metrics.
@@ -134,6 +142,8 @@ type Snapshot struct {
 	Shed           int64
 	BudgetExpired  int64
 	RowsClipped    int64
+	Stopped        int64
+	ResultReports  int64
 }
 
 // Snapshot returns a consistent-enough copy for reporting (individual
@@ -173,6 +183,8 @@ func (m *Metrics) Snapshot() Snapshot {
 		Shed:           m.Shed.Load(),
 		BudgetExpired:  m.BudgetExpired.Load(),
 		RowsClipped:    m.RowsClipped.Load(),
+		Stopped:        m.Stopped.Load(),
+		ResultReports:  m.ResultReports.Load(),
 	}
 }
 

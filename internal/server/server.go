@@ -138,6 +138,10 @@ type Options struct {
 	// bounded exponential backoff with jitter. The zero value sends once
 	// with no timeout — the paper's failure-is-terminal behaviour.
 	Retry RetryPolicy
+	// ResultBatch coalesces result reports into size/age-bounded frames
+	// before dispatch to the user-site (see BatchOptions). The zero value
+	// is the seed behaviour: one ResultMsg per processed clone message.
+	ResultBatch BatchOptions
 	// Sched configures the Query Processor's clone scheduler (package
 	// sched): weighted fair queueing across concurrent queries and
 	// watermark admission control with typed SHED refusals. The zero
@@ -195,6 +199,17 @@ type Server struct {
 	// opts.NoConnPool.
 	pool *netsim.Pool
 
+	// batcher coalesces result reports per query when
+	// opts.ResultBatch.Enabled(); nil otherwise.
+	batcher *resultBatcher
+
+	// stoppedQ records queries whose user-site broadcast an active
+	// StopMsg (Budget.FirstN satisfied, or the submitting context was
+	// cancelled); their queued clones terminate with the typed STOPPED
+	// retirement instead of being evaluated.
+	stopMu   sync.Mutex
+	stoppedQ map[string]time.Time
+
 	mu    sync.Mutex
 	ln    net.Listener
 	conns map[net.Conn]bool // accepted connections, open for the sender's pool
@@ -206,14 +221,18 @@ type Server struct {
 // over tr. met may be shared across servers; it must not be nil.
 func New(site string, docs DocSource, tr netsim.Transport, met *Metrics, opts Options) *Server {
 	s := &Server{
-		site:    site,
-		docs:    docs,
-		tr:      tr,
-		met:     met,
-		opts:    opts,
-		log:     nodeproc.NewLogTable(opts.dedup()),
-		rng:     newLockedRand(opts.Seed, site),
-		dbCache: make(map[string]*dbEntry),
+		site:     site,
+		docs:     docs,
+		tr:       tr,
+		met:      met,
+		opts:     opts,
+		log:      nodeproc.NewLogTable(opts.dedup()),
+		rng:      newLockedRand(opts.Seed, site),
+		dbCache:  make(map[string]*dbEntry),
+		stoppedQ: make(map[string]time.Time),
+	}
+	if opts.ResultBatch.Enabled() {
+		s.batcher = newResultBatcher(s, opts.ResultBatch)
 	}
 	// The scheduler's activation hook feeds the QueueHighWater counter;
 	// any hook the caller installed still runs.
@@ -319,6 +338,10 @@ func (s *Server) Start() error {
 		}()
 	}
 
+	if s.batcher != nil {
+		s.batcher.start()
+	}
+
 	if s.opts.LogPurgeAge > 0 && s.opts.LogPurgeEvery > 0 {
 		s.wg.Add(1)
 		go func() {
@@ -360,6 +383,11 @@ func (s *Server) Stop() {
 	}
 	s.queue.Close()
 	s.wg.Wait()
+	// Flush after the workers quiesce (no more reports are produced) and
+	// before the pool closes (the flush still needs its connections).
+	if s.batcher != nil {
+		s.batcher.close()
+	}
 	if s.pool != nil {
 		s.pool.Close()
 	}
@@ -403,7 +431,7 @@ func (s *Server) shedClone(c *wire.CloneMsg) {
 	s.send(c.ID.Site, &wire.ShedMsg{Clone: c, Site: s.site})
 }
 
-// receive drains clone messages from one connection.
+// receive drains clone and stop messages from one connection.
 func (s *Server) receive(conn net.Conn) {
 	defer conn.Close()
 	for {
@@ -411,12 +439,49 @@ func (s *Server) receive(conn net.Conn) {
 		if err != nil {
 			return
 		}
-		clone, ok := msg.(*wire.CloneMsg)
-		if !ok {
+		switch m := msg.(type) {
+		case *wire.CloneMsg:
+			s.admit(m)
+		case *wire.StopMsg:
+			s.markStopped(m.ID.String())
+		default:
 			return
 		}
-		s.admit(clone)
 	}
+}
+
+// stopTTL bounds how long a stopped query stays in the registry. Clones
+// of a stopped query stop arriving once the stop has propagated (every
+// live site retires rather than forwards), so the registry only needs to
+// outlive the query's in-flight tail.
+const stopTTL = 2 * time.Minute
+
+// markStopped records an active-termination broadcast for one query.
+func (s *Server) markStopped(id string) {
+	now := time.Now()
+	s.stopMu.Lock()
+	if len(s.stoppedQ) > 128 {
+		for k, at := range s.stoppedQ {
+			if now.Sub(at) >= stopTTL {
+				delete(s.stoppedQ, k)
+			}
+		}
+	}
+	s.stoppedQ[id] = now
+	s.stopMu.Unlock()
+}
+
+// isStopped reports whether the query was actively stopped (and the stop
+// is still fresh).
+func (s *Server) isStopped(id string) bool {
+	s.stopMu.Lock()
+	at, ok := s.stoppedQ[id]
+	if ok && time.Since(at) >= stopTTL {
+		delete(s.stoppedQ, id)
+		ok = false
+	}
+	s.stopMu.Unlock()
+	return ok
 }
 
 func (s *Server) trace(node string, st wire.State, action, detail string) {
@@ -483,11 +548,19 @@ func (s *Server) handle(c *wire.CloneMsg) {
 		s.expire(c, "deadline passed")
 		return
 	}
+	if s.isStopped(c.ID.String()) {
+		// The user-site broadcast an active stop (Budget.FirstN satisfied,
+		// or the query was cancelled): the typed STOPPED terminate. Like
+		// expiry, no evaluation and no children — the entries retire so
+		// the CHT drains and the trace books the span as stopped.
+		s.stopClone(c)
+		return
+	}
 	stages, arrRem, err := s.parseClone(c)
 	if err != nil {
 		// A malformed clone cannot be processed, but its CHT entries must
 		// still be retired or the user-site would wait forever.
-		s.retireAll(c, false)
+		s.retireAll(c, retirePlain)
 		return
 	}
 
@@ -506,6 +579,17 @@ func (s *Server) handle(c *wire.CloneMsg) {
 		upd, tbls := s.processNode(dest, arrRem, stages, c, outs, &order, bs)
 		updates = append(updates, upd)
 		tables = append(tables, tbls...)
+	}
+
+	// Second stop check: a StopMsg lands on the receive path, not the
+	// worker queue, so it often arrives while the frontier clone is mid
+	// evaluation (site databases take milliseconds to build; the stop
+	// round-trip takes microseconds). Too late to skip the work, still
+	// early enough to cut the traversal — drop the children before any
+	// of them is announced to the CHT and retire as stopped.
+	if s.isStopped(c.ID.String()) {
+		s.stopClone(c)
+		return
 	}
 
 	// Children inherit the budget with this hop spent: one hop off the
@@ -556,7 +640,16 @@ func (s *Server) expire(c *wire.CloneMsg, reason string) {
 	s.met.BudgetExpired.Add(1)
 	s.trace("", c.State(), "expired", reason)
 	s.jot(c, trace.Expire, "", c.State(), reason)
-	s.retireAll(c, true)
+	s.retireAll(c, retireExpired)
+}
+
+// stopClone terminates a clone of an actively stopped query: the typed
+// STOPPED retirement, the active-cancel analog of expire.
+func (s *Server) stopClone(c *wire.CloneMsg) {
+	s.met.Stopped.Add(1)
+	s.trace("", c.State(), "stopped", "active stop")
+	s.jot(c, trace.Stop, "", c.State(), "active stop")
+	s.retireAll(c, retireStopped)
 }
 
 // divideQuota splits a remaining clone-spawn quota among n children,
@@ -959,10 +1052,20 @@ func (s *Server) buildDB(node string) (*relmodel.DB, error) {
 // user-site's Result Collector, retrying per Options.Retry. It reports
 // success; exhausted failure means the user-site is gone (query cancelled
 // or unreachable) and the query must be purged — stranded CHT entries are
-// then the user-site reaper's problem, not ours.
+// then the user-site reaper's problem, not ours. With ResultBatch on,
+// the report is buffered in the per-query batcher instead, and failure
+// means the batcher already learned (from an earlier flush) that the
+// collector is gone.
 func (s *Server) dispatchResults(c *wire.CloneMsg, updates []wire.CHTUpdate, tables []wire.NodeTable, spawned []wire.SpanLink) bool {
 	if len(updates) == 0 && len(tables) == 0 {
 		return true
+	}
+	if s.batcher != nil {
+		r := wire.Report{Updates: updates, Tables: tables}
+		if s.traced(c) {
+			r.Span, r.Site, r.Hop, r.Spawned = c.Span, s.site, c.Hops, spawned
+		}
+		return s.batcher.add(c.ID, r)
 	}
 	msg := &wire.ResultMsg{ID: c.ID, Updates: updates, Tables: tables}
 	if s.traced(c) {
@@ -972,6 +1075,7 @@ func (s *Server) dispatchResults(c *wire.CloneMsg, updates []wire.CHTUpdate, tab
 		return false
 	}
 	s.met.ResultMsgs.Add(1)
+	s.met.ResultReports.Add(1)
 	return true
 }
 
@@ -1054,7 +1158,7 @@ func (s *Server) forwardRemote(oc *outClone) {
 		s.met.ForwardFailed.Add(1)
 		s.trace("", oc.msg.State(), "forward-failed", oc.site)
 		s.jot(oc.msg, trace.ForwardFailed, "", oc.msg.State(), oc.site)
-		s.retireAll(oc.msg, false)
+		s.retireAll(oc.msg, retirePlain)
 		return
 	}
 	s.met.ClonesForwarded.Add(1)
@@ -1086,11 +1190,22 @@ func (s *Server) bounce(c *wire.CloneMsg, reason string) bool {
 	return true
 }
 
+// retireKind types a clone retirement: plain bookkeeping (failed
+// forward, malformed clone), the typed EXPIRED retirement (budget
+// enforcement), or the typed STOPPED retirement (active termination).
+// The user-site books the typed kinds as the span's fate instead of
+// "processed".
+type retireKind int
+
+const (
+	retirePlain retireKind = iota
+	retireExpired
+	retireStopped
+)
+
 // retireAll dispatches CHT retirements for every destination of a clone
-// that will never be processed. expired marks the typed EXPIRED
-// retirement (budget enforcement), which the user-site books as the
-// span's fate instead of "processed".
-func (s *Server) retireAll(c *wire.CloneMsg, expired bool) {
+// that will never be processed.
+func (s *Server) retireAll(c *wire.CloneMsg, kind retireKind) {
 	if len(c.Dest) == 0 {
 		return
 	}
@@ -1101,7 +1216,16 @@ func (s *Server) retireAll(c *wire.CloneMsg, expired bool) {
 			Node: dest.URL, State: st, Origin: dest.Origin, Seq: dest.Seq,
 		}})
 	}
-	msg := &wire.ResultMsg{ID: c.ID, Updates: updates, Expired: expired}
+	if s.batcher != nil {
+		r := wire.Report{Updates: updates, Expired: kind == retireExpired, Stopped: kind == retireStopped}
+		if s.traced(c) {
+			r.Span, r.Site, r.Hop = c.Span, s.site, c.Hops
+		}
+		s.batcher.add(c.ID, r)
+		return
+	}
+	msg := &wire.ResultMsg{ID: c.ID, Updates: updates,
+		Expired: kind == retireExpired, Stopped: kind == retireStopped}
 	if s.traced(c) {
 		msg.Span, msg.Site, msg.Hop = c.Span, s.site, c.Hops
 	}
@@ -1109,5 +1233,6 @@ func (s *Server) retireAll(c *wire.CloneMsg, expired bool) {
 	// stranded entries (same semantics as a failed result dispatch).
 	if s.send(c.ID.Site, msg) == nil {
 		s.met.ResultMsgs.Add(1)
+		s.met.ResultReports.Add(1)
 	}
 }

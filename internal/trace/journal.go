@@ -76,6 +76,11 @@ const (
 	// Shed is a fresh clone refused by admission control — the site was
 	// over its high watermark — and returned to the user-site unstarted.
 	Shed Kind = "shed"
+	// Stop is a clone terminated by the user-site's active-termination
+	// broadcast (Budget.FirstN satisfied, or the submitting context was
+	// cancelled): the typed STOPPED retirement. Like Expire, its CHT
+	// entries retire without children.
+	Stop Kind = "stop"
 )
 
 // Transport-level events, written by the netsim observer hook.

@@ -30,6 +30,11 @@ const (
 	// FateShed: the clone was refused by admission control before any
 	// processing — the query never started at that site.
 	FateShed = "shed"
+	// FateStopped: the clone was terminated by the user-site's active
+	// StopMsg broadcast (early termination); its entries were retired
+	// with a typed STOPPED report, so the query completes through the
+	// CHT — sooner, with the answers gathered so far.
+	FateStopped = "stopped"
 )
 
 // SpanNode is one clone message in a reconstructed journey.
@@ -152,6 +157,13 @@ func BuildJourney(query string, events []Event) *Journey {
 			n.Fate = FateExpired
 		case Shed:
 			n.Fate = FateShed
+		case Stop:
+			// Like Expire, the stop report may be the only evidence of
+			// the terminating site (TCP stitch).
+			if n.Site == "" {
+				n.Site = e.Site
+			}
+			n.Fate = FateStopped
 		case Retry:
 			n.Retries++
 		}

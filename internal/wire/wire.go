@@ -154,11 +154,20 @@ type Budget struct {
 	// Weight is the query's scheduling weight (0 = default weight 1):
 	// its share of a site's service under weighted fair queueing.
 	Weight int
+	// FirstN asks for the first N result rows only: once the user-site
+	// has merged N rows it broadcasts a StopMsg along the CHT's live
+	// entries, actively terminating in-flight clones with typed STOPPED
+	// fates (versus the row quota Rows, which merely clips rows
+	// server-side while the traversal runs to completion). FirstN is
+	// enforced at the user-site; it rides the wire so ablations can
+	// compare the two policies with identical budgets. 0 means no limit.
+	FirstN int
 }
 
 // IsZero reports whether the budget is entirely unlimited.
 func (b Budget) IsZero() bool {
-	return b.Deadline == 0 && b.Hops == 0 && b.Clones == 0 && b.Rows == 0 && b.Weight == 0
+	return b.Deadline == 0 && b.Hops == 0 && b.Clones == 0 && b.Rows == 0 &&
+		b.Weight == 0 && b.FirstN == 0
 }
 
 // ExpiredAt reports whether the deadline has passed at the given time.
@@ -253,13 +262,11 @@ type NodeTable struct {
 	Rows  [][]string
 }
 
-// ResultMsg is the query-server → user-site message: all results and CHT
-// updates from processing one CloneMsg, batched (Section 3.2, item 3).
-// For traced clones it also carries the span context of the processed
-// clone and the spans of the clones spawned from it, so the user-site can
-// stitch the causal tree without reading remote journals.
-type ResultMsg struct {
-	ID      QueryID
+// Report is the outcome of processing one CloneMsg: its results, CHT
+// updates and span context. It is the unit the server-side result
+// batcher coalesces — a batched ResultMsg carries many Reports in one
+// frame, each applied independently at the user-site.
+type Report struct {
 	Updates []CHTUpdate
 	Tables  []NodeTable
 	// Expired marks a report whose entries were retired because the
@@ -269,6 +276,10 @@ type ResultMsg struct {
 	// records the spans as expired, not processed, so trace fates
 	// reconcile exactly.
 	Expired bool
+	// Stopped marks a report whose entries were retired because the
+	// user-site broadcast a StopMsg (active early termination): the
+	// typed STOPPED terminate, same CHT arithmetic as Expired.
+	Stopped bool
 	// Span is the span of the clone message whose processing produced
 	// this report (zero when untraced); Site and Hop locate it.
 	Span SpanID
@@ -276,6 +287,64 @@ type ResultMsg struct {
 	Hop  int
 	// Spawned lists the clone messages forwarded during that processing.
 	Spawned []SpanLink
+}
+
+// Rows returns the number of result rows the report carries (the size
+// measure the batcher's MaxRows bound counts).
+func (r *Report) Rows() int {
+	n := 0
+	for _, t := range r.Tables {
+		n += len(t.Rows)
+	}
+	return n
+}
+
+// ResultMsg is the query-server → user-site message: all results and CHT
+// updates from processing one CloneMsg, batched (Section 3.2, item 3).
+// For traced clones it also carries the span context of the processed
+// clone and the spans of the clones spawned from it, so the user-site can
+// stitch the causal tree without reading remote journals.
+//
+// Two layouts share the struct: the classic one-report-per-message form
+// uses the flat fields directly (the seed wire format), and the batched
+// form (ServerOptions.ResultBatch) leaves those zero and carries the
+// coalesced Reports slice instead. Receivers iterate with Each and never
+// look at the layout.
+type ResultMsg struct {
+	ID      QueryID
+	Updates []CHTUpdate
+	Tables  []NodeTable
+	// Expired and Stopped type the retirement (see Report).
+	Expired bool
+	Stopped bool
+	// Span is the span of the clone message whose processing produced
+	// this report (zero when untraced); Site and Hop locate it.
+	Span SpanID
+	Site string
+	Hop  int
+	// Spawned lists the clone messages forwarded during that processing.
+	Spawned []SpanLink
+	// Reports, when non-empty, is a size/age-bounded batch of reports
+	// from distinct clone processings at one site, coalesced into this
+	// single frame by the server's result batcher. The flat fields above
+	// are then zero.
+	Reports []Report
+}
+
+// Each visits every report the message carries — the batched Reports
+// when present, otherwise the flat single-report fields.
+func (m *ResultMsg) Each(fn func(*Report)) {
+	if len(m.Reports) > 0 {
+		for i := range m.Reports {
+			fn(&m.Reports[i])
+		}
+		return
+	}
+	fn(&Report{
+		Updates: m.Updates, Tables: m.Tables,
+		Expired: m.Expired, Stopped: m.Stopped,
+		Span: m.Span, Site: m.Site, Hop: m.Hop, Spawned: m.Spawned,
+	})
 }
 
 // FetchReq asks a document host for the content of one URL. It is used
@@ -325,12 +394,27 @@ type ShedMsg struct {
 	Site  string // site that refused the clone
 }
 
+// StopMsg is the user-site → query-server active-termination signal: the
+// user has enough answers (Budget.FirstN satisfied, or the submitting
+// context was cancelled), so still-running clones of the query should
+// terminate now instead of starving passively against a closed collector
+// (paper Section 2.8). A server receiving it marks the query stopped;
+// queued and later-arriving clones of that query retire their CHT entries
+// with typed STOPPED reports — no evaluation, no children — so the query
+// still completes exactly through the CHT, just sooner and cheaper.
+// Reason is free text for traces ("first-n satisfied", "ctx cancelled").
+type StopMsg struct {
+	ID     QueryID
+	Reason string
+}
+
 // Message kind strings, used for per-kind traffic accounting.
 const (
 	KindClone     = "clone"
 	KindResult    = "result"
 	KindBounce    = "bounce"
 	KindShed      = "shed"
+	KindStop      = "stop"
 	KindFetchReq  = "fetch-req"
 	KindFetchResp = "fetch-resp"
 )
@@ -342,6 +426,7 @@ type envelope struct {
 	Result    *ResultMsg
 	Bounce    *BounceMsg
 	Shed      *ShedMsg
+	Stop      *StopMsg
 	FetchReq  *FetchReq
 	FetchResp *FetchResp
 }
@@ -463,6 +548,8 @@ func Send(conn net.Conn, msg any) error {
 		env = envelope{Kind: KindBounce, Bounce: m}
 	case *ShedMsg:
 		env = envelope{Kind: KindShed, Shed: m}
+	case *StopMsg:
+		env = envelope{Kind: KindStop, Stop: m}
 	case *FetchReq:
 		env = envelope{Kind: KindFetchReq, FetchReq: m}
 	case *FetchResp:
@@ -538,6 +625,11 @@ func unwrap(env *envelope) (any, error) {
 			return nil, fmt.Errorf("wire: empty %s envelope", env.Kind)
 		}
 		return env.Shed, nil
+	case KindStop:
+		if env.Stop == nil {
+			return nil, fmt.Errorf("wire: empty %s envelope", env.Kind)
+		}
+		return env.Stop, nil
 	case KindFetchReq:
 		if env.FetchReq == nil {
 			return nil, fmt.Errorf("wire: empty %s envelope", env.Kind)

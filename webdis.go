@@ -92,6 +92,11 @@ type (
 	// server (ServerOptions.Retry); the zero value sends exactly once, the
 	// paper's behaviour.
 	RetryPolicy = server.RetryPolicy
+	// BatchOptions bound the server-side result batcher
+	// (ServerOptions.ResultBatch): reports coalesce into size/age-bounded
+	// frames instead of one message per processed clone. The zero value is
+	// the paper's one-report-per-message behaviour.
+	BatchOptions = server.BatchOptions
 	// FaultPlan is a seeded, deterministic fault schedule for the simulated
 	// fabric (NetOptions.Faults): probabilistic message drops, mid-frame
 	// severs, transient down windows and asymmetric partitions.
@@ -111,14 +116,42 @@ type (
 // Multi-query workloads.
 type (
 	// Budget is a wire-carried execution budget: an absolute deadline,
-	// hop/clone/row quotas and a scheduling weight. It travels on every
-	// clone message; children inherit it decremented. The zero Budget is
-	// unlimited. Submit with Deployment.SubmitBudget or
-	// Session.SubmitBudget.
+	// hop/clone/row quotas, a first-N row target (Budget.FirstN, which
+	// arms active early termination at the user-site) and a scheduling
+	// weight. It travels on every clone message; children inherit it
+	// decremented. The zero Budget is unlimited. Submit with
+	// Deployment.SubmitBudget or Session.SubmitBudget.
 	Budget = wire.Budget
 	// Session is a multi-query user-site session: one result endpoint
 	// shared by many concurrent queries (Deployment.NewSession).
 	Session = client.Session
+	// ClientOptions configure the user-site client in one struct (hybrid
+	// fallback, reap grace, metrics, tracing, index resolver) — the
+	// consolidated replacement for the deprecated Client.Set* setters.
+	ClientOptions = client.Options
+	// StreamRow is one result row delivered incrementally by
+	// Query.Stream: the node-query stage it answers and the row itself.
+	// (Query.Rows, the pull-iterator form, yields the pair directly.)
+	StreamRow = client.StreamRow
+)
+
+// Typed error taxonomy: how a query failed or degraded, matchable with
+// errors.Is against Query.Wait/WaitContext returns and Query.Err.
+var (
+	// ErrCancelled: the query was cancelled (Query.Cancel, or a cancelled
+	// submit/wait context).
+	ErrCancelled = client.ErrCancelled
+	// ErrTimeout: a Wait deadline passed before completion; the query
+	// keeps running until cancelled.
+	ErrTimeout = client.ErrTimeout
+	// ErrShed: at least one site refused the query under admission
+	// control (Query.Shed reports the same as a bool).
+	ErrShed = client.ErrShed
+	// ErrExpired: budget enforcement clipped the query (Query.Expired).
+	ErrExpired = client.ErrExpired
+	// ErrPartial: completion was forced by the orphan-CHT reaper, so part
+	// of the web went unanswered (Query.Partial).
+	ErrPartial = client.ErrPartial
 )
 
 // Log-table dedup modes (paper Section 3.1.1 and extensions).
