@@ -48,6 +48,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"webdis/internal/cluster"
 	"webdis/internal/disql"
 	"webdis/internal/netsim"
 	"webdis/internal/nodeproc"
@@ -103,6 +104,14 @@ type Options struct {
 	// `index("term")` StartNode sources (the paper's Section 1.1 automated
 	// StartNode selection). Queries with an index source fail without one.
 	IndexResolver func(term string) []string
+	// Cluster, when non-nil, routes every dispatch through the replica
+	// membership table: root clones, fallback rejoins and stop broadcasts
+	// resolve a live replica of the destination site (failing over to the
+	// next one when the send fails), stale result frames from a replica's
+	// previous incarnation are rejected, and the reaper replays clones
+	// stranded by a crashed replica to a surviving one before giving up
+	// and reaping.
+	Cluster *cluster.Membership
 }
 
 // Client is a WEBDIS user-site. It can run many queries, each with its own
@@ -200,6 +209,19 @@ type Stats struct {
 	// FirstRow is the submit-to-first-streamed-row latency (0 until a
 	// first row arrives) — the headline number streaming improves.
 	FirstRow time.Duration
+
+	// Replication counters (all zero without Options.Cluster). Failovers
+	// counts client-side sends re-resolved to another replica; Replays
+	// counts stranded clones re-dispatched to a surviving replica by the
+	// reaper; StaleRejected counts result frames dropped for carrying a
+	// replica incarnation older than the sender's current registration;
+	// DupRetired counts duplicate retirements of replayed entries absorbed
+	// (the crashed replica's report arrived after all, on top of the
+	// replay's).
+	Failovers     int
+	Replays       int
+	StaleRejected int
+	DupRetired    int
 }
 
 // Query is one in-flight or finished web-query at the user-site.
@@ -216,6 +238,23 @@ type Query struct {
 	met       *server.Metrics
 	journal   *trace.Journal
 	spanSeq   atomic.Int64
+
+	// Replication (all nil/zero without Options.Cluster). cluster is the
+	// shared membership table; entries mirrors the live CHT entries so the
+	// reaper can reconstruct a stranded clone from its key alone;
+	// replayable is set when the query carries no correlated-stage
+	// environment (a replayed clone cannot recover one); replayed marks
+	// the keys re-dispatched to a surviving replica, scoping the
+	// duplicate-retire absorption; unsub detaches the pool-eviction
+	// subscription on finish.
+	cluster      *cluster.Membership
+	entries      map[string]wire.CHTEntry
+	budget       wire.Budget
+	replayable   bool
+	replayed     map[string]bool
+	replayVia    map[string]map[string]bool // site -> replicas used by replay rounds
+	replayRounds int
+	unsub        func()
 
 	// pool reuses connections from the query's endpoint to the query
 	// servers it talks to repeatedly (root dispatch, fallback rejoins);
@@ -353,6 +392,8 @@ func (c *Client) submit(w *disql.WebQuery, b wire.Budget, sess *Session) (*Query
 		reapGrace:  c.opts.ReapGrace,
 		met:        c.opts.Metrics,
 		journal:    c.opts.Journal,
+		cluster:    c.opts.Cluster,
+		budget:     b,
 		sess:       sess,
 		doneCh:     make(chan struct{}),
 		conns:      make(map[net.Conn]bool),
@@ -365,6 +406,20 @@ func (c *Client) submit(w *disql.WebQuery, b wire.Budget, sess *Session) (*Query
 		stopSent:   make(map[string]bool),
 	}
 	q.scond = sync.NewCond(&q.mu)
+	if q.cluster != nil {
+		q.entries = make(map[string]wire.CHTEntry)
+		q.replayed = make(map[string]bool)
+		// A clone reconstructed from its CHT entry cannot recover the
+		// correlated-stage environment the original carried, so replay is
+		// armed only for queries whose stages reference no outer columns.
+		q.replayable = true
+		for _, st := range w.Stages {
+			if st.Query != nil && len(st.Query.Outer) > 0 {
+				q.replayable = false
+				break
+			}
+		}
+	}
 	if sess != nil {
 		// The session owns the collector endpoint and connection pool;
 		// reports are routed to this query by its id.
@@ -384,6 +439,18 @@ func (c *Client) submit(w *disql.WebQuery, b wire.Budget, sess *Session) (*Query
 		q.pool = netsim.NewPool(c.tr, endpoint, netsim.PoolOptions{
 			Wrap: func(c net.Conn) net.Conn { return wire.NewFramed(c) },
 		})
+		if q.cluster != nil {
+			// Proactive hygiene: when the health layer declares a replica
+			// down, its idle pooled connections are dead weight — evict them
+			// so the next send dials a live replica instead of discovering
+			// the corpse one stale connection at a time.
+			pool := q.pool
+			q.unsub = q.cluster.Subscribe(func(ep string, st cluster.State) {
+				if st == cluster.Down {
+					pool.EvictPeer(ep)
+				}
+			})
+		}
 		go q.collect()
 	}
 	if q.reapGrace > 0 {
@@ -532,7 +599,7 @@ func (q *Query) FallbackStats() FallbackStats {
 }
 
 func (q *Query) dispatch(site string, msg *wire.CloneMsg) error {
-	return q.poolSend(server.Endpoint(site), msg)
+	return q.sendSite(site, msg)
 }
 
 // poolSend delivers one message to the named endpoint over the query's
@@ -647,6 +714,18 @@ func (q *Query) merge(rm *wire.ResultMsg) {
 		q.mu.Unlock()
 		return
 	}
+	if q.cluster != nil && rm.From != "" && rm.Inc > 0 && q.cluster.Incarnation(rm.From) > rm.Inc {
+		// The frame was sent before its replica crashed and re-registered:
+		// the entries it would retire have been (or will be) replayed, so
+		// merging it would double-retire them. Drop the whole frame; the
+		// replay's own reports carry the authoritative accounting.
+		q.stats.StaleRejected++
+		if q.met != nil {
+			q.met.StaleRejected.Add(1)
+		}
+		q.mu.Unlock()
+		return
+	}
 	q.stats.ResultMsgs++
 	q.lastReport = time.Now()
 	rm.Each(func(r *wire.Report) {
@@ -732,7 +811,14 @@ func (q *Query) TraceEvents() []trace.Event {
 // addEntry and retire maintain the signed counting multiset. Callers hold
 // q.mu.
 func (q *Query) addEntry(e wire.CHTEntry) {
-	q.bump(e.Key(), +1)
+	key := e.Key()
+	if q.entries != nil {
+		// Mirror the entry itself (not just its count) so the reaper can
+		// reconstruct a stranded clone from the key alone; bump deletes the
+		// mirror when the count returns to zero.
+		q.entries[key] = e
+	}
+	q.bump(key, +1)
 	q.stats.EntriesAdded++
 	if q.nonzero > q.stats.PeakLive {
 		q.stats.PeakLive = q.nonzero
@@ -741,6 +827,20 @@ func (q *Query) addEntry(e wire.CHTEntry) {
 
 func (q *Query) retire(e wire.CHTEntry) {
 	key := e.Key()
+	if q.replayed != nil && q.replayed[key] && q.counts[key] <= 0 {
+		// A second retirement of a replayed instance: both the replay and
+		// the original (its report surviving the crash after all, or two
+		// replicas each processing one copy) accounted the entry. The first
+		// retirement balanced it; absorbing the duplicate keeps the
+		// counting multiset exact. Scoped to replayed keys — for everything
+		// else a negative count is the legal report-overtakes-announce
+		// asynchrony and must stand.
+		q.stats.DupRetired++
+		if q.met != nil {
+			q.met.DupRetired.Add(1)
+		}
+		return
+	}
 	if q.counts[key] <= 0 {
 		// The report overtook the update announcing the entry.
 		q.stats.GhostReports++
@@ -754,6 +854,9 @@ func (q *Query) bump(key string, delta int) {
 	now := old + delta
 	if now == 0 {
 		delete(q.counts, key)
+		if q.entries != nil {
+			delete(q.entries, key)
+		}
 		if old != 0 {
 			q.nonzero--
 		}
@@ -837,7 +940,22 @@ func (q *Query) broadcastStop(sites []string, reason string) {
 	}
 	sent := 0
 	for _, site := range sites {
-		if q.poolSend(server.Endpoint(site), &wire.StopMsg{ID: q.id, Reason: reason}) == nil {
+		// Replicated sites get the stop on every replica endpoint: any of
+		// them may hold the clone, and a StopMsg to an idle replica is a
+		// cheap no-op. The site counts as told when any endpoint took it.
+		eps := []string{server.Endpoint(site)}
+		if q.cluster != nil {
+			if all := q.cluster.Endpoints(site); len(all) > 0 {
+				eps = all
+			}
+		}
+		ok := false
+		for _, ep := range eps {
+			if q.poolSend(ep, &wire.StopMsg{ID: q.id, Reason: reason}) == nil {
+				ok = true
+			}
+		}
+		if ok {
 			sent++
 		}
 	}
@@ -918,9 +1036,24 @@ func (q *Query) reaper() {
 			t.Reset(q.reapGrace)
 			continue
 		}
-		q.reap()
+		// Before writing the orphans off, try to resume them: a replicated
+		// deployment can replay the stranded clones against a surviving
+		// replica (mid-traversal failover driven from the user-site). Only
+		// when replay is not possible — or has been tried and the entries
+		// stayed orphaned — does the reaper give up coverage.
+		clones := q.orphanClones()
+		if len(clones) == 0 {
+			q.reap()
+			q.mu.Unlock()
+			return
+		}
 		q.mu.Unlock()
-		return
+		if q.replay(clones) > 0 {
+			q.mu.Lock()
+			q.lastReport = time.Now()
+			q.mu.Unlock()
+		}
+		t.Reset(q.reapGrace)
 	}
 }
 
@@ -1001,6 +1134,10 @@ func (q *Query) finish(err error) {
 	q.done = true
 	q.err = err
 	q.stats.Duration = time.Since(q.started)
+	if q.unsub != nil {
+		q.unsub()
+		q.unsub = nil
+	}
 	close(q.doneCh)
 	q.scond.Broadcast() // wake stream consumers: no more rows are coming
 	if q.sess != nil {

@@ -8,7 +8,6 @@ import (
 	"webdis/internal/disql"
 	"webdis/internal/nodeproc"
 	"webdis/internal/pre"
-	"webdis/internal/server"
 	"webdis/internal/trace"
 	"webdis/internal/webgraph"
 	"webdis/internal/webserver"
@@ -314,7 +313,7 @@ func (f *fallback) addTargets(outs map[string]*wire.CloneMsg, order *[]string, f
 func (f *fallback) forward(oc *wire.CloneMsg) {
 	site := webgraph.Host(oc.Dest[0].URL)
 	f.q.jot(oc, trace.Forward, site)
-	err := f.q.poolSend(server.Endpoint(site), oc)
+	err := f.q.sendSite(site, oc)
 	if err == nil {
 		f.q.mu.Lock()
 		f.q.fstats.Rejoined++

@@ -7,6 +7,7 @@ import (
 	"net"
 	"sync"
 
+	"webdis/internal/cluster"
 	"webdis/internal/disql"
 	"webdis/internal/netsim"
 	"webdis/internal/wire"
@@ -33,6 +34,7 @@ type Session struct {
 	endpoint string
 	ln       net.Listener
 	pool     *netsim.Pool
+	unsub    func() // detaches the down-replica pool eviction, if clustered
 
 	mu      sync.Mutex
 	conns   map[net.Conn]bool
@@ -61,6 +63,17 @@ func (c *Client) NewSession() (*Session, error) {
 		}),
 		conns:   make(map[net.Conn]bool),
 		queries: make(map[int]*Query),
+	}
+	if cl := c.opts.Cluster; cl != nil {
+		// Shared-pool hygiene, as for per-query pools: a replica declared
+		// down has its idle connections evicted so the session's next send
+		// re-resolves instead of burning a send on the corpse.
+		pool := s.pool
+		s.unsub = cl.Subscribe(func(ep string, st cluster.State) {
+			if st == cluster.Down {
+				pool.EvictPeer(ep)
+			}
+		})
 	}
 	go s.accept()
 	return s, nil
@@ -203,6 +216,9 @@ func (s *Session) Close() {
 		queries = append(queries, q)
 	}
 	s.mu.Unlock()
+	if s.unsub != nil {
+		s.unsub()
+	}
 	s.ln.Close()
 	for _, conn := range conns {
 		conn.Close()

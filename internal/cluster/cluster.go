@@ -1,0 +1,605 @@
+// Package cluster adds site replication to the WEBDIS engine. The paper
+// pins each logical site to exactly one query server, so one crash stalls
+// a traversal and caps the site's throughput; this package lets a logical
+// site be served by N replica endpoints behind a shared membership table,
+// the way federated-search mediators route each request among redundant
+// sources.
+//
+// The design splits into three pieces:
+//
+//   - Naming: ReplicaEndpoint maps (site, index) to a wire endpoint.
+//     Replica 0 IS the classic "<site>/query" endpoint, so an
+//     unreplicated deployment is bit-identical to the seed; replicas
+//     1..N-1 append "@i", which the fabric's prefix matcher treats as
+//     part of the same site (a DownWindow on the bare site name still
+//     covers every replica, while "@" keeps replica names from colliding
+//     with the "/"-delimited path hierarchy).
+//   - Health: each replica runs the alive → suspect → down → recovering
+//     state machine. Send outcomes reported by the forward paths
+//     (ReportSuccess / ReportFailure) drive the demotions; a background
+//     prober with seeded jittered intervals re-dials non-alive replicas
+//     and promotes them back (down → recovering → alive) without risking
+//     live traffic on a corpse.
+//   - Selection: Pick resolves a site to one replica endpoint by
+//     rendezvous (highest-random-weight) hashing of the query ID, with a
+//     damped least-loaded tiebreak. Hashing keeps one query's clones on
+//     one replica — the per-server scheduler state (DRR queues, log
+//     tables) of PR 4 stays coherent — while the load damping lets a
+//     badly skewed site spill to its siblings. A `tried` set excludes
+//     replicas the caller already exhausted, which is the failover loop:
+//     re-resolve, replay, never the same corpse twice.
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"webdis/internal/netsim"
+)
+
+// suffix mirrors server.Suffix (the query-server listen path). Duplicated
+// here because server imports cluster, not the other way around.
+const suffix = "/query"
+
+// ReplicaEndpoint returns the wire endpoint of replica i of a site.
+// Replica 0 is the classic unreplicated endpoint "<site>/query", so
+// single-replica deployments are indistinguishable from the seed.
+func ReplicaEndpoint(site string, i int) string {
+	if i <= 0 {
+		return site + suffix
+	}
+	return site + suffix + "@" + strconv.Itoa(i)
+}
+
+// State is one replica's health.
+type State int
+
+const (
+	// Alive: the replica serves traffic.
+	Alive State = iota
+	// Suspect: recent sends failed; still routable when nothing better.
+	Suspect
+	// Down: declared dead. Routed to only when every sibling is worse;
+	// the pool layer evicts its idle connections.
+	Down
+	// Recovering: a probe reached a down replica; one more good probe
+	// (or any successful send) promotes it to Alive.
+	Recovering
+)
+
+func (s State) String() string {
+	switch s {
+	case Alive:
+		return "alive"
+	case Suspect:
+		return "suspect"
+	case Down:
+		return "down"
+	case Recovering:
+		return "recovering"
+	}
+	return "unknown"
+}
+
+// tier orders states by routing preference (lower is better).
+func (s State) tier() int {
+	switch s {
+	case Alive:
+		return 0
+	case Recovering:
+		return 1
+	case Suspect:
+		return 2
+	}
+	return 3
+}
+
+// Options tunes a Membership. The zero value is usable.
+type Options struct {
+	// Seed drives the prober's jittered schedule; 0 uses a fixed default
+	// so runs replay identically.
+	Seed int64
+	// SuspectAfter is the consecutive send failures that demote an alive
+	// replica to suspect (default 1).
+	SuspectAfter int
+	// DownAfter is the further consecutive failures that demote a
+	// suspect replica to down (default 1).
+	DownAfter int
+	// ProbeEvery is the mean probe interval (default 20ms; each tick is
+	// jittered ±50% from the seeded source).
+	ProbeEvery time.Duration
+	// ProbeFrom is the symbolic dialer name probes use (default
+	// "cluster/probe").
+	ProbeFrom string
+}
+
+func (o Options) suspectAfter() int {
+	if o.SuspectAfter < 1 {
+		return 1
+	}
+	return o.SuspectAfter
+}
+
+func (o Options) downAfter() int {
+	if o.DownAfter < 1 {
+		return 1
+	}
+	return o.DownAfter
+}
+
+func (o Options) probeEvery() time.Duration {
+	if o.ProbeEvery <= 0 {
+		return 20 * time.Millisecond
+	}
+	return o.ProbeEvery
+}
+
+func (o Options) probeFrom() string {
+	if o.ProbeFrom == "" {
+		return "cluster/probe"
+	}
+	return o.ProbeFrom
+}
+
+// replica is one endpoint's row in the membership table.
+type replica struct {
+	site     string
+	endpoint string
+	state    State
+	fails    int   // consecutive failures since the last success
+	inc      int64 // incarnation: bumped by Register (replica [re]start)
+	load     int64 // picks minus reports: sends currently in flight
+}
+
+// Info is a read-only snapshot of one replica's row.
+type Info struct {
+	Site        string
+	Endpoint    string
+	State       State
+	Incarnation int64
+	Load        int64
+}
+
+// Membership is the shared replica table of one deployment: every server
+// and the user-site client consult the same instance, so liveness learned
+// by one forward path benefits all of them. All methods are safe for
+// concurrent use.
+type Membership struct {
+	opts Options
+
+	mu     sync.Mutex
+	sites  map[string][]*replica
+	byEP   map[string]*replica
+	subs   map[int]func(endpoint string, s State)
+	subSeq int
+	rng    *rand.Rand
+
+	probeStop chan struct{}
+	probeWG   sync.WaitGroup
+}
+
+// New returns an empty membership table.
+func New(opts Options) *Membership {
+	seed := opts.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return &Membership{
+		opts:  opts,
+		sites: make(map[string][]*replica),
+		byEP:  make(map[string]*replica),
+		subs:  make(map[int]func(string, State)),
+		rng:   rand.New(rand.NewSource(seed)),
+	}
+}
+
+// AddSite seeds the static member list of one logical site with n
+// replicas (n < 1 is treated as 1), all initially alive.
+func (m *Membership) AddSite(site string, n int) {
+	if n < 1 {
+		n = 1
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i := len(m.sites[site]); i < n; i++ {
+		r := &replica{site: site, endpoint: ReplicaEndpoint(site, i)}
+		m.sites[site] = append(m.sites[site], r)
+		m.byEP[r.endpoint] = r
+	}
+}
+
+// Sites returns the sites with registered replicas, sorted.
+func (m *Membership) Sites() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.sites))
+	for s := range m.sites {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Endpoints returns every replica endpoint of a site (nil when the site
+// is not in the table).
+func (m *Membership) Endpoints(site string) []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	reps := m.sites[site]
+	out := make([]string, len(reps))
+	for i, r := range reps {
+		out[i] = r.endpoint
+	}
+	return out
+}
+
+// Register marks a replica endpoint as started, bumps and returns its
+// incarnation number. A restarted replica stamps the new incarnation on
+// its result frames; the user-site rejects frames from older
+// incarnations (a stale reply from before the crash must not retire
+// entries the new incarnation will re-announce). Unknown endpoints
+// return 0.
+func (m *Membership) Register(endpoint string) int64 {
+	m.mu.Lock()
+	r := m.byEP[endpoint]
+	if r == nil {
+		m.mu.Unlock()
+		return 0
+	}
+	r.inc++
+	r.fails = 0
+	r.load = 0
+	inc := r.inc
+	note := m.transition(r, Alive)
+	m.mu.Unlock()
+	note()
+	return inc
+}
+
+// Incarnation returns the endpoint's current incarnation (0 when unknown
+// or never registered).
+func (m *Membership) Incarnation(endpoint string) int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if r := m.byEP[endpoint]; r != nil {
+		return r.inc
+	}
+	return 0
+}
+
+// StateOf returns the endpoint's health state (Alive for unknown
+// endpoints: the table never blocks traffic it knows nothing about).
+func (m *Membership) StateOf(endpoint string) State {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if r := m.byEP[endpoint]; r != nil {
+		return r.state
+	}
+	return Alive
+}
+
+// Snapshot returns every replica row, sorted by endpoint.
+func (m *Membership) Snapshot() []Info {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Info, 0, len(m.byEP))
+	for _, r := range m.byEP {
+		out = append(out, Info{
+			Site: r.site, Endpoint: r.endpoint, State: r.state,
+			Incarnation: r.inc, Load: r.load,
+		})
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].Endpoint < out[k].Endpoint })
+	return out
+}
+
+// loadSlack is how far the rendezvous-hashed primary's in-flight count
+// may exceed the runner-up's before Pick deflects to the runner-up. The
+// damping keeps one query's clones on one replica (scheduler and log-
+// table state stay coherent) until the skew is large enough to matter.
+const loadSlack = 8
+
+// Pick resolves a site to one replica endpoint for the routing key
+// (callers pass the query ID, so one query sticks to one replica).
+// Replicas in tried are excluded — that is the failover loop's memory.
+// Among the remaining replicas the healthiest state tier wins; within
+// the tier, rendezvous hashing with the damped least-loaded tiebreak.
+// The chosen replica's in-flight load is incremented; every Pick MUST be
+// balanced by exactly one ReportSuccess or ReportFailure on the returned
+// endpoint. Sites not in the table resolve to their classic endpoint.
+// ok is false when every replica has been tried.
+func (m *Membership) Pick(site, key string, tried map[string]bool) (ep string, ok bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	reps := m.sites[site]
+	if len(reps) == 0 {
+		e := ReplicaEndpoint(site, 0)
+		if tried[e] {
+			return "", false
+		}
+		return e, true
+	}
+	var best []*replica
+	bestTier := 4
+	for _, r := range reps {
+		if tried[r.endpoint] {
+			continue
+		}
+		t := r.state.tier()
+		if t < bestTier {
+			bestTier = t
+			best = best[:0]
+		}
+		if t == bestTier {
+			best = append(best, r)
+		}
+	}
+	if len(best) == 0 {
+		return "", false
+	}
+	sort.Slice(best, func(i, k int) bool {
+		return rendezvous(key, best[i].endpoint) > rendezvous(key, best[k].endpoint)
+	})
+	pick := best[0]
+	if len(best) > 1 && pick.load > best[1].load+loadSlack {
+		pick = best[1]
+	}
+	pick.load++
+	return pick.endpoint, true
+}
+
+// rendezvous is the highest-random-weight score of one (key, endpoint)
+// pair: every member ranks the candidates identically without any
+// coordination, and removing a candidate only moves the keys that hashed
+// to it.
+func rendezvous(key, endpoint string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	h.Write([]byte{0})
+	h.Write([]byte(endpoint))
+	return mix64(h.Sum64())
+}
+
+// mix64 is the murmur3 finalizer. FNV has no output avalanche: replica
+// endpoints of one site differ only in their last byte or two, so their
+// raw FNV sums for the same key land within a few multiples of the FNV
+// prime of each other — clustered so tightly that the bare site endpoint
+// wins the rendezvous comparison about half the time. The finalizer
+// scatters those near-collisions across the full 64-bit space, restoring
+// the uniform key distribution rendezvous hashing promises.
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// ReportSuccess records a completed send to the endpoint: the replica is
+// alive, its failure streak resets, and the Pick that chose it is
+// balanced.
+func (m *Membership) ReportSuccess(endpoint string) {
+	m.mu.Lock()
+	r := m.byEP[endpoint]
+	if r == nil {
+		m.mu.Unlock()
+		return
+	}
+	r.fails = 0
+	if r.load > 0 {
+		r.load--
+	}
+	note := m.transition(r, Alive)
+	m.mu.Unlock()
+	note()
+}
+
+// ReportFailure records a failed send (after the sender's own retries):
+// the failure streak grows and may demote the replica.
+func (m *Membership) ReportFailure(endpoint string) {
+	m.mu.Lock()
+	r := m.byEP[endpoint]
+	if r == nil {
+		m.mu.Unlock()
+		return
+	}
+	if r.load > 0 {
+		r.load--
+	}
+	note := m.fail(r)
+	m.mu.Unlock()
+	note()
+}
+
+// fail advances r's state machine for one failure. Caller holds mu; the
+// returned func fires subscriber callbacks and must be called unlocked.
+func (m *Membership) fail(r *replica) func() {
+	r.fails++
+	switch r.state {
+	case Alive:
+		if r.fails >= m.opts.suspectAfter()+m.opts.downAfter() {
+			return m.transition(r, Down)
+		}
+		if r.fails >= m.opts.suspectAfter() {
+			return m.transition(r, Suspect)
+		}
+	case Suspect:
+		if r.fails >= m.opts.suspectAfter()+m.opts.downAfter() {
+			return m.transition(r, Down)
+		}
+	case Recovering:
+		// A recovering replica gets no benefit of the doubt.
+		return m.transition(r, Down)
+	}
+	return func() {}
+}
+
+// transition moves r to state s and prepares the subscriber
+// notifications. Caller holds mu; call the returned func unlocked.
+func (m *Membership) transition(r *replica, s State) func() {
+	if r.state == s {
+		return func() {}
+	}
+	r.state = s
+	if len(m.subs) == 0 {
+		return func() {}
+	}
+	fns := make([]func(string, State), 0, len(m.subs))
+	for _, fn := range m.subs {
+		fns = append(fns, fn)
+	}
+	ep := r.endpoint
+	return func() {
+		for _, fn := range fns {
+			fn(ep, s)
+		}
+	}
+}
+
+// Subscribe registers fn to be called on every replica state change
+// (outside the table's lock). The returned func unsubscribes. The pool
+// layers use this to evict idle connections to a replica the moment it
+// is declared down, instead of waiting for the next send to fail.
+func (m *Membership) Subscribe(fn func(endpoint string, s State)) (unsubscribe func()) {
+	m.mu.Lock()
+	id := m.subSeq
+	m.subSeq++
+	m.subs[id] = fn
+	m.mu.Unlock()
+	return func() {
+		m.mu.Lock()
+		delete(m.subs, id)
+		m.mu.Unlock()
+	}
+}
+
+// StartProber launches the background health prober: at seeded jittered
+// intervals it dials every non-alive replica and feeds the outcome back
+// into the state machine (suspect → alive, down → recovering → alive on
+// success; recovering → down on failure). Idempotent; StopProber ends
+// it.
+func (m *Membership) StartProber(tr netsim.Transport) {
+	if tr == nil {
+		return
+	}
+	m.mu.Lock()
+	if m.probeStop != nil {
+		m.mu.Unlock()
+		return
+	}
+	stop := make(chan struct{})
+	m.probeStop = stop
+	m.mu.Unlock()
+	m.probeWG.Add(1)
+	go m.probeLoop(tr, stop)
+}
+
+// StopProber stops the prober and waits for it to exit.
+func (m *Membership) StopProber() {
+	m.mu.Lock()
+	stop := m.probeStop
+	m.probeStop = nil
+	m.mu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	m.probeWG.Wait()
+}
+
+func (m *Membership) probeLoop(tr netsim.Transport, stop chan struct{}) {
+	defer m.probeWG.Done()
+	for {
+		t := time.NewTimer(m.probeInterval())
+		select {
+		case <-stop:
+			t.Stop()
+			return
+		case <-t.C:
+		}
+		for _, ep := range m.unhealthy() {
+			conn, err := tr.Dial(m.opts.probeFrom(), ep)
+			if err == nil {
+				conn.Close()
+				m.probeSuccess(ep)
+			} else {
+				m.probeFailure(ep)
+			}
+		}
+	}
+}
+
+// probeInterval draws the next jittered tick: every/2 .. every*3/2, from
+// the seeded source, so probe schedules replay across runs.
+func (m *Membership) probeInterval() time.Duration {
+	every := m.opts.probeEvery()
+	m.mu.Lock()
+	j := time.Duration(m.rng.Int63n(int64(every) + 1))
+	m.mu.Unlock()
+	return every/2 + j
+}
+
+// unhealthy returns the endpoints worth probing (anything not alive).
+func (m *Membership) unhealthy() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []string
+	for _, r := range m.byEP {
+		if r.state != Alive {
+			out = append(out, r.endpoint)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// probeSuccess promotes: suspect → alive, down → recovering,
+// recovering → alive. A probe is a dial, not real work, so a down
+// replica earns two good probes before live traffic returns to it.
+func (m *Membership) probeSuccess(endpoint string) {
+	m.mu.Lock()
+	r := m.byEP[endpoint]
+	if r == nil {
+		m.mu.Unlock()
+		return
+	}
+	r.fails = 0
+	var note func()
+	switch r.state {
+	case Down:
+		note = m.transition(r, Recovering)
+	default:
+		note = m.transition(r, Alive)
+	}
+	m.mu.Unlock()
+	note()
+}
+
+// probeFailure demotes like a send failure, but without a Pick to
+// balance.
+func (m *Membership) probeFailure(endpoint string) {
+	m.mu.Lock()
+	r := m.byEP[endpoint]
+	if r == nil {
+		m.mu.Unlock()
+		return
+	}
+	note := m.fail(r)
+	m.mu.Unlock()
+	note()
+}
+
+// String renders the table for debugging.
+func (m *Membership) String() string {
+	s := ""
+	for _, in := range m.Snapshot() {
+		s += fmt.Sprintf("%s inc=%d load=%d %s\n", in.Endpoint, in.Incarnation, in.Load, in.State)
+	}
+	return s
+}

@@ -1,0 +1,249 @@
+package cluster
+
+import (
+	"strconv"
+	"testing"
+	"time"
+
+	"webdis/internal/netsim"
+)
+
+func TestReplicaEndpointNaming(t *testing.T) {
+	if got := ReplicaEndpoint("www.cs.toronto.edu", 0); got != "www.cs.toronto.edu/query" {
+		t.Fatalf("replica 0 = %q, want the classic endpoint", got)
+	}
+	if got := ReplicaEndpoint("www.cs.toronto.edu", 2); got != "www.cs.toronto.edu/query@2" {
+		t.Fatalf("replica 2 = %q", got)
+	}
+	// The fabric's prefix matcher must treat replicas as part of their
+	// site (a DownWindow on the bare site covers them) without letting
+	// the bare "/query" endpoint match a replica's name.
+	if !netsim.Matches("www.cs.toronto.edu", ReplicaEndpoint("www.cs.toronto.edu", 1)) {
+		t.Fatal("site prefix does not cover replica endpoints")
+	}
+	if netsim.Matches(ReplicaEndpoint("www.cs.toronto.edu", 0), ReplicaEndpoint("www.cs.toronto.edu", 1)) {
+		t.Fatal("classic endpoint must not match a replica endpoint")
+	}
+}
+
+func TestHealthStateMachine(t *testing.T) {
+	m := New(Options{SuspectAfter: 1, DownAfter: 1})
+	m.AddSite("a", 2)
+	ep := ReplicaEndpoint("a", 1)
+	if st := m.StateOf(ep); st != Alive {
+		t.Fatalf("initial state = %v", st)
+	}
+	m.ReportFailure(ep)
+	if st := m.StateOf(ep); st != Suspect {
+		t.Fatalf("after 1 failure = %v, want suspect", st)
+	}
+	m.ReportFailure(ep)
+	if st := m.StateOf(ep); st != Down {
+		t.Fatalf("after 2 failures = %v, want down", st)
+	}
+	// A probe success promotes a corpse only to recovering: live traffic
+	// waits for a second signal.
+	m.probeSuccess(ep)
+	if st := m.StateOf(ep); st != Recovering {
+		t.Fatalf("after probe = %v, want recovering", st)
+	}
+	m.probeSuccess(ep)
+	if st := m.StateOf(ep); st != Alive {
+		t.Fatalf("after second probe = %v, want alive", st)
+	}
+	// A recovering replica that fails again is down immediately.
+	m.ReportFailure(ep)
+	m.ReportFailure(ep)
+	m.probeSuccess(ep)
+	m.probeFailure(ep)
+	if st := m.StateOf(ep); st != Down {
+		t.Fatalf("recovering + failure = %v, want down", st)
+	}
+	// A real send success resets everything.
+	m.ReportSuccess(ep)
+	if st := m.StateOf(ep); st != Alive {
+		t.Fatalf("after success = %v, want alive", st)
+	}
+}
+
+func TestPickAffinityAndFailover(t *testing.T) {
+	m := New(Options{})
+	m.AddSite("a", 3)
+	// Affinity: the same key resolves to the same replica every time.
+	first, ok := m.Pick("a", "q1", nil)
+	if !ok {
+		t.Fatal("pick failed")
+	}
+	m.ReportSuccess(first)
+	for i := 0; i < 10; i++ {
+		ep, ok := m.Pick("a", "q1", nil)
+		if !ok || ep != first {
+			t.Fatalf("pick %d = %q, want stable %q", i, ep, first)
+		}
+		m.ReportSuccess(ep)
+	}
+	// Failover: excluding the tried replica yields a different one, and
+	// exhausting all three yields ok=false.
+	tried := map[string]bool{first: true}
+	second, ok := m.Pick("a", "q1", tried)
+	if !ok || second == first {
+		t.Fatalf("failover pick = %q (ok=%v)", second, ok)
+	}
+	m.ReportSuccess(second)
+	tried[second] = true
+	third, ok := m.Pick("a", "q1", tried)
+	if !ok || tried[third] {
+		t.Fatalf("third pick = %q (ok=%v)", third, ok)
+	}
+	m.ReportSuccess(third)
+	tried[third] = true
+	if ep, ok := m.Pick("a", "q1", tried); ok {
+		t.Fatalf("pick with all tried returned %q", ep)
+	}
+	// Unknown sites resolve to the classic endpoint so unreplicated
+	// traffic keeps flowing.
+	if ep, ok := m.Pick("b", "q1", nil); !ok || ep != ReplicaEndpoint("b", 0) {
+		t.Fatalf("unknown site pick = %q (ok=%v)", ep, ok)
+	}
+}
+
+func TestPickPrefersHealthierTier(t *testing.T) {
+	m := New(Options{SuspectAfter: 1, DownAfter: 1})
+	m.AddSite("a", 2)
+	// Drive the key's hashed favourite down; picks must deflect to the
+	// healthy sibling.
+	fav, _ := m.Pick("a", "q9", nil)
+	m.ReportFailure(fav)
+	m.ReportFailure(fav)
+	for i := 0; i < 5; i++ {
+		ep, ok := m.Pick("a", "q9", nil)
+		if !ok || ep == fav {
+			t.Fatalf("pick %d routed to the down replica %q", i, fav)
+		}
+		m.ReportSuccess(ep)
+	}
+}
+
+func TestLoadDamping(t *testing.T) {
+	m := New(Options{})
+	m.AddSite("a", 2)
+	fav, _ := m.Pick("a", "qx", nil)
+	// Pile load on the favourite without balancing reports; once the skew
+	// passes the slack, picks spill to the sibling.
+	spilled := ""
+	for i := 0; i < loadSlack+2; i++ {
+		ep, _ := m.Pick("a", "qx", nil)
+		if ep != fav {
+			spilled = ep
+			break
+		}
+	}
+	if spilled == "" {
+		t.Fatalf("no spill after %d unbalanced picks", loadSlack+2)
+	}
+}
+
+func TestIncarnationBumpsOnRegister(t *testing.T) {
+	m := New(Options{})
+	m.AddSite("a", 2)
+	ep := ReplicaEndpoint("a", 1)
+	if inc := m.Register(ep); inc != 1 {
+		t.Fatalf("first registration inc = %d", inc)
+	}
+	if inc := m.Register(ep); inc != 2 {
+		t.Fatalf("re-registration inc = %d", inc)
+	}
+	if got := m.Incarnation(ep); got != 2 {
+		t.Fatalf("Incarnation = %d", got)
+	}
+	if got := m.Incarnation("nowhere/query"); got != 0 {
+		t.Fatalf("unknown incarnation = %d", got)
+	}
+}
+
+func TestSubscribeNotifiesOnDown(t *testing.T) {
+	m := New(Options{SuspectAfter: 1, DownAfter: 1})
+	m.AddSite("a", 2)
+	ep := ReplicaEndpoint("a", 1)
+	var events []State
+	unsub := m.Subscribe(func(e string, s State) {
+		if e == ep {
+			events = append(events, s)
+		}
+	})
+	m.ReportFailure(ep)
+	m.ReportFailure(ep)
+	if len(events) != 2 || events[0] != Suspect || events[1] != Down {
+		t.Fatalf("events = %v, want [suspect down]", events)
+	}
+	unsub()
+	m.ReportSuccess(ep)
+	if len(events) != 2 {
+		t.Fatalf("unsubscribed callback still fired: %v", events)
+	}
+}
+
+func TestProberRevivesDownReplica(t *testing.T) {
+	n := netsim.New(netsim.Options{})
+	m := New(Options{SuspectAfter: 1, DownAfter: 1, ProbeEvery: 2 * time.Millisecond})
+	m.AddSite("a", 2)
+	ep := ReplicaEndpoint("a", 1)
+	ln, err := n.Listen(ep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			c.Close()
+		}
+	}()
+	m.ReportFailure(ep)
+	m.ReportFailure(ep)
+	if st := m.StateOf(ep); st != Down {
+		t.Fatalf("setup: state = %v", st)
+	}
+	m.StartProber(n)
+	defer m.StopProber()
+	deadline := time.Now().Add(2 * time.Second)
+	for m.StateOf(ep) != Alive {
+		if time.Now().After(deadline) {
+			t.Fatalf("prober never revived the replica: %v", m.StateOf(ep))
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestPickSpreadsKeysUniformly pins the rendezvous hash quality: replica
+// endpoints of one site differ only in their trailing byte or two, and a
+// hash without avalanche clusters their scores so badly that the bare
+// site endpoint absorbs half of all keys (seen in practice with raw FNV:
+// a 50/27/12/11 split across four replicas). Distinct keys must land on
+// every replica in roughly equal measure.
+func TestPickSpreadsKeysUniformly(t *testing.T) {
+	m := New(Options{})
+	m.AddSite("hot.example", 4)
+	counts := make(map[string]int)
+	const keys = 4000
+	for i := 0; i < keys; i++ {
+		ep, ok := m.Pick("hot.example", "user#"+strconv.Itoa(i), nil)
+		if !ok {
+			t.Fatal("Pick failed with all replicas alive")
+		}
+		counts[ep]++
+		m.ReportSuccess(ep) // balance the load counter so damping stays out
+	}
+	if len(counts) != 4 {
+		t.Fatalf("keys landed on %d replicas, want 4: %v", len(counts), counts)
+	}
+	for ep, n := range counts {
+		frac := float64(n) / keys
+		if frac < 0.15 || frac > 0.35 {
+			t.Errorf("replica %s got %.0f%% of keys, want 15%%-35%% (all: %v)", ep, frac*100, counts)
+		}
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"webdis/internal/client"
+	"webdis/internal/cluster"
 	"webdis/internal/disql"
 	"webdis/internal/index"
 	"webdis/internal/netsim"
@@ -62,6 +63,20 @@ type Config struct {
 	// seen no report for this long while entries remain outstanding is
 	// completed as Partial, its orphans retired. Zero disables reaping.
 	ReapGrace time.Duration
+	// Replicas runs every participating site as N replica query servers
+	// behind a shared cluster membership table (see internal/cluster):
+	// replica 0 listens on the classic "<site>/query" endpoint, replicas
+	// 1..N-1 on "<site>/query@i", and every forward path picks a live
+	// replica with failover. 0 or 1 is the classic unreplicated
+	// deployment.
+	Replicas int
+	// ReplicasFor overrides Replicas per site — e.g. replicate only the
+	// hot site of a skewed workload. Sites not in the map use Replicas.
+	ReplicasFor map[string]int
+	// Cluster tunes the membership table's health machinery (probe
+	// cadence, demotion thresholds, seed). Only consulted when some site
+	// has more than one replica.
+	Cluster cluster.Options
 	// Trace arms causal tracing: every site (and the user-site) gets a
 	// trace.Journal, clones carry span ids, and transport-level events
 	// (dials, refusals, dropped and severed frames) are journaled via the
@@ -78,7 +93,8 @@ type Deployment struct {
 	network *netsim.Network  // nil when Config.Transport was supplied
 	tr      netsim.Transport // the transport everything runs over
 	hosts   map[string]*webserver.Host
-	servers map[string]*server.Server
+	servers map[string][]*server.Server // per site, replica 0 first
+	cluster *cluster.Membership         // nil when no site is replicated
 	client  *client.Client
 	user    string
 
@@ -139,13 +155,33 @@ func NewDeployment(cfg Config) (*Deployment, error) {
 		network:       network,
 		tr:            tr,
 		hosts:         make(map[string]*webserver.Host),
-		servers:       make(map[string]*server.Server),
+		servers:       make(map[string][]*server.Server),
 		user:          user,
 		siteMetrics:   make(map[string]*server.Metrics),
 		clientMetrics: &server.Metrics{},
 		journals:      make(map[string]*trace.Journal),
 		netJournal:    netJournal,
 	}
+
+	// One membership table serves the whole deployment — every server and
+	// the client consult the same health state. It exists only when some
+	// participating site actually runs more than one replica; otherwise
+	// everything stays on the seed's one-endpoint-per-site path.
+	replicated := false
+	for _, site := range cfg.Web.Hosts() {
+		if cfg.Participate != nil && !cfg.Participate(site) {
+			continue
+		}
+		if replicasOf(cfg, site) > 1 {
+			replicated = true
+			break
+		}
+	}
+	if replicated {
+		d.cluster = cluster.New(cfg.Cluster)
+		srvOpts.Cluster = d.cluster
+	}
+
 	for _, site := range cfg.Web.Hosts() {
 		h := webserver.NewHost(site, cfg.Web)
 		d.hosts[site] = h
@@ -158,20 +194,31 @@ func NewDeployment(cfg Config) (*Deployment, error) {
 		if cfg.Participate != nil && !cfg.Participate(site) {
 			continue // the site hosts documents but runs no query server
 		}
-		met := &server.Metrics{}
-		d.siteMetrics[site] = met
-		opts := srvOpts
-		if cfg.Trace {
-			j := trace.NewJournal(site, cfg.TraceCapacity)
-			d.journals[site] = j
-			opts.Journal = j
+		n := replicasOf(cfg, site)
+		if d.cluster != nil {
+			d.cluster.AddSite(site, n)
 		}
-		s := server.New(site, h, tr, met, opts)
-		d.servers[site] = s
-		if err := s.Start(); err != nil {
-			d.Close()
-			return nil, err
+		for i := 0; i < n; i++ {
+			key := replicaKey(site, i)
+			met := &server.Metrics{}
+			d.siteMetrics[key] = met
+			opts := srvOpts
+			opts.Replica = i
+			if cfg.Trace {
+				j := trace.NewJournal(key, cfg.TraceCapacity)
+				d.journals[key] = j
+				opts.Journal = j
+			}
+			s := server.New(site, h, tr, met, opts)
+			d.servers[site] = append(d.servers[site], s)
+			if err := s.Start(); err != nil {
+				d.Close()
+				return nil, err
+			}
 		}
+	}
+	if d.cluster != nil {
+		d.cluster.StartProber(tr)
 	}
 	if cfg.Trace {
 		d.clientJournal = trace.NewJournal(user, cfg.TraceCapacity)
@@ -181,6 +228,7 @@ func NewDeployment(cfg Config) (*Deployment, error) {
 		ReapGrace: cfg.ReapGrace,
 		Metrics:   d.clientMetrics,
 		Journal:   d.clientJournal,
+		Cluster:   d.cluster,
 		// Resolve index("term") StartNode sources against the deployment's
 		// search index, built lazily on first use.
 		IndexResolver: func(term string) []string {
@@ -192,6 +240,29 @@ func NewDeployment(cfg Config) (*Deployment, error) {
 		},
 	})
 	return d, nil
+}
+
+// replicasOf resolves the configured replica count of one site (at least
+// 1).
+func replicasOf(cfg Config, site string) int {
+	n := cfg.Replicas
+	if o, ok := cfg.ReplicasFor[site]; ok {
+		n = o
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// replicaKey names one replica's metrics and journal: the bare site for
+// replica 0 (so unreplicated deployments keep their seed keys), "site@i"
+// beyond.
+func replicaKey(site string, i int) string {
+	if i <= 0 {
+		return site
+	}
+	return site + "@" + fmt.Sprint(i)
 }
 
 // Index returns the deployment's search index over its web, building it
@@ -336,12 +407,23 @@ func (d *Deployment) Journal(site string) *trace.Journal {
 	return d.journals[site]
 }
 
-// TraceEvents merges every journal — all sites, the client, the fabric —
-// into one time-ordered stream.
+// journalKeys returns every server journal key (sites plus "site@i"
+// replica keys), sorted for deterministic merge order.
+func (d *Deployment) journalKeys() []string {
+	keys := make([]string, 0, len(d.journals))
+	for k := range d.journals {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// TraceEvents merges every journal — all sites (every replica), the
+// client, the fabric — into one time-ordered stream.
 func (d *Deployment) TraceEvents() []trace.Event {
 	var out []trace.Event
-	for _, site := range d.web.Hosts() {
-		out = append(out, d.journals[site].Events()...)
+	for _, key := range d.journalKeys() {
+		out = append(out, d.journals[key].Events()...)
 	}
 	out = append(out, d.clientJournal.Events()...)
 	out = append(out, d.netJournal.Events()...)
@@ -361,8 +443,8 @@ func (d *Deployment) Journey(q *client.Query) *trace.Journey {
 // it must not race with an in-flight query.
 func (d *Deployment) FlushTraces() []trace.Event {
 	var out []trace.Event
-	for _, site := range d.web.Hosts() {
-		out = append(out, d.journals[site].Flush()...)
+	for _, key := range d.journalKeys() {
+		out = append(out, d.journals[key].Flush()...)
 	}
 	out = append(out, d.clientJournal.Flush()...)
 	out = append(out, d.netJournal.Flush()...)
@@ -373,16 +455,34 @@ func (d *Deployment) FlushTraces() []trace.Event {
 // Client returns the deployment's user-site client.
 func (d *Deployment) Client() *client.Client { return d.client }
 
-// Server returns the query server of site, or nil.
-func (d *Deployment) Server(site string) *server.Server { return d.servers[site] }
+// Server returns the primary query server of site (replica 0), or nil.
+func (d *Deployment) Server(site string) *server.Server {
+	if reps := d.servers[site]; len(reps) > 0 {
+		return reps[0]
+	}
+	return nil
+}
+
+// Replicas returns every query-server replica of site (replica 0 first),
+// or nil. Unreplicated sites return a one-element slice.
+func (d *Deployment) Replicas(site string) []*server.Server { return d.servers[site] }
+
+// Cluster returns the deployment's replica membership table, or nil when
+// no site is replicated.
+func (d *Deployment) Cluster() *cluster.Membership { return d.cluster }
 
 // Host returns the document host of site, or nil.
 func (d *Deployment) Host(site string) *webserver.Host { return d.hosts[site] }
 
-// Close stops every server and document host.
+// Close stops the health prober, every server replica and document host.
 func (d *Deployment) Close() {
-	for _, s := range d.servers {
-		s.Stop()
+	if d.cluster != nil {
+		d.cluster.StopProber()
+	}
+	for _, reps := range d.servers {
+		for _, s := range reps {
+			s.Stop()
+		}
 	}
 	for _, h := range d.hosts {
 		h.Stop()

@@ -52,6 +52,7 @@ func All() []Experiment {
 		{"perf", "hot path / T13", "hot-path overhaul: pooled connections, parallel fan-out, parse cache, singleflight DB builds — before/after ablations (writes BENCH_PR3.json)", func(w io.Writer) error { _, err := Perf(w); return err }},
 		{"load", "scheduling / T14", "multi-query load: weighted-fair vs FIFO latency, admission-control shedding, wire-carried deadline expiry (writes BENCH_PR4.json)", func(w io.Writer) error { _, err := Load(w); return err }},
 		{"stream", "streaming / T15", "streaming delivery: first-row latency, result-frame batching, active early termination via FirstN (writes BENCH_PR5.json)", func(w io.Writer) error { _, err := Stream(w); return err }},
+		{"replicas", "robustness / T16", "replicated sites: hot-site throughput scaling 1/2/4, availability under mid-run replica kills (writes BENCH_PR6.json)", func(w io.Writer) error { _, err := Replicas(w); return err }},
 	}
 }
 

@@ -498,3 +498,60 @@ func TestStreamShape(t *testing.T) {
 		t.Errorf("active stop saved no bytes: %d vs %d", firstn.Bytes, quota.Bytes)
 	}
 }
+
+func TestReplicasShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replica grid is slow")
+	}
+	// Few queries per worker, no artifact: structure and invariants, not
+	// the exact speedups (single-machine CI numbers are too noisy to
+	// gate on tight ratios).
+	out, err := replicasRun(io.Discard, 6, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Scale) != 3 {
+		t.Fatalf("scale grid has %d rows, want 3", len(out.Scale))
+	}
+	for _, c := range out.Scale {
+		if c.LostRows != 0 {
+			t.Errorf("%d replicas: lost %d rows", c.Replicas, c.LostRows)
+		}
+		if c.ReplicasUsed < 1 || c.ReplicasUsed > c.Replicas {
+			t.Errorf("%d replicas: %d used", c.Replicas, c.ReplicasUsed)
+		}
+	}
+	if out.Scale[0].Replicas != 1 || out.Scale[1].Replicas != 2 || out.Scale[2].Replicas != 4 {
+		t.Fatalf("scale grid rows are %d/%d/%d replicas, want 1/2/4",
+			out.Scale[0].Replicas, out.Scale[1].Replicas, out.Scale[2].Replicas)
+	}
+	if out.Scale[2].ReplicasUsed < 2 {
+		t.Errorf("4-replica cell used only %d replicas", out.Scale[2].ReplicasUsed)
+	}
+	// The uplink is the bottleneck, so adding replicas must add
+	// throughput. Lenient floors: the full-size run shows ~2x and ~3.6x.
+	if out.Scale[1].QPS < 1.3*out.Scale[0].QPS {
+		t.Errorf("2 replicas did not scale: %.0f vs %.0f qps", out.Scale[1].QPS, out.Scale[0].QPS)
+	}
+	if out.Scale[2].QPS < 1.8*out.Scale[0].QPS {
+		t.Errorf("4 replicas did not scale: %.0f vs %.0f qps", out.Scale[2].QPS, out.Scale[0].QPS)
+	}
+	if len(out.Kills) != 3 {
+		t.Fatalf("kill grid has %d rows, want 3", len(out.Kills))
+	}
+	for _, c := range out.Kills {
+		if c.Clean+c.Partial+c.Failed != c.Queries {
+			t.Errorf("%d kills: %d+%d+%d fates for %d queries", c.Kills, c.Clean, c.Partial, c.Failed, c.Queries)
+		}
+		if c.Failed != 0 {
+			t.Errorf("%d kills: %d queries failed outright", c.Kills, c.Failed)
+		}
+		if c.Kills == 0 {
+			if c.AvailabilityPct != 100 || c.Failovers+c.Replays != 0 {
+				t.Errorf("kill-free cell not clean: %+v", c)
+			}
+		} else if c.Failovers+c.Replays == 0 {
+			t.Errorf("%d kills left no failover or replay trace: %+v", c.Kills, c)
+		}
+	}
+}

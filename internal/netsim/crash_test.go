@@ -1,0 +1,193 @@
+package netsim
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestCrashWindowSeversAndRefuses(t *testing.T) {
+	n := New(Options{Faults: FaultPlan{
+		Seed:    7,
+		Crashes: []CrashWindow{{Endpoint: "site", From: 30 * time.Millisecond, Until: 150 * time.Millisecond}},
+	}})
+	stop := acceptAll(t, n, "site/query")
+	defer stop()
+
+	// Established before the crash: the connection must sever when the
+	// window opens, not linger until the next write.
+	conn, err := n.Dial("user", "site/query")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	readErr := make(chan error, 1)
+	go func() {
+		buf := make([]byte, 1)
+		_, err := conn.Read(buf)
+		readErr <- err
+	}()
+	select {
+	case err := <-readErr:
+		if err == nil {
+			t.Fatal("read returned nil error after crash")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("established connection survived the crash window")
+	}
+
+	// During the window new dials are refused — the process is gone, and
+	// the prefix covers every replica endpoint of the site.
+	if _, err := n.Dial("user", "site/query"); !errors.Is(err, ErrRefused) {
+		t.Fatalf("dial during crash: %v, want ErrRefused", err)
+	}
+
+	// After Until the process has restarted: dials succeed again.
+	time.Sleep(160 * time.Millisecond)
+	conn2, err := n.Dial("user", "site/query")
+	if err != nil {
+		t.Fatalf("dial after restart: %v", err)
+	}
+	conn2.Close()
+
+	if n.Stats().Snapshot().Total().Crashed < 1 {
+		t.Error("severed connection not counted as crashed")
+	}
+}
+
+func TestKillReviveRuntime(t *testing.T) {
+	n := New(Options{})
+	stopA := acceptAll(t, n, "site/query")
+	defer stopA()
+	stopB := acceptAll(t, n, "site/query@1")
+	defer stopB()
+
+	conn, err := n.Dial("user", "site/query@1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	n.Kill("site/query@1")
+	// The established connection is gone...
+	done := make(chan error, 1)
+	go func() {
+		buf := make([]byte, 1)
+		_, err := conn.Read(buf)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("read survived Kill")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Kill did not sever the established connection")
+	}
+	// ...new dials to AND from the corpse are refused...
+	if _, err := n.Dial("user", "site/query@1"); !errors.Is(err, ErrRefused) {
+		t.Fatalf("dial to killed replica: %v, want ErrRefused", err)
+	}
+	if _, err := n.Dial("site/query@1", "user"); !errors.Is(err, ErrRefused) {
+		t.Fatalf("dial from killed replica: %v, want ErrRefused", err)
+	}
+	// ...but the sibling replica on the same site is untouched.
+	c2, err := n.Dial("user", "site/query")
+	if err != nil {
+		t.Fatalf("sibling replica affected by Kill: %v", err)
+	}
+	c2.Close()
+
+	n.Revive("site/query@1")
+	c3, err := n.Dial("user", "site/query@1")
+	if err != nil {
+		t.Fatalf("dial after Revive: %v", err)
+	}
+	c3.Close()
+}
+
+// TestKillDropsInFlightFrames pins the crash semantics of a sever: a
+// frame written but not yet delivered (it is still inside the fabric's
+// latency window) dies with the endpoint. Graceful Close keeps draining
+// such frames — only a crash discards them.
+func TestKillDropsInFlightFrames(t *testing.T) {
+	n := New(Options{Latency: 50 * time.Millisecond})
+	stop := acceptAll(t, n, "site/query@1")
+	defer stop()
+
+	conn, err := n.Dial("site/query@1", "user")
+	if err == nil {
+		conn.Close()
+		t.Fatal("dial to unlistened endpoint succeeded")
+	}
+
+	ln, err := n.Listen("user")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	got := make(chan error, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			got <- err
+			return
+		}
+		defer c.Close()
+		buf := make([]byte, 1)
+		_, err = c.Read(buf)
+		got <- err
+	}()
+
+	out, err := n.Dial("site/query@1", "user")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer out.Close()
+	if _, err := out.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	n.Kill("site/query@1") // the byte is still in the latency window
+
+	select {
+	case err := <-got:
+		if err == nil {
+			t.Fatal("in-flight frame survived the crash")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("receiver never unblocked after the crash")
+	}
+}
+
+func TestPoolEvictPeer(t *testing.T) {
+	n := New(Options{})
+	stop := acceptAll(t, n, "site/query@1")
+	defer stop()
+
+	p := NewPool(n, "user", PoolOptions{})
+	defer p.Close()
+	conn, reused, err := p.Get("site/query@1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reused {
+		t.Fatal("first Get reported reused")
+	}
+	p.Put("site/query@1", conn)
+
+	if evicted := p.EvictPeer("site/query@1"); evicted != 1 {
+		t.Fatalf("EvictPeer = %d, want 1", evicted)
+	}
+	// The idle connection is gone: the next Get must dial fresh.
+	conn2, reused, err := p.Get("site/query@1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reused {
+		t.Fatal("Get after EvictPeer reused an evicted connection")
+	}
+	p.Put("site/query@1", conn2)
+	if p.EvictPeer("nowhere/query") != 0 {
+		t.Fatal("EvictPeer of unknown peer evicted something")
+	}
+}

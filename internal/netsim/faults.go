@@ -40,6 +40,21 @@ type EdgeBlock struct {
 	From, To string
 }
 
+// CrashWindow crashes one endpoint for an interval — a process kill, not
+// a link fault. At From every established connection touching the
+// endpoint is severed (both peers see the stream die, exactly as when a
+// process exits mid-conversation), and until Until new dials to or from
+// it are refused; at Until the endpoint is implicitly restarted (dials
+// succeed again). Unlike DownWindow, which is typically aimed at a whole
+// site, a crash names one replica endpoint ("site/query@1") to kill a
+// single replica while its siblings and the site's document host keep
+// serving. Matching is still by endpoint prefix, so naming a site crashes
+// everything under it.
+type CrashWindow struct {
+	Endpoint    string
+	From, Until time.Duration
+}
+
 // FaultPlan is a seeded, deterministic fault schedule for the fabric. The
 // zero value injects nothing. Drop and Sever decisions are drawn from one
 // rand stream seeded with Seed, so a schedule replays the same decision
@@ -57,11 +72,17 @@ type FaultPlan struct {
 	Windows []DownWindow
 	// Partitions lists asymmetric edge blocks, in force for the whole run.
 	Partitions []EdgeBlock
+	// Crashes lists endpoint-level crash/restart windows: established
+	// connections are severed at the window's start, dials refused for
+	// its duration. Determinism comes from the schedule itself (fixed
+	// offsets), not the rand stream.
+	Crashes []CrashWindow
 }
 
 // active reports whether the plan can ever inject anything.
 func (f FaultPlan) active() bool {
-	return f.Drop > 0 || f.Sever > 0 || len(f.Windows) > 0 || len(f.Partitions) > 0
+	return f.Drop > 0 || f.Sever > 0 || len(f.Windows) > 0 ||
+		len(f.Partitions) > 0 || len(f.Crashes) > 0
 }
 
 // faultState is the Network's runtime fault machinery.
@@ -81,6 +102,12 @@ func newFaultState(plan FaultPlan) *faultState {
 	}
 }
 
+// Matches reports whether an endpoint name falls under a pattern, the
+// relation every fault window and SeverEndpoint call uses. Exported so
+// layers that invent endpoint names (e.g. cluster replica endpoints) can
+// assert they sit where intended in the fault hierarchy.
+func Matches(pattern, name string) bool { return matches(pattern, name) }
+
 // matches reports whether the endpoint name falls under the pattern:
 // exact match or any sub-endpoint ("site" covers "site/query").
 func matches(pattern, name string) bool {
@@ -96,6 +123,17 @@ func (f *faultState) refuses(from, to string) bool {
 	if len(f.plan.Windows) > 0 {
 		now := time.Since(f.start)
 		for _, w := range f.plan.Windows {
+			if now < w.From || now >= w.Until {
+				continue
+			}
+			if matches(w.Endpoint, from) || matches(w.Endpoint, to) {
+				return true
+			}
+		}
+	}
+	if len(f.plan.Crashes) > 0 {
+		now := time.Since(f.start)
+		for _, w := range f.plan.Crashes {
 			if now < w.From || now >= w.Until {
 				continue
 			}

@@ -52,19 +52,32 @@ type Network struct {
 	listeners map[string]*simListener
 	down      map[string]bool
 	blocked   map[Edge]bool
+	conns     map[*simConn]struct{}
 	stats     *Stats
 }
 
 // New returns an empty fabric with the given options.
 func New(opts Options) *Network {
-	return &Network{
+	n := &Network{
 		opts:      opts,
 		faults:    newFaultState(opts.Faults),
 		listeners: make(map[string]*simListener),
 		down:      make(map[string]bool),
 		blocked:   make(map[Edge]bool),
+		conns:     make(map[*simConn]struct{}),
 		stats:     NewStats(),
 	}
+	// Arm the crash schedule: dial refusal during each window comes from
+	// faultState.refuses; the sever of established connections at the
+	// window's start is an explicit event.
+	for _, cw := range opts.Faults.Crashes {
+		if cw.Until <= cw.From {
+			continue
+		}
+		ep := cw.Endpoint
+		time.AfterFunc(cw.From, func() { n.SeverEndpoint(ep) })
+	}
+	return n
 }
 
 // Stats returns the fabric's traffic collector.
@@ -100,6 +113,66 @@ func (n *Network) edgeBlocked(from, to string) bool {
 		}
 	}
 	return false
+}
+
+// SeverEndpoint cuts every established connection touching the named
+// endpoint (matching by prefix like DownWindow, so a site name covers
+// all its endpoints). Both peers of each connection see the stream die,
+// exactly as when the endpoint's process crashes mid-conversation. It
+// returns the number of connections cut. Dials are unaffected; pair
+// with SetDown (or use Kill) to also refuse new traffic.
+func (n *Network) SeverEndpoint(name string) int {
+	n.mu.Lock()
+	var hit []*simConn
+	for c := range n.conns {
+		if matches(name, c.from) || matches(name, c.to) {
+			hit = append(hit, c)
+		}
+	}
+	n.mu.Unlock()
+	cut := 0
+	for _, c := range hit {
+		// A connection is two tracked ends; count and observe it once, on
+		// the end dialing into the crashed endpoint (or out of it, for its
+		// own outbound dials).
+		if matches(name, c.to) {
+			cut++
+			n.stats.AddCrashed(c.from, c.to)
+			n.observe("crashed", c.from, c.to)
+		}
+		c.crash()
+	}
+	return cut
+}
+
+// Kill crashes the named endpoint at runtime: established connections
+// touching it are severed and new dials to or from it are refused until
+// Revive. This is the chaos tests' replica-kill switch. Unlike the
+// scheduled CrashWindow it matches the exact endpoint name only (the
+// SetDown semantics), so Kill("site/query@1") takes down one replica.
+func (n *Network) Kill(name string) {
+	n.SetDown(name, true)
+	n.SeverEndpoint(name)
+}
+
+// Revive undoes a Kill: dials to the endpoint succeed again (its
+// listener, which never went away, resumes accepting).
+func (n *Network) Revive(name string) {
+	n.SetDown(name, false)
+}
+
+// track registers a live connection end for SeverEndpoint.
+func (n *Network) track(c *simConn) {
+	n.mu.Lock()
+	n.conns[c] = struct{}{}
+	n.mu.Unlock()
+}
+
+// untrack forgets a closed connection end.
+func (n *Network) untrack(c *simConn) {
+	n.mu.Lock()
+	delete(n.conns, c)
+	n.mu.Unlock()
 }
 
 // Healthy reports whether a Dial from from to to would currently pass
@@ -166,6 +239,8 @@ func (n *Network) Dial(from, to string) (net.Conn, error) {
 		n.observe("refused", from, to)
 		return nil, fmt.Errorf("%w: %s -> %s", ErrRefused, from, to)
 	}
+	n.track(client)
+	n.track(server)
 	n.stats.AddDial(from, to)
 	n.observe("dial", from, to)
 	return client, nil
@@ -331,6 +406,20 @@ func (q *queue) close() {
 	q.mu.Unlock()
 }
 
+// abort is close with crash semantics: chunks pushed but not yet
+// delivered are discarded. Graceful close keeps them (a sender that
+// closes after a successful write has still sent the bytes — the
+// connection pool relies on that); a crashed process's socket buffers
+// are simply gone.
+func (q *queue) abort() {
+	q.mu.Lock()
+	q.closed = true
+	q.chunks = nil
+	q.buf = nil
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}
+
 var errClosedPipe = errors.New("netsim: connection closed")
 
 // simConn is one end of a simulated duplex connection.
@@ -392,8 +481,19 @@ func (c *simConn) Close() error {
 	c.closeOnce.Do(func() {
 		c.write.close()
 		c.read.close()
+		c.net.untrack(c)
 	})
 	return nil
+}
+
+// crash closes the connection discarding in-flight data in both
+// directions — the process holding the other structures is gone.
+func (c *simConn) crash() {
+	c.closeOnce.Do(func() {
+		c.write.abort()
+		c.read.abort()
+		c.net.untrack(c)
+	})
 }
 
 func (c *simConn) LocalAddr() net.Addr                { return c.local }

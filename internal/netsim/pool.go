@@ -199,6 +199,23 @@ func (p *Pool) evictOldestLocked() {
 	p.total--
 }
 
+// EvictPeer proactively closes and forgets every idle connection to the
+// named endpoint, returning how many were evicted. The cluster health
+// layer calls this the moment a replica is declared down, so the next
+// send dials fresh (and fails fast, and fails over) instead of writing
+// into a dead socket and waiting for the error.
+func (p *Pool) EvictPeer(to string) int {
+	p.mu.Lock()
+	list := p.idle[to]
+	delete(p.idle, to)
+	p.total -= len(list)
+	p.mu.Unlock()
+	for _, pc := range list {
+		pc.c.Close()
+	}
+	return len(list)
+}
+
 // IdleCount returns the number of idle connections held (for tests and
 // introspection).
 func (p *Pool) IdleCount() int {

@@ -29,13 +29,15 @@ type Counters struct {
 	Dropped  int64            // frames discarded by fault injection
 	Severed  int64            // connections cut mid-frame by fault injection
 	Refused  int64            // dials refused (down, blocked, or no listener)
+	Crashed  int64            // connections cut by an endpoint crash
 	ByKind   map[string]int64 // message count per wire kind
 }
 
 func (c *Counters) clone() *Counters {
 	out := &Counters{Bytes: c.Bytes, Messages: c.Messages, Dials: c.Dials,
 		Dropped: c.Dropped, Severed: c.Severed, Refused: c.Refused,
-		ByKind: make(map[string]int64, len(c.ByKind))}
+		Crashed: c.Crashed,
+		ByKind:  make(map[string]int64, len(c.ByKind))}
 	for k, v := range c.ByKind {
 		out.ByKind[k] = v
 	}
@@ -99,6 +101,14 @@ func (s *Stats) AddSevered(from, to string) {
 	s.mu.Unlock()
 }
 
+// AddCrashed records one established connection cut by an endpoint
+// crash (CrashWindow or Kill) on the edge.
+func (s *Stats) AddCrashed(from, to string) {
+	s.mu.Lock()
+	s.counters(Edge{from, to}).Crashed++
+	s.mu.Unlock()
+}
+
 // AddRefused records one refused dial on the edge.
 func (s *Stats) AddRefused(from, to string) {
 	s.mu.Lock()
@@ -137,6 +147,7 @@ func (t *Counters) add(c *Counters) {
 	t.Dropped += c.Dropped
 	t.Severed += c.Severed
 	t.Refused += c.Refused
+	t.Crashed += c.Crashed
 	for k, v := range c.ByKind {
 		t.ByKind[k] += v
 	}

@@ -208,6 +208,7 @@ func (rb *resultBatcher) flushAged() {
 // is blacklisted so later reports are dropped instead of re-buffered.
 func (rb *resultBatcher) flush(b *batch) {
 	msg := &wire.ResultMsg{ID: b.id, Reports: b.reports}
+	rb.s.stampReplica(msg)
 	if rb.s.send(b.id.Site, msg) != nil {
 		rb.s.met.Terminated.Add(1)
 		rb.s.trace("", wire.State{}, "terminated", "batched result dispatch failed")

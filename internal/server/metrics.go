@@ -105,6 +105,23 @@ type Metrics struct {
 	// batching it equals ResultMsgs; with batching the ratio
 	// ResultReports / ResultMsgs is the coalescing factor.
 	ResultReports atomic.Int64
+
+	// Failovers counts clone forwards re-resolved to another replica of
+	// the destination site after the retry policy exhausted against the
+	// first pick (server- and client-side sends alike).
+	Failovers atomic.Int64
+	// ReplicaReplays counts clone messages the user-site re-dispatched
+	// to a surviving replica to resume the live CHT entries a crashed
+	// replica stranded.
+	ReplicaReplays atomic.Int64
+	// StaleRejected counts result frames dropped because their replica
+	// incarnation predates the sender's current registration (replies
+	// from before a crash must not retire re-announced entries).
+	StaleRejected atomic.Int64
+	// DupRetired counts duplicate retirements of replayed CHT entries
+	// absorbed by the user-site (the crashed replica's report arrived
+	// after all, on top of the replay's).
+	DupRetired atomic.Int64
 }
 
 // Snapshot is a plain-integer copy of Metrics.
@@ -144,6 +161,11 @@ type Snapshot struct {
 	RowsClipped    int64
 	Stopped        int64
 	ResultReports  int64
+
+	Failovers      int64
+	ReplicaReplays int64
+	StaleRejected  int64
+	DupRetired     int64
 }
 
 // Snapshot returns a consistent-enough copy for reporting (individual
@@ -185,6 +207,11 @@ func (m *Metrics) Snapshot() Snapshot {
 		RowsClipped:    m.RowsClipped.Load(),
 		Stopped:        m.Stopped.Load(),
 		ResultReports:  m.ResultReports.Load(),
+
+		Failovers:      m.Failovers.Load(),
+		ReplicaReplays: m.ReplicaReplays.Load(),
+		StaleRejected:  m.StaleRejected.Load(),
+		DupRetired:     m.DupRetired.Load(),
 	}
 }
 

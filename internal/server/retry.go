@@ -85,6 +85,51 @@ func (r RetryPolicy) backoff(n int, rng *lockedRand) time.Duration {
 	return d + j
 }
 
+// errNoReplica is returned by sendSite when every replica of the
+// destination site has been tried and failed.
+var errNoReplica = errors.New("server: no replica of the destination site is reachable")
+
+// sendSite delivers one clone to the named logical site. Unclustered
+// servers send to the site's classic endpoint; clustered ones resolve a
+// replica through the membership table and — when the full retry policy
+// exhausts against that replica — re-resolve and replay against the next
+// live one (the mid-traversal failover path), reporting each outcome so
+// the health state machine learns from real traffic. Only after every
+// replica has been tried does the error surface to the bounce/retire
+// path.
+func (s *Server) sendSite(site string, c *wire.CloneMsg) error {
+	cl := s.opts.Cluster
+	if cl == nil {
+		return s.send(Endpoint(site), c)
+	}
+	var tried map[string]bool
+	var lastErr error
+	for {
+		ep, ok := cl.Pick(site, c.ID.String(), tried)
+		if !ok {
+			if lastErr == nil {
+				lastErr = errNoReplica
+			}
+			return lastErr
+		}
+		if tried != nil {
+			s.met.Failovers.Add(1)
+			s.jot(c, trace.Failover, "", c.State(), site+" -> "+ep)
+		}
+		err := s.send(ep, c)
+		if err == nil {
+			cl.ReportSuccess(ep)
+			return nil
+		}
+		cl.ReportFailure(ep)
+		lastErr = err
+		if tried == nil {
+			tried = make(map[string]bool, 2)
+		}
+		tried[ep] = true
+	}
+}
+
 // send delivers one message to the named endpoint under the server's
 // retry policy. It reports the last error when every attempt failed.
 func (s *Server) send(to string, msg any) error {
@@ -181,7 +226,7 @@ func (s *Server) attemptSend(to string, msg any, timeout time.Duration) error {
 // one fresh dial within the same attempt, whose outcome (refusal,
 // injected fault, success) is then exactly what the seed would have seen.
 func (s *Server) sendOnce(to string, msg any, register func(net.Conn) bool) error {
-	from := Endpoint(s.site)
+	from := s.self
 	if s.pool == nil {
 		conn, err := s.tr.Dial(from, to)
 		if err != nil {

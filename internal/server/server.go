@@ -30,6 +30,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"webdis/internal/cluster"
 	"webdis/internal/disql"
 	"webdis/internal/netsim"
 	"webdis/internal/nodeproc"
@@ -161,6 +162,16 @@ type Options struct {
 	// arriving clone already carries one, so traced context propagates
 	// across sites that journal and sites that merely relay.
 	Journal *trace.Journal
+	// Cluster, when set, is the deployment's shared replica membership
+	// table: the server is replica number Replica of its site, listens
+	// on the replica endpoint, resolves every clone forward through
+	// Pick, and — when the retry policy exhausts against one replica —
+	// re-resolves and replays against the next live one instead of
+	// falling straight into the bounce path.
+	Cluster *cluster.Membership
+	// Replica is this server's index among its site's replicas (0 is
+	// the classic endpoint; only meaningful with Cluster set).
+	Replica int
 }
 
 func (o Options) dedup() nodeproc.DedupMode {
@@ -173,11 +184,23 @@ func (o Options) dedup() nodeproc.DedupMode {
 // Server is one site's WEBDIS query server.
 type Server struct {
 	site string
+	// self is the endpoint this server listens on and stamps as the
+	// origin of the instance serials it mints: the classic
+	// "<site>/query" for replica 0, "<site>/query@i" above. Distinct
+	// origins keep (Origin, Seq) serials unique across a site's
+	// replicas.
+	self string
+	// inc is this replica's membership incarnation, stamped on result
+	// frames so the user-site can reject replies that predate a
+	// restart; 0 when unclustered.
+	inc  int64
 	docs DocSource
 	tr   netsim.Transport
 	met  *Metrics
 	opts Options
 	log  *nodeproc.LogTable
+	// unsub detaches the pool-eviction health subscription on Stop.
+	unsub func()
 
 	queue *sched.Queue[*wire.CloneMsg]
 	// rng is the server's private randomness (retry-backoff jitter),
@@ -222,12 +245,13 @@ type Server struct {
 func New(site string, docs DocSource, tr netsim.Transport, met *Metrics, opts Options) *Server {
 	s := &Server{
 		site:     site,
+		self:     cluster.ReplicaEndpoint(site, opts.Replica),
 		docs:     docs,
 		tr:       tr,
 		met:      met,
 		opts:     opts,
 		log:      nodeproc.NewLogTable(opts.dedup()),
-		rng:      newLockedRand(opts.Seed, site),
+		rng:      newLockedRand(opts.Seed, seedName(site, opts.Replica)),
 		dbCache:  make(map[string]*dbEntry),
 		stoppedQ: make(map[string]time.Time),
 	}
@@ -246,7 +270,7 @@ func New(site string, docs DocSource, tr netsim.Transport, met *Metrics, opts Op
 	}
 	s.queue = sched.New[*wire.CloneMsg](schedOpts)
 	if !opts.NoConnPool {
-		s.pool = netsim.NewPool(tr, Endpoint(site), netsim.PoolOptions{
+		s.pool = netsim.NewPool(tr, s.self, netsim.PoolOptions{
 			// Pooled connections carry many frames, so attach a persistent
 			// wire codec: type descriptors then travel only on a
 			// connection's first frame.
@@ -256,17 +280,47 @@ func New(site string, docs DocSource, tr netsim.Transport, met *Metrics, opts Op
 	return s
 }
 
+// seedName derives the per-server jitter-seed name: the bare site for
+// replica 0 (the seed's schedule, unchanged) and the replica endpoint
+// above, so two replicas of one site never share a jitter schedule.
+func seedName(site string, replica int) string {
+	if replica <= 0 {
+		return site
+	}
+	return cluster.ReplicaEndpoint(site, replica)
+}
+
 // Site returns the site this server runs at.
 func (s *Server) Site() string { return s.site }
+
+// Self returns the endpoint this server listens on (the site's classic
+// query endpoint, or its replica endpoint when Options.Replica > 0).
+func (s *Server) Self() string { return s.self }
 
 // LogTable exposes the Node-query Log Table (for tests and experiments).
 func (s *Server) LogTable() *nodeproc.LogTable { return s.log }
 
 // Start begins accepting and processing clones. It returns immediately.
 func (s *Server) Start() error {
-	ln, err := s.tr.Listen(Endpoint(s.site))
+	ln, err := s.tr.Listen(s.self)
 	if err != nil {
 		return err
+	}
+	if cl := s.opts.Cluster; cl != nil {
+		// Register (re)announces this replica and bumps its incarnation,
+		// stamped on every result frame; set before any worker starts so
+		// no frame leaves with the previous incarnation.
+		s.inc = cl.Register(s.self)
+		if s.pool != nil {
+			// Evict idle connections to a replica the moment the health
+			// layer declares it down, instead of waiting for the next send
+			// on a dead socket to fail.
+			s.unsub = cl.Subscribe(func(ep string, st cluster.State) {
+				if st == cluster.Down {
+					s.pool.EvictPeer(ep)
+				}
+			})
+		}
 	}
 	s.mu.Lock()
 	s.ln = ln
@@ -363,6 +417,10 @@ func (s *Server) Start() error {
 
 // Stop shuts the server down, discarding queued clones.
 func (s *Server) Stop() {
+	if s.unsub != nil {
+		s.unsub()
+		s.unsub = nil
+	}
 	s.mu.Lock()
 	ln := s.ln
 	s.ln = nil
@@ -920,7 +978,7 @@ func (s *Server) addTargets(outs map[string]*outClone, order *[]string, f nodepr
 				dests: make(map[string]bool),
 			}
 			if s.traced(c) {
-				oc.msg.Span = wire.SpanID{Origin: Endpoint(s.site), Seq: s.seq.Add(1)}
+				oc.msg.Span = wire.SpanID{Origin: s.self, Seq: s.seq.Add(1)}
 				oc.msg.Parent = c.Span
 			}
 			outs[key] = oc
@@ -930,7 +988,7 @@ func (s *Server) addTargets(outs map[string]*outClone, order *[]string, f nodepr
 			continue // already forwarded in this batch with this state
 		}
 		oc.dests[tgt.URL] = true
-		dest := wire.DestNode{URL: tgt.URL, Origin: Endpoint(s.site), Seq: s.seq.Add(1)}
+		dest := wire.DestNode{URL: tgt.URL, Origin: s.self, Seq: s.seq.Add(1)}
 		oc.msg.Dest = append(oc.msg.Dest, dest)
 		children = append(children, wire.CHTEntry{
 			Node: tgt.URL, State: state, Origin: dest.Origin, Seq: dest.Seq,
@@ -1071,6 +1129,7 @@ func (s *Server) dispatchResults(c *wire.CloneMsg, updates []wire.CHTUpdate, tab
 	if s.traced(c) {
 		msg.Span, msg.Site, msg.Hop, msg.Spawned = c.Span, s.site, c.Hops, spawned
 	}
+	s.stampReplica(msg)
 	if s.send(c.ID.Site, msg) != nil {
 		return false
 	}
@@ -1144,11 +1203,21 @@ func (s *Server) forwardAll(outs map[string]*outClone, order []string) {
 	s.met.ForwardNanos.Add(time.Since(start).Nanoseconds())
 }
 
+// stampReplica marks a result frame with this replica's endpoint and
+// incarnation so the user-site can reject replies that predate a
+// restart. Unclustered servers leave both fields zero (frames are
+// byte-identical to the seed's).
+func (s *Server) stampReplica(msg *wire.ResultMsg) {
+	if s.inc > 0 {
+		msg.From, msg.Inc = s.self, s.inc
+	}
+}
+
 // forwardRemote ships one outgoing clone over the transport. A failed
 // forward retires the affected CHT entries so the user-site does not wait
 // on clones that never arrived.
 func (s *Server) forwardRemote(oc *outClone) {
-	err := s.send(Endpoint(oc.site), oc.msg)
+	err := s.sendSite(oc.site, oc.msg)
 	if err != nil {
 		if s.opts.Hybrid && s.bounce(oc.msg, bounceReason(err, s.opts.Retry)) {
 			s.trace("", oc.msg.State(), "bounce", oc.site)
@@ -1229,6 +1298,7 @@ func (s *Server) retireAll(c *wire.CloneMsg, kind retireKind) {
 	if s.traced(c) {
 		msg.Span, msg.Site, msg.Hop = c.Span, s.site, c.Hops
 	}
+	s.stampReplica(msg)
 	// A failed dispatch means the user-site is gone; its reaper owns the
 	// stranded entries (same semantics as a failed result dispatch).
 	if s.send(c.ID.Site, msg) == nil {

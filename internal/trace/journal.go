@@ -81,6 +81,15 @@ const (
 	// cancelled): the typed STOPPED retirement. Like Expire, its CHT
 	// entries retire without children.
 	Stop Kind = "stop"
+	// Failover is a clone re-resolved to another replica of its
+	// destination site after the retry policy exhausted against the
+	// first pick: Detail records "site -> endpoint".
+	Failover Kind = "failover"
+	// Replay is the user-site re-dispatching the live CHT entries it
+	// holds for a crashed replica: a fresh clone carrying the original
+	// instance serials, sent to a surviving replica, so the traversal
+	// resumes where the corpse dropped it.
+	Replay Kind = "replay"
 )
 
 // Transport-level events, written by the netsim observer hook.
@@ -89,6 +98,7 @@ const (
 	Refused      Kind = "refused"
 	FrameDropped Kind = "frame-dropped"
 	Severed      Kind = "severed"
+	Crashed      Kind = "crashed"
 )
 
 // Event is one record of a site-local journal.

@@ -53,10 +53,13 @@ type SpanNode struct {
 	Sent     time.Duration
 	Arrived  time.Duration
 	Done     time.Duration
-	Fate     string
-	Retries  int
-	Events   []Event // this span's events, time-ordered
-	Children []*SpanNode
+	Fate    string
+	Retries int
+	// Failovers counts re-resolutions to another replica of the
+	// destination site after retries exhausted against the first pick.
+	Failovers int
+	Events    []Event // this span's events, time-ordered
+	Children  []*SpanNode
 }
 
 // Latency returns the clone's hop latency (send to arrival), or -1 when
@@ -166,6 +169,20 @@ func BuildJourney(query string, events []Event) *Journey {
 			n.Fate = FateStopped
 		case Retry:
 			n.Retries++
+		case Failover:
+			n.Failovers++
+		case Replay:
+			// A fresh span dispatched by the user-site to resume the work
+			// a crashed replica dropped: like Dispatch it establishes the
+			// sending side.
+			n.FromSite = e.Site
+			n.DestSite = e.Detail
+			if n.State == "" {
+				n.State = e.State
+			}
+			if n.Sent < 0 || e.At < n.Sent {
+				n.Sent = e.At
+			}
 		}
 	}
 

@@ -329,6 +329,15 @@ type ResultMsg struct {
 	// single frame by the server's result batcher. The flat fields above
 	// are then zero.
 	Reports []Report
+	// From and Inc identify the replica that produced the report when
+	// the deployment is replicated: the replica's listen endpoint and
+	// its registration incarnation. The user-site drops frames whose
+	// incarnation is older than the membership's current one for that
+	// endpoint — a restarted replica's stale in-flight replies must not
+	// retire entries the new incarnation re-announces. Both zero on
+	// unreplicated deployments, which accept every frame as before.
+	From string
+	Inc  int64
 }
 
 // Each visits every report the message carries — the batched Reports

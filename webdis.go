@@ -43,6 +43,7 @@ import (
 
 	"webdis/internal/centralized"
 	"webdis/internal/client"
+	"webdis/internal/cluster"
 	"webdis/internal/core"
 	"webdis/internal/disql"
 	"webdis/internal/index"
@@ -105,6 +106,17 @@ type (
 	DownWindow = netsim.DownWindow
 	// EdgeBlock is one asymmetric partition of a FaultPlan.
 	EdgeBlock = netsim.EdgeBlock
+	// CrashWindow is one endpoint-level process kill of a FaultPlan:
+	// established connections sever and dials refuse until the restart.
+	CrashWindow = netsim.CrashWindow
+	// ClusterOptions tune the replica membership table of a replicated
+	// deployment (Config.Replicas / Config.ReplicasFor).
+	ClusterOptions = cluster.Options
+	// ClusterMembership is the live replica table (Deployment.Cluster):
+	// health states, incarnations and the replica picker.
+	ClusterMembership = cluster.Membership
+	// ReplicaInfo is one replica's row in a membership snapshot.
+	ReplicaInfo = cluster.Info
 	// SchedOptions configure every server's clone scheduler
 	// (ServerOptions.Sched): FIFO (the zero value, the paper's queue),
 	// weighted fair drain, and watermark admission control.
@@ -215,6 +227,11 @@ const (
 
 // NewDeployment builds and starts a WEBDIS deployment over cfg.Web.
 func NewDeployment(cfg Config) (*Deployment, error) { return core.NewDeployment(cfg) }
+
+// ReplicaEndpoint names replica i of a site's query server: replica 0
+// is the classic "site/query" endpoint, higher replicas append "@i".
+// Pass it to Network.Kill or a FaultPlan to target a single replica.
+func ReplicaEndpoint(site string, i int) string { return cluster.ReplicaEndpoint(site, i) }
 
 // ParseDISQL parses a DISQL query into its formal web-query.
 func ParseDISQL(src string) (*WebQuery, error) { return disql.Parse(src) }
