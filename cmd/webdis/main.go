@@ -8,6 +8,7 @@
 //	webdis -peers peers.txt -listen 127.0.0.1:7300 -query 'select d.url from ...'
 //	webdis -peers peers.txt -listen 127.0.0.1:7300 -file query.disql
 //	webdis -peers peers.txt -listen 127.0.0.1:7300 -file query.disql -trace text
+//	webdis -explain -query 'select count(*) from ...'
 package main
 
 import (
@@ -22,6 +23,7 @@ import (
 	"webdis/internal/client"
 	"webdis/internal/disql"
 	"webdis/internal/netsim"
+	"webdis/internal/plan"
 	"webdis/internal/server"
 	"webdis/internal/trace"
 	"webdis/internal/webserver"
@@ -35,9 +37,11 @@ func main() {
 	timeout := flag.Duration("timeout", time.Minute, "give up after this long (0 = wait forever)")
 	hybrid := flag.Bool("hybrid", false, "process clones for sites without a daemon centrally (needs doc addresses in the peers file)")
 	traceMode := flag.String("trace", "", "print the query's causal clone tree after completion: text, dot, or chrome (trace_event JSON)")
+	explain := flag.Bool("explain", false, "print the distributed plan (operator trees, pushdown, edge policy) and exit without running the query")
+	naive := flag.Bool("naive", false, "turn the cost-based planner off: no pushed-down fragments on root clones, raw rows fold classically (with -explain, show the naive plan)")
 	flag.Parse()
 
-	if *peersPath == "" || (*query == "" && *file == "") {
+	if (*peersPath == "" && !*explain) || (*query == "" && *file == "") {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -53,6 +57,10 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if *explain {
+		fmt.Print(plan.Explain(w, !*naive))
+		return
+	}
 
 	tr := netsim.NewTCP()
 	if err := registerPeers(tr, *peersPath); err != nil {
@@ -63,7 +71,7 @@ func main() {
 	if u, err := user.Current(); err == nil && u.Username != "" {
 		username = u.Username
 	}
-	c := client.New(tr, username, "tcp://"+*listen)
+	c := client.NewWith(tr, username, "tcp://"+*listen, client.Options{Planner: !*naive})
 	c.SetHybrid(*hybrid)
 	var journal *trace.Journal
 	if *traceMode != "" {

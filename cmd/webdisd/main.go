@@ -42,6 +42,7 @@ func main() {
 	peersPath := flag.String("peers", "", "peers file: '<site> <query-addr> [doc-addr]' per line (required)")
 	site := flag.String("site", "", "site this daemon serves (required; must appear in the peers file)")
 	dedup := flag.String("dedup", "subsume", "log table mode: off, exact, subsume, strong")
+	planner := flag.Bool("planner", true, "apply pushed-down plan fragments and decide ship-query vs ship-data per edge (false = naive shipping)")
 	verbose := flag.Bool("v", false, "trace query processing to stderr")
 	flag.Parse()
 
@@ -82,6 +83,19 @@ func main() {
 	}
 
 	opts := server.Options{DedupSet: true}
+	if *planner {
+		opts.Planner = server.PlannerOptions{Enabled: true}
+		for _, p := range peers {
+			if p.docs == "" {
+				// A ship-data edge downloads documents from their home
+				// site's doc endpoint; a peer without one would make
+				// such an edge dead-end. Pin every edge to ship-query —
+				// pushdown and statistics still run.
+				opts.Planner.NoShipData = true
+				break
+			}
+		}
+	}
 	switch *dedup {
 	case "off":
 		opts.Dedup = nodeproc.DedupOff

@@ -52,6 +52,8 @@ import (
 	"webdis/internal/disql"
 	"webdis/internal/netsim"
 	"webdis/internal/nodeproc"
+	"webdis/internal/nodequery"
+	"webdis/internal/plan"
 	"webdis/internal/server"
 	"webdis/internal/trace"
 	"webdis/internal/webgraph"
@@ -112,6 +114,14 @@ type Options struct {
 	// stranded by a crashed replica to a surviving one before giving up
 	// and reaping.
 	Cluster *cluster.Membership
+	// Planner arms the user-site half of the cost-based distributed
+	// planner: root clones of aggregating (or limited) queries carry a
+	// pushed-down plan fragment so sites reduce result tables before
+	// shipping, and the site statistics piggybacked on result frames are
+	// accumulated and re-attached to later clones as cost-model hints.
+	// Aggregation itself (GROUP BY / ORDER BY / LIMIT semantics) does
+	// not depend on this flag — only where the work runs does.
+	Planner bool
 }
 
 // Client is a WEBDIS user-site. It can run many queries, each with its own
@@ -122,6 +132,10 @@ type Client struct {
 	user string
 	base string
 	opts Options
+
+	// stats accumulates per-site statistics across this client's queries
+	// when Options.Planner is set; nil otherwise.
+	stats *statStore
 
 	mu       sync.Mutex
 	next     int
@@ -136,7 +150,11 @@ func New(tr netsim.Transport, user, base string) *Client {
 
 // NewWith returns a client configured by opts.
 func NewWith(tr netsim.Transport, user, base string, opts Options) *Client {
-	return &Client{tr: tr, user: user, base: base, opts: opts}
+	c := &Client{tr: tr, user: user, base: base, opts: opts}
+	if opts.Planner {
+		c.stats = newStatStore()
+	}
+	return c
 }
 
 // SetHybrid enables the Section 7.1 migration path for queries submitted
@@ -300,6 +318,21 @@ type Query struct {
 	// to this query by id over the session's shared listener and pool,
 	// and finish detaches from the session instead of closing them.
 	sess *Session
+
+	// Aggregation state (all zero for classic queries). output is the
+	// query's GROUP BY / ORDER BY / LIMIT contract; finalStage the stage
+	// it applies to (always the last). For grouped queries, acc folds
+	// contributions — raw rows or pushed-down partial state — keyed by
+	// contribKey and deduplicated through contribSeen; finalized marks
+	// the one-time materialization of the final table into the stream.
+	// statSink, when non-nil, receives the site statistics piggybacked
+	// on result frames (the client-wide statStore).
+	output      *nodequery.OutputSpec
+	finalStage  int
+	acc         *plan.Acc
+	contribSeen map[string]bool
+	finalized   bool
+	statSink    *statStore
 }
 
 // ID returns the query's global identifier.
@@ -406,6 +439,15 @@ func (c *Client) submit(w *disql.WebQuery, b wire.Budget, sess *Session) (*Query
 		stopSent:   make(map[string]bool),
 	}
 	q.scond = sync.NewCond(&q.mu)
+	if w.Output != nil {
+		q.output = w.Output
+		q.finalStage = len(w.Stages) - 1
+		if w.Output.Grouped() {
+			q.acc = plan.NewAcc(w.Output)
+			q.contribSeen = make(map[string]bool)
+		}
+	}
+	q.statSink = c.stats
 	if q.cluster != nil {
 		q.entries = make(map[string]wire.CHTEntry)
 		q.replayed = make(map[string]bool)
@@ -480,6 +522,19 @@ func (c *Client) submit(w *disql.WebQuery, b wire.Budget, sess *Session) (*Query
 	q.mu.Unlock()
 	sort.Strings(sites)
 
+	// With the planner armed, aggregating (or limited) queries push the
+	// output spec to the sites as a plan fragment — every ServerRouter
+	// then ships partial-aggregate state or per-node top-K instead of
+	// raw rows — and clones carry the statistics gathered so far.
+	var frag *wire.PlanFrag
+	var hints []wire.SiteStat
+	if c.opts.Planner && w.Output != nil && (w.Output.Grouped() || w.Output.Limit > 0) {
+		frag = &wire.PlanFrag{Version: wire.PlanFragVersion, Stage: len(w.Stages) - 1, Spec: *w.Output}
+	}
+	if c.opts.Planner {
+		hints = c.stats.hints()
+	}
+
 	var firstErr error
 	for _, site := range sites {
 		msg := &wire.CloneMsg{
@@ -489,6 +544,8 @@ func (c *Client) submit(w *disql.WebQuery, b wire.Budget, sess *Session) (*Query
 			Base:   0,
 			Stages: nodeproc.EncodeStages(stages),
 			Budget: b,
+			Frag:   frag,
+			Hints:  hints,
 		}
 		if q.journal != nil {
 			// Root spans: one per site batch, parented by nothing.
@@ -733,6 +790,9 @@ func (q *Query) merge(rm *wire.ResultMsg) {
 		if !r.Span.IsZero() {
 			q.stitch(rm.ID, r)
 		}
+		if q.statSink != nil {
+			q.statSink.learn(r.Stats)
+		}
 		if r.Expired {
 			q.expired = true
 		}
@@ -869,6 +929,24 @@ func (q *Query) bump(key string, delta int) {
 }
 
 func (q *Query) mergeTable(t wire.NodeTable) {
+	if q.acc != nil && t.Stage == q.finalStage {
+		// Grouped query: final-stage rows are aggregate input, not
+		// output. Fold the contribution once — its rows are partial
+		// state when a pushed-down fragment already reduced them at the
+		// site, raw projected rows otherwise — and emit nothing to the
+		// stream; the final table materializes at completion.
+		key := contribKey(&t)
+		if q.contribSeen[key] {
+			return
+		}
+		q.contribSeen[key] = true
+		if t.Partial {
+			q.acc.AddPartial(t.Rows)
+		} else {
+			q.acc.AddRaw(t.Cols, t.Rows, wire.ParseEnvKey(t.Env))
+		}
+		return
+	}
 	rt := q.tables[t.Stage]
 	if rt == nil {
 		rt = &ResultTable{Stage: t.Stage, Cols: t.Cols}
@@ -1134,6 +1212,16 @@ func (q *Query) finish(err error) {
 	q.done = true
 	q.err = err
 	q.stats.Duration = time.Since(q.started)
+	if q.acc != nil && !q.finalized {
+		// Materialize the grouped final table into the stream so Rows and
+		// Stream deliver it: aggregates cannot stream incrementally — a
+		// group's value is only final when every contribution is in.
+		q.finalized = true
+		_, rows := q.acc.FinalTable()
+		for _, row := range rows {
+			q.srows = append(q.srows, StreamRow{Stage: q.finalStage, Row: row})
+		}
+	}
 	if q.unsub != nil {
 		q.unsub()
 		q.unsub = nil
@@ -1378,7 +1466,11 @@ func (q *Query) Stream(ctx context.Context) <-chan StreamRow {
 }
 
 // Results returns the merged result tables ordered by stage, with rows
-// sorted for deterministic presentation.
+// sorted for deterministic presentation. For a query with an output
+// contract, the final stage honors it: grouped queries return the
+// aggregate table (computed from the contributions folded so far — the
+// anytime property extends to aggregates), and ORDER BY / LIMIT queries
+// return the final stage ordered by its keys and truncated.
 func (q *Query) Results() []ResultTable {
 	q.mu.Lock()
 	defer q.mu.Unlock()
@@ -1387,13 +1479,24 @@ func (q *Query) Results() []ResultTable {
 		stages = append(stages, s)
 	}
 	sort.Ints(stages)
-	out := make([]ResultTable, 0, len(stages))
+	out := make([]ResultTable, 0, len(stages)+1)
 	for _, s := range stages {
+		if q.acc != nil && s == q.finalStage {
+			continue // replaced by the aggregate table below
+		}
 		t := q.tables[s]
 		rows := make([][]string, len(t.Rows))
 		copy(rows, t.Rows)
-		sortRows(rows)
+		if q.output != nil && q.acc == nil && s == q.finalStage {
+			rows = plan.SortLimit(rows, t.Cols, q.output)
+		} else {
+			sortRows(rows)
+		}
 		out = append(out, ResultTable{Stage: t.Stage, Cols: t.Cols, Rows: rows})
+	}
+	if q.acc != nil {
+		cols, rows := q.acc.FinalTable()
+		out = append(out, ResultTable{Stage: q.finalStage, Cols: cols, Rows: rows})
 	}
 	return out
 }

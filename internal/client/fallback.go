@@ -244,6 +244,9 @@ func (f *fallback) processNode(dest wire.DestNode, arrRem pre.Expr, stages []dis
 				tables = append(tables, wire.NodeTable{
 					Node: node, Stage: it.base,
 					Cols: res.Table.Cols, Rows: res.Table.Rows,
+					// Env identifies the contribution for the aggregate
+					// fold, exactly as the servers stamp it.
+					Env: wire.EnvKey(it.env),
 				})
 			}
 		}
@@ -279,8 +282,11 @@ func (f *fallback) addTargets(outs map[string]*wire.CloneMsg, order *[]string, f
 				// A rejoining clone keeps the query's budget, one hop
 				// spent, so distributed enforcement resumes where it
 				// left off. (The fallback itself only evaluates clones
-				// already admitted and paid for.)
+				// already admitted and paid for.) The plan fragment
+				// rejoins too — the next participating site resumes
+				// pushdown.
 				Budget: c.Budget.Spend(),
+				Frag:   c.Frag,
 			}
 			if f.q.journal != nil || !c.Span.IsZero() {
 				oc.Span = wire.SpanID{Origin: f.q.id.Site, Seq: f.q.spanSeq.Add(1)}

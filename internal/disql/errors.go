@@ -1,0 +1,27 @@
+package disql
+
+import "fmt"
+
+// SyntaxError is the typed error every DISQL lex/parse/assembly failure
+// returns (errors.As-matchable). Offset is the byte position in the
+// source where the failure was detected, or -1 when the error concerns
+// the query as a whole rather than one token.
+type SyntaxError struct {
+	Offset int
+	Msg    string // complete human-readable message, "disql: …"
+	Err    error  // wrapped cause (e.g. a PRE parse error), or nil
+}
+
+func (e *SyntaxError) Error() string { return e.Msg }
+
+func (e *SyntaxError) Unwrap() error { return e.Err }
+
+// serr builds a SyntaxError at a byte offset.
+func serr(off int, format string, args ...any) error {
+	return &SyntaxError{Offset: off, Msg: "disql: " + fmt.Sprintf(format, args...)}
+}
+
+// serrw is serr with a wrapped cause.
+func serrw(off int, err error, format string, args ...any) error {
+	return &SyntaxError{Offset: off, Msg: "disql: " + fmt.Sprintf(format, args...), Err: err}
+}

@@ -22,13 +22,27 @@ func Format(w *WebQuery) string {
 	var b strings.Builder
 	b.WriteString("select ")
 	first := true
-	for _, s := range w.Stages {
-		for _, c := range s.Query.Select {
+	if w.Output != nil && len(w.Output.Cols) > 0 {
+		// Aggregated query: the user's select list lives in the output
+		// spec; the per-stage Select lists are the derived base
+		// projections (group keys + aggregate arguments) and are
+		// reconstructed by the parser, so they are not printed.
+		for _, c := range w.Output.Cols {
 			if !first {
 				b.WriteString(", ")
 			}
 			first = false
 			b.WriteString(c.String())
+		}
+	} else {
+		for _, s := range w.Stages {
+			for _, c := range s.Query.Select {
+				if !first {
+					b.WriteString(", ")
+				}
+				first = false
+				b.WriteString(c.String())
+			}
 		}
 	}
 	if first {
@@ -63,6 +77,7 @@ func Format(w *WebQuery) string {
 			b.WriteString(",\n")
 		}
 	}
+	b.WriteString(w.Output.Suffix())
 	return b.String()
 }
 

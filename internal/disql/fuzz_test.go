@@ -1,0 +1,49 @@
+package disql
+
+import (
+	"errors"
+	"testing"
+)
+
+// FuzzParse asserts the parser's error contract: any input either
+// parses into a web-query that formats and re-parses, or fails with a
+// typed *SyntaxError — it never panics and never returns a bare error.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		exampleQuery1,
+		exampleQuery2,
+		groupedQuery,
+		`select count(*) from document d such that "http://s/" L* d`,
+		`select d.url from document d such that "http://s/" G|L d order by d.url desc limit 7`,
+		`select a.href, b.href from document d such that "http://s/" L* d, anchor a, anchor b where a.label = b.label`,
+		`select a.label, sum(a.href) from document d such that ("http://s/", "http://t/") N|(L*3) d, anchor a group by a.label limit 2`,
+		`select d.url from document d such that index("databases") L d where d.length > 4096`,
+		`select count(`,
+		`select count(*) from document d such that "http://s/" L* d group by`,
+		`select d.url from document d such that "unterminated`,
+		`select d.url from document d such that "http://s/" L* d limit 99999999999999999999`,
+		`select d.url from document d such that "http://s/" L* d order by count(d.url) desc`,
+		"select \x00 from \xff",
+		`group by order by limit`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		w, err := Parse(src)
+		if err != nil {
+			var se *SyntaxError
+			if !errors.As(err, &se) {
+				t.Fatalf("Parse(%q) returned a non-SyntaxError: %T %v", src, err, err)
+			}
+			return
+		}
+		// Valid parses must survive the formatter: Format output is part
+		// of the wire (clones carry canonical text).
+		text := Format(w)
+		if _, err := Parse(text); err != nil {
+			t.Fatalf("Format(Parse(%q)) does not re-parse: %v\n%s", src, err, text)
+		}
+	})
+}

@@ -70,7 +70,7 @@ func lex(src string) ([]token, error) {
 				i++
 			}
 			if i >= n {
-				return nil, fmt.Errorf("disql: unterminated string at offset %d", start)
+				return nil, serr(start, "unterminated string at offset %d", start)
 			}
 			i++
 			toks = append(toks, token{tokString, b.String(), start})
@@ -103,7 +103,7 @@ func lex(src string) ([]token, error) {
 				toks = append(toks, token{tokPunct, string(c), start})
 				i++
 			default:
-				return nil, fmt.Errorf("disql: unexpected character %q at offset %d", c, i)
+				return nil, serr(i, "unexpected character %q at offset %d", c, i)
 			}
 		}
 	}

@@ -1,0 +1,231 @@
+package disql
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"webdis/internal/nodequery"
+)
+
+// groupedQuery exercises the full PR-7 grammar: aggregates, group by,
+// aggregate order-by with direction, and a limit.
+const groupedQuery = `
+select d.url, count(a.href), max(a.label)
+from document d such that "http://start.example/" N|(L*2) d,
+     anchor a
+where a.ltype = "G"
+group by d.url
+order by count(a.href) desc, d.url
+limit 5
+`
+
+func TestParseGroupBy(t *testing.T) {
+	w, err := Parse(groupedQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := w.Output
+	if o == nil {
+		t.Fatal("grouped query has nil Output")
+	}
+	if len(o.Cols) != 3 {
+		t.Fatalf("Cols = %v", o.Cols)
+	}
+	if o.Cols[0].Agg != nodequery.AggNone || o.Cols[0].Ref.String() != "d.url" {
+		t.Errorf("col 0 = %v", o.Cols[0])
+	}
+	if o.Cols[1].Agg != nodequery.AggCount || o.Cols[1].Ref.String() != "a.href" {
+		t.Errorf("col 1 = %v", o.Cols[1])
+	}
+	if o.Cols[2].Agg != nodequery.AggMax {
+		t.Errorf("col 2 = %v", o.Cols[2])
+	}
+	if len(o.GroupBy) != 1 || o.GroupBy[0].String() != "d.url" {
+		t.Errorf("GroupBy = %v", o.GroupBy)
+	}
+	if len(o.OrderBy) != 2 || !o.OrderBy[0].Desc || o.OrderBy[0].Col.Agg != nodequery.AggCount ||
+		o.OrderBy[1].Desc {
+		t.Errorf("OrderBy = %v", o.OrderBy)
+	}
+	if o.Limit != 5 {
+		t.Errorf("Limit = %d", o.Limit)
+	}
+	if !o.Grouped() {
+		t.Error("Grouped() = false")
+	}
+	// The final stage's base projection must feed every group key and
+	// aggregate argument.
+	sel := w.Stages[0].Query.Select
+	want := map[string]bool{"d.url": true, "a.href": true, "a.label": true}
+	for _, c := range sel {
+		delete(want, c.String())
+	}
+	if len(want) != 0 {
+		t.Errorf("final-stage base projection %v missing %v", sel, want)
+	}
+}
+
+func TestParseCountStar(t *testing.T) {
+	w, err := Parse(`select count(*) from document d such that "http://s/" L* d where d.text contains "x"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Output == nil || len(w.Output.Cols) != 1 || !w.Output.Cols[0].Star {
+		t.Fatalf("Output = %+v", w.Output)
+	}
+	if !w.Output.Grouped() {
+		t.Error("count(*) must be grouped (scalar aggregate)")
+	}
+}
+
+func TestParseOrderByLimitPlain(t *testing.T) {
+	// No aggregates: classic per-stage tables, plus final ordering.
+	w, err := Parse(`select d.url, d.length from document d such that "http://s/" L* d
+		order by d.length desc limit 3`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := w.Output
+	if o == nil || o.Grouped() {
+		t.Fatalf("plain order-by must not be grouped: %+v", o)
+	}
+	if len(o.OrderBy) != 1 || !o.OrderBy[0].Desc || o.Limit != 3 {
+		t.Fatalf("Output = %+v", o)
+	}
+	// Stage select list keeps the classic split.
+	if got := len(w.Stages[0].Query.Select); got != 2 {
+		t.Fatalf("stage selects = %v", w.Stages[0].Query.Select)
+	}
+}
+
+func TestParseTwoVariableJoin(t *testing.T) {
+	w, err := Parse(`select a.href, b.href
+		from document d such that "http://s/" L* d, anchor a, anchor b
+		where a.label = b.label and a.href != b.href`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := w.Stages[0].Query
+	if len(q.Vars) != 3 {
+		t.Fatalf("vars = %+v", q.Vars)
+	}
+	p := q.Where
+	if p.Kind != nodequery.And {
+		t.Fatalf("where = %s", p)
+	}
+	eq := p.Kids[0]
+	if eq.Op != nodequery.Eq || !eq.Left.IsCol || !eq.Right.IsCol {
+		t.Fatalf("join predicate = %s", eq)
+	}
+}
+
+func TestParseGroupByEarlierStage(t *testing.T) {
+	// Grouping the final stage's aggregates by an earlier stage's
+	// document attribute: the key exports through the clone environment.
+	w, err := Parse(`select d0.url, count(a.href)
+		from document d0 such that "http://s/" L d0,
+		where d0.title contains "lab"
+		     document d1 such that d0 G d1,
+		     anchor a
+		group by d0.url`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, col := range w.Stages[0].Export {
+		if col == "url" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("stage 0 Export = %v, want url (group key travels in env)", w.Stages[0].Export)
+	}
+}
+
+// TestParseOutputErrors is the malformed-clause table: every case must
+// produce a typed *SyntaxError (never a panic) with a telling message.
+func TestParseOutputErrors(t *testing.T) {
+	const stem = `select d.url from document d such that "http://s/" L* d`
+	cases := []struct {
+		src  string
+		frag string
+	}{
+		// aggregate call syntax
+		{`select sum(*) from document d such that "http://s/" L* d`, "only count may aggregate over *"},
+		{`select count(* from document d such that "http://s/" L* d`, "missing ')' after count(*"},
+		{`select count(d.url from document d such that "http://s/" L* d`, "missing ')' after aggregate argument"},
+		{`select count( from document d such that "http://s/" L* d`, "expected '.'"},
+		{`select min(d.url), d.title from document d such that "http://s/" L* d`, "must appear in the group by clause"},
+		{`select avg(d.length) from document d such that "http://s/" L* d`, "expected '.' after"},
+		// group by
+		{stem + ` group d.url`, `expected "by"`},
+		{stem + ` group by`, "expected column reference"},
+		{stem + ` group by d.`, "expected attribute name"},
+		{`select count(a.href) from document d such that "http://s/" L d, anchor a group by x.url`, "references undeclared variable"},
+		{`select count(a.href) from document d such that "http://s/" L d, anchor a group by a.label, anchor b`, "expected '.'"},
+		// order by
+		{stem + ` order d.url`, `expected "by"`},
+		{stem + ` order by`, "expected column reference"},
+		{stem + ` order by d.title`, "must be selected from the final stage"},
+		{stem + ` group by d.url order by d.title`, "order by column d.title is not grouped"},
+		// limit
+		{stem + ` limit`, "limit needs a positive integer"},
+		{stem + ` limit zero`, "limit needs a positive integer"},
+		{stem + ` limit 0`, "limit must be a positive integer"},
+		{stem + ` limit -3`, "unexpected character"},
+		{stem + ` limit 2 limit 3`, "unexpected"},
+		// clause order is fixed: group by < order by < limit
+		{stem + ` limit 2 order by d.url`, "unexpected"},
+		{stem + ` order by d.url group by d.url`, "unexpected"},
+		// aggregates bind to the final stage
+		{`select count(d0.url) from document d0 such that "http://s/" L d0, where d0.title contains "x" document d1 such that d0 G d1`,
+			"must reference a variable of the final stage"},
+		{`select count(a.href) from document d such that "http://s/" L d, anchor a group by a.nosuch`, "no attribute"},
+	}
+	for _, c := range cases {
+		w, err := Parse(c.src)
+		if err == nil {
+			t.Errorf("Parse(%q) = %v, want error containing %q", c.src, w, c.frag)
+			continue
+		}
+		var se *SyntaxError
+		if !errors.As(err, &se) {
+			t.Errorf("Parse(%q) error is %T, want *SyntaxError", c.src, err)
+		}
+		if !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("Parse(%q) error = %q, want substring %q", c.src, err, c.frag)
+		}
+	}
+}
+
+func TestFormatRoundTripOutput(t *testing.T) {
+	srcs := []string{
+		groupedQuery,
+		`select count(*) from document d such that "http://s/" L* d`,
+		`select d.url from document d such that "http://s/" G|L d order by d.url desc limit 7`,
+		`select a.label, min(a.href), max(a.href) from document d such that "http://s/" L* d, anchor a group by a.label order by a.label`,
+		`select a.href, b.href from document d such that "http://s/" L* d, anchor a, anchor b where a.label = b.label`,
+	}
+	for _, src := range srcs {
+		orig, err := Parse(src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", src, err)
+		}
+		text := Format(orig)
+		again, err := Parse(text)
+		if err != nil {
+			t.Fatalf("re-Parse of formatted query failed: %v\n%s", err, text)
+		}
+		if !equivalent(t, orig, again) {
+			t.Errorf("round trip changed the query:\n%s\nformatted:\n%s", src, text)
+		}
+		if orig.Output.Suffix() != again.Output.Suffix() {
+			t.Errorf("round trip changed the output spec: %q vs %q",
+				orig.Output.Suffix(), again.Output.Suffix())
+		}
+		if Format(again) != text {
+			t.Errorf("Format is not stable:\n%s\nvs\n%s", text, Format(again))
+		}
+	}
+}

@@ -1,8 +1,8 @@
 package disql
 
 import (
-	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 
 	"webdis/internal/nodequery"
@@ -12,9 +12,15 @@ import (
 
 // Parse translates a DISQL query into the formal web-query. The grammar
 // (reconstructed from the paper's examples and the DISCOVER thesis it
-// cites) is:
+// cites, extended with the aggregation clauses of the planner) is:
 //
-//	query      := SELECT colref (',' colref)* FROM item+
+//	query      := SELECT selitem (',' selitem)* FROM item+
+//	              [GROUP BY colref (',' colref)*]
+//	              [ORDER BY orderitem (',' orderitem)*]
+//	              [LIMIT number]
+//	selitem    := colref | agg
+//	agg        := (COUNT|SUM|MIN|MAX) '(' colref ')' | COUNT '(' '*' ')'
+//	orderitem  := selitem [ASC|DESC]
 //	item       := WHERE orExpr
 //	           |  relname var [SUCH THAT suchclause]  [',']
 //	relname    := DOCUMENT | ANCHOR | RELINFON
@@ -35,6 +41,16 @@ import (
 // query-forwarding chain). A WHERE item attaches to the sub-query that is
 // open when it appears. The select list is split across stages by the
 // variables it references (paper Section 2.3).
+//
+// A `colref = colref` comparison between two variables of one stage is an
+// equi-join, which the planner executes as a hash join. Aggregates range
+// over the distinct result set of the whole query; plain select columns
+// must then appear in GROUP BY, aggregate arguments must reference
+// final-stage variables, and GROUP BY may reference earlier stages'
+// document attributes (they travel in the clone environment). GROUP,
+// ORDER and LIMIT are reserved where a relation declaration could start.
+//
+// All failures return *SyntaxError and never panic (FuzzParse pins this).
 func Parse(src string) (*WebQuery, error) {
 	toks, err := lex(src)
 	if err != nil {
@@ -46,7 +62,10 @@ func Parse(src string) (*WebQuery, error) {
 		return nil, err
 	}
 	if err := w.Validate(); err != nil {
-		return nil, err
+		if _, ok := err.(*SyntaxError); ok {
+			return nil, err
+		}
+		return nil, &SyntaxError{Offset: -1, Msg: err.Error(), Err: err}
 	}
 	return w, nil
 }
@@ -65,8 +84,25 @@ type parser struct {
 	pos  int
 }
 
-func (p *parser) cur() token  { return p.toks[p.pos] }
-func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) cur() token { return p.toks[p.pos] }
+
+// next consumes the current token; the trailing EOF token is sticky so
+// runaway lookahead can never index past the slice.
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+// peek returns the token after the current one (EOF-clamped).
+func (p *parser) peek() token {
+	if p.pos+1 >= len(p.toks) {
+		return p.toks[len(p.toks)-1]
+	}
+	return p.toks[p.pos+1]
+}
 
 func (p *parser) isKeyword(kw string) bool {
 	t := p.cur()
@@ -83,7 +119,7 @@ func (p *parser) acceptKeyword(kw string) bool {
 
 func (p *parser) expectKeyword(kw string) error {
 	if !p.acceptKeyword(kw) {
-		return fmt.Errorf("disql: expected %q, found %s at offset %d", kw, p.cur(), p.cur().pos)
+		return serr(p.cur().pos, "expected %q, found %s at offset %d", kw, p.cur(), p.cur().pos)
 	}
 	return nil
 }
@@ -109,20 +145,37 @@ type subquery struct {
 	selects   []nodequery.ColRef
 }
 
+// tailSpec holds the parsed GROUP BY / ORDER BY / LIMIT clauses.
+type tailSpec struct {
+	groupBy []nodequery.ColRef
+	orderBy []nodequery.OrderKey
+	limit   int
+}
+
+func (t *tailSpec) empty() bool {
+	return len(t.groupBy) == 0 && len(t.orderBy) == 0 && t.limit == 0
+}
+
 var relNames = map[string]bool{"document": true, "anchor": true, "relinfon": true}
 var preSymbols = map[string]bool{"I": true, "L": true, "G": true, "N": true}
+var aggKinds = map[string]nodequery.AggKind{
+	"count": nodequery.AggCount,
+	"sum":   nodequery.AggSum,
+	"min":   nodequery.AggMin,
+	"max":   nodequery.AggMax,
+}
 
 func (p *parser) query() (*WebQuery, error) {
 	if err := p.expectKeyword("select"); err != nil {
 		return nil, err
 	}
-	var selects []nodequery.ColRef
+	var items []nodequery.OutputCol
 	for {
-		c, err := p.colref()
+		c, err := p.selectItem()
 		if err != nil {
 			return nil, err
 		}
-		selects = append(selects, c)
+		items = append(items, c)
 		if !p.acceptPunct(",") {
 			break
 		}
@@ -141,6 +194,9 @@ func (p *parser) query() (*WebQuery, error) {
 		if p.acceptPunct(",") {
 			continue
 		}
+		if p.isKeyword("group") || p.isKeyword("order") || p.isKeyword("limit") {
+			break
+		}
 		if p.acceptKeyword("where") {
 			pred, err := p.orExpr()
 			if err != nil {
@@ -148,23 +204,23 @@ func (p *parser) query() (*WebQuery, error) {
 			}
 			sq := current()
 			if sq == nil {
-				return nil, fmt.Errorf("disql: where clause before any relation declaration")
+				return nil, serr(p.cur().pos, "where clause before any relation declaration")
 			}
 			sq.where = nodequery.Conj(sq.where, pred)
 			continue
 		}
 		t := p.cur()
 		if t.kind != tokIdent || !relNames[strings.ToLower(t.text)] {
-			return nil, fmt.Errorf("disql: expected relation name or where, found %s at offset %d", t, t.pos)
+			return nil, serr(t.pos, "expected relation name or where, found %s at offset %d", t, t.pos)
 		}
 		rel := strings.ToLower(p.next().text)
 		nameTok := p.next()
 		if nameTok.kind != tokIdent {
-			return nil, fmt.Errorf("disql: expected variable name after %q, found %s at offset %d", rel, nameTok, nameTok.pos)
+			return nil, serr(nameTok.pos, "expected variable name after %q, found %s at offset %d", rel, nameTok, nameTok.pos)
 		}
 		name := nameTok.text
 		if preSymbols[name] || relNames[strings.ToLower(name)] || strings.EqualFold(name, "index") {
-			return nil, fmt.Errorf("disql: %q cannot be used as a variable name at offset %d", name, nameTok.pos)
+			return nil, serr(nameTok.pos, "%q cannot be used as a variable name at offset %d", name, nameTok.pos)
 		}
 		hasSuch := false
 		if p.acceptKeyword("such") {
@@ -175,7 +231,7 @@ func (p *parser) query() (*WebQuery, error) {
 		}
 		if rel == "document" {
 			if !hasSuch {
-				return nil, fmt.Errorf("disql: document variable %q needs a `such that <path>` clause at offset %d", name, nameTok.pos)
+				return nil, serr(nameTok.pos, "document variable %q needs a `such that <path>` clause at offset %d", name, nameTok.pos)
 			}
 			sq, err := p.pathClause(name)
 			if err != nil {
@@ -186,7 +242,7 @@ func (p *parser) query() (*WebQuery, error) {
 		}
 		sq := current()
 		if sq == nil {
-			return nil, fmt.Errorf("disql: %s variable %q declared before any document variable", rel, name)
+			return nil, serr(nameTok.pos, "%s variable %q declared before any document variable", rel, name)
 		}
 		decl := nodequery.VarDecl{Name: name, Rel: rel}
 		if hasSuch {
@@ -198,7 +254,104 @@ func (p *parser) query() (*WebQuery, error) {
 		}
 		sq.vars = append(sq.vars, decl)
 	}
-	return assemble(subs, selects)
+	tail, err := p.tail()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().kind != tokEOF {
+		return nil, serr(p.cur().pos, "unexpected %s after the query at offset %d", p.cur(), p.cur().pos)
+	}
+	return assemble(subs, items, tail)
+}
+
+// selectItem parses one select-list or order-by item: a plain column
+// reference or an aggregate call. count/sum/min/max act as function
+// names only when immediately followed by '('.
+func (p *parser) selectItem() (nodequery.OutputCol, error) {
+	t := p.cur()
+	if t.kind == tokIdent {
+		if kind, ok := aggKinds[strings.ToLower(t.text)]; ok &&
+			p.peek().kind == tokPunct && p.peek().text == "(" {
+			p.next() // function name
+			p.next() // '('
+			if p.acceptPunct("*") {
+				if kind != nodequery.AggCount {
+					return nodequery.OutputCol{}, serr(t.pos, "only count may aggregate over *, not %s at offset %d", strings.ToLower(t.text), t.pos)
+				}
+				if !p.acceptPunct(")") {
+					return nodequery.OutputCol{}, serr(p.cur().pos, "missing ')' after count(* at offset %d", p.cur().pos)
+				}
+				return nodequery.OutputCol{Agg: nodequery.AggCount, Star: true}, nil
+			}
+			c, err := p.colref()
+			if err != nil {
+				return nodequery.OutputCol{}, err
+			}
+			if !p.acceptPunct(")") {
+				return nodequery.OutputCol{}, serr(p.cur().pos, "missing ')' after aggregate argument at offset %d", p.cur().pos)
+			}
+			return nodequery.OutputCol{Agg: kind, Ref: c}, nil
+		}
+	}
+	c, err := p.colref()
+	if err != nil {
+		return nodequery.OutputCol{}, err
+	}
+	return nodequery.OutputCol{Ref: c}, nil
+}
+
+// tail parses the optional GROUP BY / ORDER BY / LIMIT clauses, in that
+// fixed order.
+func (p *parser) tail() (*tailSpec, error) {
+	t := &tailSpec{}
+	if p.acceptKeyword("group") {
+		if err := p.expectKeyword("by"); err != nil {
+			return nil, err
+		}
+		for {
+			c, err := p.colref()
+			if err != nil {
+				return nil, err
+			}
+			t.groupBy = append(t.groupBy, c)
+			if !p.acceptPunct(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("order") {
+		if err := p.expectKeyword("by"); err != nil {
+			return nil, err
+		}
+		for {
+			item, err := p.selectItem()
+			if err != nil {
+				return nil, err
+			}
+			k := nodequery.OrderKey{Col: item}
+			if p.acceptKeyword("desc") {
+				k.Desc = true
+			} else {
+				p.acceptKeyword("asc")
+			}
+			t.orderBy = append(t.orderBy, k)
+			if !p.acceptPunct(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("limit") {
+		n := p.next()
+		if n.kind != tokNumber {
+			return nil, serr(n.pos, "limit needs a positive integer, found %s at offset %d", n, n.pos)
+		}
+		v, err := strconv.Atoi(n.text)
+		if err != nil || v < 1 {
+			return nil, serr(n.pos, "limit must be a positive integer, got %q at offset %d", n.text, n.pos)
+		}
+		t.limit = v
+	}
+	return t, nil
 }
 
 // pathClause parses `<source> <PRE> <targetVar>` for the document variable
@@ -209,12 +362,12 @@ func (p *parser) pathClause(docVar string) (*subquery, error) {
 	switch {
 	case t.kind == tokString:
 		sq.starts = []string{p.next().text}
-	case t.kind == tokPunct && t.text == "(" && p.toks[p.pos+1].kind == tokString:
+	case t.kind == tokPunct && t.text == "(" && p.peek().kind == tokString:
 		p.next() // '('
 		for {
 			st := p.next()
 			if st.kind != tokString {
-				return nil, fmt.Errorf("disql: expected StartNode URL, found %s at offset %d", st, st.pos)
+				return nil, serr(st.pos, "expected StartNode URL, found %s at offset %d", st, st.pos)
 			}
 			sq.starts = append(sq.starts, st.text)
 			if p.acceptPunct(",") {
@@ -223,24 +376,24 @@ func (p *parser) pathClause(docVar string) (*subquery, error) {
 			break
 		}
 		if !p.acceptPunct(")") {
-			return nil, fmt.Errorf("disql: missing ')' after StartNode list at offset %d", p.cur().pos)
+			return nil, serr(p.cur().pos, "missing ')' after StartNode list at offset %d", p.cur().pos)
 		}
 	case t.kind == tokIdent && strings.EqualFold(t.text, "index") &&
-		p.toks[p.pos+1].kind == tokPunct && p.toks[p.pos+1].text == "(":
+		p.peek().kind == tokPunct && p.peek().text == "(":
 		p.next() // index
 		p.next() // '('
 		term := p.next()
 		if term.kind != tokString {
-			return nil, fmt.Errorf("disql: index() needs a quoted term, found %s at offset %d", term, term.pos)
+			return nil, serr(term.pos, "index() needs a quoted term, found %s at offset %d", term, term.pos)
 		}
 		if !p.acceptPunct(")") {
-			return nil, fmt.Errorf("disql: missing ')' after index term at offset %d", p.cur().pos)
+			return nil, serr(p.cur().pos, "missing ')' after index term at offset %d", p.cur().pos)
 		}
 		sq.startTerm = term.text
 	case t.kind == tokIdent && !preSymbols[t.text]:
 		sq.srcVar = p.next().text
 	default:
-		return nil, fmt.Errorf("disql: expected StartNode URL or document variable, found %s at offset %d", t, t.pos)
+		return nil, serr(t.pos, "expected StartNode URL or document variable, found %s at offset %d", t, t.pos)
 	}
 	// Gather the PRE tokens: everything up to the target variable.
 	var parts []string
@@ -255,21 +408,21 @@ func (p *parser) pathClause(docVar string) (*subquery, error) {
 			parts = append(parts, p.next().text)
 		case t.kind == tokIdent:
 			if t.text != docVar {
-				return nil, fmt.Errorf("disql: path must end at the declared variable %q, found %s at offset %d", docVar, t, t.pos)
+				return nil, serr(t.pos, "path must end at the declared variable %q, found %s at offset %d", docVar, t, t.pos)
 			}
 			p.next()
 			if len(parts) == 0 {
-				return nil, fmt.Errorf("disql: empty PRE in path to %q at offset %d", docVar, t.pos)
+				return nil, serr(t.pos, "empty PRE in path to %q at offset %d", docVar, t.pos)
 			}
 			expr, err := pre.Parse(strings.Join(parts, " "))
 			if err != nil {
-				return nil, fmt.Errorf("disql: bad PRE %q: %w", strings.Join(parts, " "), err)
+				return nil, serrw(t.pos, err, "bad PRE %q: %v", strings.Join(parts, " "), err)
 			}
 			sq.pre = expr
 			sq.vars = append([]nodequery.VarDecl{{Name: docVar, Rel: "document"}}, sq.vars...)
 			return sq, nil
 		default:
-			return nil, fmt.Errorf("disql: unexpected %s in PRE at offset %d", t, t.pos)
+			return nil, serr(t.pos, "unexpected %s in PRE at offset %d", t, t.pos)
 		}
 	}
 }
@@ -277,14 +430,14 @@ func (p *parser) pathClause(docVar string) (*subquery, error) {
 func (p *parser) colref() (nodequery.ColRef, error) {
 	t := p.next()
 	if t.kind != tokIdent {
-		return nodequery.ColRef{}, fmt.Errorf("disql: expected column reference, found %s at offset %d", t, t.pos)
+		return nodequery.ColRef{}, serr(t.pos, "expected column reference, found %s at offset %d", t, t.pos)
 	}
 	if !p.acceptPunct(".") {
-		return nodequery.ColRef{}, fmt.Errorf("disql: expected '.' after %q at offset %d", t.text, p.cur().pos)
+		return nodequery.ColRef{}, serr(p.cur().pos, "expected '.' after %q at offset %d", t.text, p.cur().pos)
 	}
 	a := p.next()
 	if a.kind != tokIdent {
-		return nodequery.ColRef{}, fmt.Errorf("disql: expected attribute name, found %s at offset %d", a, a.pos)
+		return nodequery.ColRef{}, serr(a.pos, "expected attribute name, found %s at offset %d", a, a.pos)
 	}
 	return nodequery.ColRef{Var: t.text, Col: strings.ToLower(a.text)}, nil
 }
@@ -341,7 +494,7 @@ func (p *parser) notExpr() (*nodequery.Pred, error) {
 			return nil, err
 		}
 		if !p.acceptPunct(")") {
-			return nil, fmt.Errorf("disql: missing ')' at offset %d", p.cur().pos)
+			return nil, serr(p.cur().pos, "missing ')' at offset %d", p.cur().pos)
 		}
 		return inner, nil
 	}
@@ -373,7 +526,7 @@ func (p *parser) cmp() (*nodequery.Pred, error) {
 	}
 	t := p.next()
 	if t.kind != tokPunct {
-		return nil, fmt.Errorf("disql: expected comparison operator, found %s at offset %d", t, t.pos)
+		return nil, serr(t.pos, "expected comparison operator, found %s at offset %d", t, t.pos)
 	}
 	var op nodequery.CmpOp
 	switch t.text {
@@ -390,7 +543,7 @@ func (p *parser) cmp() (*nodequery.Pred, error) {
 	case ">=":
 		op = nodequery.Ge
 	default:
-		return nil, fmt.Errorf("disql: unknown operator %q at offset %d", t.text, t.pos)
+		return nil, serr(t.pos, "unknown operator %q at offset %d", t.text, t.pos)
 	}
 	right, err := p.operand()
 	if err != nil {
@@ -412,56 +565,90 @@ func (p *parser) operand() (nodequery.Operand, error) {
 		}
 		return nodequery.Operand{IsCol: true, Col: c}, nil
 	}
-	return nodequery.Operand{}, fmt.Errorf("disql: expected operand, found %s at offset %d", t, t.pos)
+	return nodequery.Operand{}, serr(t.pos, "expected operand, found %s at offset %d", t, t.pos)
 }
 
-// assemble chains the parsed sub-queries into a WebQuery and splits the
-// select list across stages.
-func assemble(subs []*subquery, selects []nodequery.ColRef) (*WebQuery, error) {
+// assemble chains the parsed sub-queries into a WebQuery, splits the
+// select list across stages, and validates + attaches the aggregation
+// tail as the query's OutputSpec.
+func assemble(subs []*subquery, items []nodequery.OutputCol, tail *tailSpec) (*WebQuery, error) {
 	if len(subs) == 0 {
-		return nil, fmt.Errorf("disql: query declares no document variable")
+		return nil, serr(-1, "query declares no document variable")
 	}
 	byVar := make(map[string]int) // variable -> stage index
 	for i, sq := range subs {
 		if i == 0 {
 			if len(sq.starts) == 0 && sq.startTerm == "" {
-				return nil, fmt.Errorf("disql: first path must start from a StartNode URL or index() term, not variable %q", sq.srcVar)
+				return nil, serr(-1, "first path must start from a StartNode URL or index() term, not variable %q", sq.srcVar)
 			}
 		} else {
 			if sq.srcVar == "" {
-				return nil, fmt.Errorf("disql: stage %d must start from the previous document variable, not a URL", i+1)
+				return nil, serr(-1, "stage %d must start from the previous document variable, not a URL", i+1)
 			}
 			if sq.srcVar != subs[i-1].docVar {
-				return nil, fmt.Errorf("disql: stage %d starts from %q; it must chain from the previous document variable %q",
+				return nil, serr(-1, "stage %d starts from %q; it must chain from the previous document variable %q",
 					i+1, sq.srcVar, subs[i-1].docVar)
 			}
 		}
 		for _, v := range sq.vars {
 			if prev, dup := byVar[v.Name]; dup {
-				return nil, fmt.Errorf("disql: variable %q declared in both stage %d and stage %d", v.Name, prev+1, i+1)
+				return nil, serr(-1, "variable %q declared in both stage %d and stage %d", v.Name, prev+1, i+1)
 			}
 			byVar[v.Name] = i
 		}
 	}
-	// Split the select list: each column goes to the stage declaring its
-	// variable, preserving the user's order within each stage.
-	for _, c := range selects {
-		i, ok := byVar[c.Var]
-		if !ok {
-			return nil, fmt.Errorf("disql: select references undeclared variable %q", c.Var)
-		}
-		subs[i].selects = append(subs[i].selects, c)
+	last := len(subs) - 1
+	exports := make([]map[string]bool, len(subs))
+	for i := range subs {
+		exports[i] = make(map[string]bool)
 	}
+
+	grouped := len(tail.groupBy) > 0
+	for _, c := range items {
+		if c.Agg != nodequery.AggNone {
+			grouped = true
+		}
+	}
+	for _, k := range tail.orderBy {
+		if k.Col.Agg != nodequery.AggNone {
+			grouped = true
+		}
+	}
+
+	var output *nodequery.OutputSpec
+	if grouped {
+		var err error
+		output, err = assembleGrouped(subs, items, tail, byVar, last, exports)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		// Classic split: each column goes to the stage declaring its
+		// variable, preserving the user's order within each stage.
+		for _, c := range items {
+			i, ok := byVar[c.Ref.Var]
+			if !ok {
+				return nil, serr(-1, "select references undeclared variable %q", c.Ref.Var)
+			}
+			subs[i].selects = append(subs[i].selects, c.Ref)
+		}
+		if !tail.empty() {
+			for _, k := range tail.orderBy {
+				if byVar[k.Col.Ref.Var] != last || !selectedIn(items, k.Col.Ref) {
+					return nil, serr(-1, "order by column %s must be selected from the final stage (or use group by)", k.Col.Ref)
+				}
+			}
+			output = &nodequery.OutputSpec{OrderBy: tail.orderBy, Limit: tail.limit}
+		}
+	}
+
 	// Correlated stages (the paper's footnote-2 extension): a later
 	// stage's predicates may reference an *earlier* stage's document
 	// variable. Such references become the stage's Outer list, and the
 	// referenced columns become the earlier stage's Export list, carried
-	// downstream in the clone's environment.
-	exports := make([]map[string]bool, len(subs))
+	// downstream in the clone's environment. Group-by keys of earlier
+	// stages were already added to exports above.
 	outers := make([][]nodequery.ColRef, len(subs))
-	for i := range subs {
-		exports[i] = make(map[string]bool)
-	}
 	docStage := make(map[string]int, len(subs))
 	for i, sq := range subs {
 		docStage[sq.docVar] = i
@@ -481,7 +668,7 @@ func assemble(subs []*subquery, selects []nodequery.ColRef) (*WebQuery, error) {
 				return nil // nodequery.Validate reports undeclared variables
 			}
 			if !documentCol(c.Col) {
-				return fmt.Errorf("disql: %s: document variable %q (stage %d) has no attribute %q", c, c.Var, j+1, c.Col)
+				return serr(-1, "%s: document variable %q (stage %d) has no attribute %q", c, c.Var, j+1, c.Col)
 			}
 			seen[c.String()] = true
 			outers[i] = append(outers[i], c)
@@ -499,7 +686,7 @@ func assemble(subs []*subquery, selects []nodequery.ColRef) (*WebQuery, error) {
 		}
 	}
 
-	w := &WebQuery{Start: subs[0].starts, StartTerm: subs[0].startTerm}
+	w := &WebQuery{Start: subs[0].starts, StartTerm: subs[0].startTerm, Output: output}
 	for i, sq := range subs {
 		var export []string
 		for col := range exports[i] {
@@ -518,6 +705,119 @@ func assemble(subs []*subquery, selects []nodequery.ColRef) (*WebQuery, error) {
 		})
 	}
 	return w, nil
+}
+
+// assembleGrouped validates an aggregated query and derives the base
+// (pre-aggregation) select list of each stage: the final stage projects
+// every final-stage group key and every aggregate argument, earlier
+// stages project their plain select items and export their group keys
+// through the clone environment.
+func assembleGrouped(subs []*subquery, items []nodequery.OutputCol, tail *tailSpec,
+	byVar map[string]int, last int, exports []map[string]bool) (*nodequery.OutputSpec, error) {
+	inGroup := func(r nodequery.ColRef) bool {
+		for _, g := range tail.groupBy {
+			if g == r {
+				return true
+			}
+		}
+		return false
+	}
+	for _, c := range items {
+		if c.Agg == nodequery.AggNone && !inGroup(c.Ref) {
+			return nil, serr(-1, "column %s must appear in the group by clause", c.Ref)
+		}
+	}
+	for _, k := range tail.orderBy {
+		if k.Col.Agg == nodequery.AggNone && !inGroup(k.Col.Ref) {
+			return nil, serr(-1, "order by column %s is not grouped", k.Col.Ref)
+		}
+	}
+	var base []nodequery.ColRef // final-stage pre-aggregation projection
+	baseSeen := make(map[string]bool)
+	addBase := func(r nodequery.ColRef) {
+		if !baseSeen[r.String()] {
+			baseSeen[r.String()] = true
+			base = append(base, r)
+		}
+	}
+	// Plain select items keep the classic per-stage split so earlier
+	// stages still report their columns.
+	for _, c := range items {
+		if c.Agg != nodequery.AggNone {
+			continue
+		}
+		i, ok := byVar[c.Ref.Var]
+		if !ok {
+			return nil, serr(-1, "select references undeclared variable %q", c.Ref.Var)
+		}
+		if i == last {
+			addBase(c.Ref)
+		} else {
+			subs[i].selects = append(subs[i].selects, c.Ref)
+		}
+	}
+	for _, g := range tail.groupBy {
+		i, ok := byVar[g.Var]
+		if !ok {
+			return nil, serr(-1, "group by references undeclared variable %q", g.Var)
+		}
+		if i == last {
+			addBase(g)
+			continue
+		}
+		if subs[i].docVar != g.Var {
+			return nil, serr(-1, "group by %s references non-document variable %q of an earlier stage", g, g.Var)
+		}
+		if !documentCol(g.Col) {
+			return nil, serr(-1, "%s: document variable %q (stage %d) has no attribute %q", g, g.Var, i+1, g.Col)
+		}
+		exports[i][g.Col] = true
+	}
+	aggArg := func(c nodequery.OutputCol) error {
+		if c.Agg == nodequery.AggNone || c.Star {
+			return nil
+		}
+		i, ok := byVar[c.Ref.Var]
+		if !ok {
+			return serr(-1, "aggregate %s references undeclared variable %q", c, c.Ref.Var)
+		}
+		if i != last {
+			return serr(-1, "aggregate %s must reference a variable of the final stage (stage %d)", c, last+1)
+		}
+		addBase(c.Ref)
+		return nil
+	}
+	for _, c := range items {
+		if err := aggArg(c); err != nil {
+			return nil, err
+		}
+	}
+	for _, k := range tail.orderBy {
+		if err := aggArg(k.Col); err != nil {
+			return nil, err
+		}
+	}
+	if len(base) == 0 {
+		// Pure count(*) over earlier-stage groups: ship a hidden column so
+		// every matching node contributes distinct rows to count.
+		base = []nodequery.ColRef{{Var: subs[last].docVar, Col: "url"}}
+	}
+	subs[last].selects = append(subs[last].selects, base...)
+	return &nodequery.OutputSpec{
+		Cols:    items,
+		GroupBy: tail.groupBy,
+		OrderBy: tail.orderBy,
+		Limit:   tail.limit,
+	}, nil
+}
+
+func selectedIn(items []nodequery.OutputCol, r nodequery.ColRef) bool {
+	for _, c := range items {
+		if c.Agg == nodequery.AggNone && c.Ref == r {
+			return true
+		}
+	}
+	return false
 }
 
 // documentCol reports whether col is an attribute of the DOCUMENT virtual

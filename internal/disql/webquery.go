@@ -35,6 +35,12 @@ type WebQuery struct {
 	Start     []string // StartNode URLs
 	StartTerm string   // search-index term resolving to the StartNodes
 	Stages    []Stage
+
+	// Output is the aggregation/ordering contract applied at the
+	// user-site over the merged results (GROUP BY / ORDER BY / LIMIT and
+	// aggregate select items). nil for classic queries: the per-stage
+	// result tables are the final answer, sorted for display.
+	Output *nodequery.OutputSpec
 }
 
 // NumQ returns the number of node-queries (the initial num_q of the CHT
@@ -54,6 +60,9 @@ func (w *WebQuery) String() string {
 	b.WriteString("}")
 	for i, s := range w.Stages {
 		fmt.Fprintf(&b, " %s q%d", s.PRE, i+1)
+	}
+	if suffix := w.Output.Suffix(); suffix != "" {
+		b.WriteString(strings.ReplaceAll(suffix, "\n", " "))
 	}
 	return b.String()
 }
@@ -78,6 +87,14 @@ func (w *WebQuery) Validate() error {
 		}
 		if err := s.Query.Validate(); err != nil {
 			return fmt.Errorf("disql: stage %d: %w", i+1, err)
+		}
+	}
+	if w.Output != nil {
+		if w.Output.Limit < 0 {
+			return fmt.Errorf("disql: negative limit %d", w.Output.Limit)
+		}
+		if w.Output.Grouped() && len(w.Output.Cols) == 0 {
+			return fmt.Errorf("disql: grouped query has an empty select list")
 		}
 	}
 	return nil

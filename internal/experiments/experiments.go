@@ -53,6 +53,7 @@ func All() []Experiment {
 		{"load", "scheduling / T14", "multi-query load: weighted-fair vs FIFO latency, admission-control shedding, wire-carried deadline expiry (writes BENCH_PR4.json)", func(w io.Writer) error { _, err := Load(w); return err }},
 		{"stream", "streaming / T15", "streaming delivery: first-row latency, result-frame batching, active early termination via FirstN (writes BENCH_PR5.json)", func(w io.Writer) error { _, err := Stream(w); return err }},
 		{"replicas", "robustness / T16", "replicated sites: hot-site throughput scaling 1/2/4, availability under mid-run replica kills (writes BENCH_PR6.json)", func(w io.Writer) error { _, err := Replicas(w); return err }},
+		{"planner", "distribution / T17", "cost-based distributed planner: aggregate pushdown and ship-query-vs-ship-data edge decisions vs naive shipping, bytes and latency (writes BENCH_PR7.json)", func(w io.Writer) error { _, err := Planner(w); return err }},
 	}
 }
 
@@ -187,9 +188,11 @@ func table(w io.Writer, header []string, rows [][]string) {
 	}
 }
 
-// siteTable prints one row per site with the scheduler-facing counters:
-// where work queued, where admission control engaged, what was shed or
-// budget-terminated. Sites with no activity at all are elided.
+// siteTable prints one row per site with the scheduler- and
+// planner-facing counters: where work queued, where admission control
+// engaged, what was shed or budget-terminated, and what the operator
+// pipeline scanned vs emitted (with pushdown hits and the bytes they
+// kept off the wire). Sites with no activity at all are elided.
 func siteTable(w io.Writer, title string, sites map[string]server.Snapshot) {
 	names := make([]string, 0, len(sites))
 	for site := range sites {
@@ -200,7 +203,7 @@ func siteTable(w io.Writer, title string, sites map[string]server.Snapshot) {
 	for _, site := range names {
 		s := sites[site]
 		if s.Evaluations+s.LocalClones+s.ClonesForwarded+s.QueueDepth+
-			s.QueueHighWater+s.Shed+s.BudgetExpired == 0 {
+			s.QueueHighWater+s.Shed+s.BudgetExpired+s.RowsScanned == 0 {
 			continue
 		}
 		rows = append(rows, []string{
@@ -212,10 +215,13 @@ func siteTable(w io.Writer, title string, sites map[string]server.Snapshot) {
 			fmt.Sprint(s.QueueHighWater),
 			fmt.Sprint(s.Shed),
 			fmt.Sprint(s.BudgetExpired),
+			fmt.Sprintf("%d/%d", s.RowsScanned, s.RowsEmitted),
+			fmt.Sprint(s.PushdownHits),
+			fmt.Sprint(s.PushdownBytesSaved),
 		})
 	}
 	fmt.Fprintln(w, title)
-	table(w, []string{"site", "evals", "fwd", "local", "qdepth", "qhigh", "shed", "expired"}, rows)
+	table(w, []string{"site", "evals", "fwd", "local", "qdepth", "qhigh", "shed", "expired", "scan/emit", "push", "saved"}, rows)
 }
 
 func fmtBytes(n int64) string {

@@ -555,3 +555,50 @@ func TestReplicasShape(t *testing.T) {
 		}
 	}
 }
+
+func TestPlannerShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("planner grid is slow")
+	}
+	// Few measured runs, no artifact: the qualitative claim — pushdown
+	// engages and moves fewer bytes for the same answer — not the exact
+	// ratios recorded in BENCH_PR7.json.
+	out, err := plannerRun(io.Discard, 2, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Rows) != 2*len(plannerConfigs()) {
+		t.Fatalf("grid has %d rows, want %d", len(out.Rows), 2*len(plannerConfigs()))
+	}
+	rowsBy := make(map[string]int)
+	for _, r := range out.Rows {
+		if r.MeanMs < 0 || r.Bytes <= 0 || r.Rows <= 0 {
+			t.Errorf("%s/%s: degenerate cell %+v", r.Topology, r.Config, r)
+		}
+		if prev, ok := rowsBy[r.Topology]; ok && prev != r.Rows {
+			t.Errorf("%s: %s delivered %d rows, other configs %d", r.Topology, r.Config, r.Rows, prev)
+		}
+		rowsBy[r.Topology] = r.Rows
+		switch r.Config {
+		case "naive":
+			if r.PushdownHits != 0 || r.PushdownSavedBytes != 0 || r.ShipDataEdges != 0 {
+				t.Errorf("%s naive cell used planner machinery: %+v", r.Topology, r)
+			}
+		default: // pushdown, planner
+			if r.PushdownHits == 0 || r.PushdownSavedBytes <= 0 {
+				t.Errorf("%s/%s: pushdown never engaged: %+v", r.Topology, r.Config, r)
+			}
+		}
+		if r.RowsScanned < r.RowsEmitted || r.RowsScanned == 0 {
+			t.Errorf("%s/%s: scan/emit accounting off: %d/%d", r.Topology, r.Config, r.RowsScanned, r.RowsEmitted)
+		}
+	}
+	// The headline claim: planner-on moves fewer bytes than naive shipping
+	// on both topologies.
+	if out.CampusBytesRatio <= 1 {
+		t.Errorf("campus bytes ratio = %.2f, want > 1", out.CampusBytesRatio)
+	}
+	if out.TreeBytesRatio <= 1 {
+		t.Errorf("tree40 bytes ratio = %.2f, want > 1", out.TreeBytesRatio)
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"webdis/internal/disql"
 	"webdis/internal/htmlx"
 	"webdis/internal/nodequery"
+	"webdis/internal/plan"
 	"webdis/internal/pre"
 	"webdis/internal/relmodel"
 	"webdis/internal/wire"
@@ -92,6 +93,11 @@ type StepResult struct {
 	// Continue; callers honoring the strict pseudocode discard it when
 	// DeadEnd is set.
 	DeadEnd bool
+	// Scanned and Emitted are the operator pipeline's row statistics for
+	// the evaluation (tuples read by scans, distinct rows produced); both
+	// zero when the node was a PureRouter.
+	Scanned int64
+	Emitted int64
 	// Continue lists, per derivative, the targets for continuing the
 	// *current* PRE (reaching farther nodes that evaluate the same
 	// node-query).
@@ -115,11 +121,15 @@ func Step(db *relmodel.DB, node string, rem pre.Expr, stage disql.Stage, hasNext
 	var res StepResult
 	if pre.Nullable(rem) {
 		res.Evaluated = true
-		tbl, err := nodequery.EvalEnv(stage.Query, db, env)
+		// Evaluation runs through the volcano operator pipeline; plan.Eval
+		// is row-for-row equivalent to nodequery.EvalEnv (the differential
+		// tests pin this) and additionally reports scan/emit statistics.
+		tbl, stats, err := plan.Eval(stage.Query, db, env)
 		if err != nil {
 			return res, fmt.Errorf("nodeproc: %s: %w", node, err)
 		}
 		res.Table = tbl
+		res.Scanned, res.Emitted = stats.Scanned, stats.Emitted
 		if tbl.Empty() {
 			res.DeadEnd = true
 		} else {

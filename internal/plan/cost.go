@@ -1,0 +1,35 @@
+package plan
+
+// The ship-query-vs-ship-data decision (paper Section 6 discussion,
+// DXQ-style): forwarding a clone to a remote site costs roughly the
+// serialized clone; pulling the target documents to the current site
+// and evaluating locally costs the documents themselves. Sites learn
+// each other's document sizes from SiteStat records piggybacked on
+// result frames and re-attached to later clones as hints, so the first
+// query over an edge defaults to ship-query (the paper's behaviour) and
+// later ones switch when data is demonstrably cheaper.
+
+// EstimateCloneBytes sizes a serialized clone message: a fixed frame
+// overhead, the encoded stages (PREs + node-queries), the environment
+// entries and the destination list. The constants are calibrated
+// against gob-encoded CloneMsg sizes on the campus workload; the model
+// only needs to be right within a small factor because document pulls
+// are either much cheaper (stub pages) or much more expensive (full
+// text) than a clone.
+func EstimateCloneBytes(stages, envBytes, dests int) int64 {
+	return int64(256 + 128*stages + envBytes + 64*dests)
+}
+
+// ChooseShipData reports whether pulling the edge's target documents
+// (dests of them, avgDocBytes each, scaled by bias) is estimated
+// cheaper than forwarding a clone of cloneBytes. bias > 1 makes the
+// planner more conservative about shipping data; bias <= 0 means 1.
+func ChooseShipData(dests int, avgDocBytes, cloneBytes int64, bias float64) bool {
+	if dests <= 0 || avgDocBytes <= 0 {
+		return false
+	}
+	if bias <= 0 {
+		bias = 1
+	}
+	return float64(dests)*float64(avgDocBytes)*bias < float64(cloneBytes)
+}

@@ -1,0 +1,93 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"webdis/internal/disql"
+	"webdis/internal/nodequery"
+)
+
+// Explain renders the distributed plan for a web-query: the operator
+// tree each site runs per stage, the user-site finalization pipeline,
+// the fragment the planner pushes into clones, and the edge shipping
+// policy. It needs no documents — the tree shape depends only on the
+// query — so `webdis -explain` prints it without executing anything.
+func Explain(w *disql.WebQuery, plannerOn bool) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", w.String())
+	for i, s := range w.Stages {
+		fmt.Fprintf(&b, "stage %d/%d  PRE %s\n", i+1, len(w.Stages), s.PRE)
+		env := placeholderEnv(s.Query)
+		root, err := Compile(s.Query, env)
+		if err != nil {
+			fmt.Fprintf(&b, "  <uncompilable: %v>\n", err)
+			continue
+		}
+		writeTree(&b, root, 1)
+	}
+	spec := w.Output
+	var orderKeys []nodequery.OrderKey
+	limit := 0
+	if spec != nil {
+		orderKeys, limit = spec.OrderBy, spec.Limit
+	}
+	b.WriteString("output at user site:\n")
+	if spec.Grouped() {
+		agg := &HashAgg{Spec: spec}
+		fmt.Fprintf(&b, "  final %s\n", agg.Describe())
+	}
+	if len(orderKeys) > 0 {
+		fmt.Fprintf(&b, "  order by %s\n", joinKeys(orderKeys))
+	}
+	if limit > 0 {
+		fmt.Fprintf(&b, "  limit %d\n", limit)
+	}
+	if !spec.Grouped() && len(orderKeys) == 0 && limit == 0 {
+		b.WriteString("  merge + distinct per stage (classic)\n")
+	}
+	if !plannerOn {
+		b.WriteString("pushdown: off (naive shipping: full per-node rows travel)\n")
+		return b.String()
+	}
+	last := len(w.Stages) - 1
+	switch {
+	case spec.Grouped():
+		acc := NewAcc(spec)
+		pcols, _ := acc.PartialTable()
+		fmt.Fprintf(&b, "pushdown: partial hash-agg at every site (frag v1 → stage %d): ships [%s] per contribution\n",
+			last+1, strings.Join(pcols, ", "))
+	case limit > 0:
+		fmt.Fprintf(&b, "pushdown: per-node top-%d (frag v1 → stage %d): each site ships only its first %d rows under the global order\n",
+			limit, last+1, limit)
+	default:
+		b.WriteString("pushdown: none applicable (no aggregation or limit)\n")
+	}
+	b.WriteString("edge policy: ship-data when dests·docBytes·bias < cloneBytes (site stats piggybacked on result frames); ship-query otherwise\n")
+	return b.String()
+}
+
+func writeTree(b *strings.Builder, op Op, depth int) {
+	fmt.Fprintf(b, "%s%s\n", strings.Repeat("  ", depth), op.Describe())
+	for _, k := range op.Kids() {
+		writeTree(b, k, depth+1)
+	}
+}
+
+func joinKeys(keys []nodequery.OrderKey) string {
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = k.String()
+	}
+	return strings.Join(parts, ", ")
+}
+
+// placeholderEnv fills every outer reference with a placeholder so the
+// stage compiles for display without real correlated values.
+func placeholderEnv(q *nodequery.Query) map[string]string {
+	env := make(map[string]string, len(q.Outer))
+	for _, c := range q.Outer {
+		env[c.String()] = "…"
+	}
+	return env
+}

@@ -122,6 +122,31 @@ type Metrics struct {
 	// absorbed by the user-site (the crashed replica's report arrived
 	// after all, on top of the replay's).
 	DupRetired atomic.Int64
+
+	// RowsScanned counts tuples read by the operator pipeline's scans
+	// during node-query evaluation; RowsEmitted counts the distinct rows
+	// the pipelines produced. Their ratio is the per-site selectivity the
+	// planner's statistics report.
+	RowsScanned atomic.Int64
+	RowsEmitted atomic.Int64
+	// PushdownHits counts node-query result tables reduced in place by a
+	// pushed-down plan fragment (partial aggregation or top-K) before
+	// shipping; PushdownBytesSaved accumulates the cell bytes the
+	// reduction removed from the wire.
+	PushdownHits       atomic.Int64
+	PushdownBytesSaved atomic.Int64
+	// ShipDataEdges counts traversal edges the cost model converted from
+	// ship-query to ship-data (the clone stayed here and the documents
+	// came over); ShipDataBytes accumulates the document bytes fetched
+	// for those edges.
+	ShipDataEdges atomic.Int64
+	ShipDataBytes atomic.Int64
+	// DocBytes accumulates raw content bytes of documents parsed by the
+	// Database Constructor — the avgDocBytes numerator of the cost model.
+	DocBytes atomic.Int64
+	// TargetsAdded counts forward targets scheduled (the fan-out the
+	// statistics report as Fanout).
+	TargetsAdded atomic.Int64
 }
 
 // Snapshot is a plain-integer copy of Metrics.
@@ -166,6 +191,15 @@ type Snapshot struct {
 	ReplicaReplays int64
 	StaleRejected  int64
 	DupRetired     int64
+
+	RowsScanned        int64
+	RowsEmitted        int64
+	PushdownHits       int64
+	PushdownBytesSaved int64
+	ShipDataEdges      int64
+	ShipDataBytes      int64
+	DocBytes           int64
+	TargetsAdded       int64
 }
 
 // Snapshot returns a consistent-enough copy for reporting (individual
@@ -212,6 +246,15 @@ func (m *Metrics) Snapshot() Snapshot {
 		ReplicaReplays: m.ReplicaReplays.Load(),
 		StaleRejected:  m.StaleRejected.Load(),
 		DupRetired:     m.DupRetired.Load(),
+
+		RowsScanned:        m.RowsScanned.Load(),
+		RowsEmitted:        m.RowsEmitted.Load(),
+		PushdownHits:       m.PushdownHits.Load(),
+		PushdownBytesSaved: m.PushdownBytesSaved.Load(),
+		ShipDataEdges:      m.ShipDataEdges.Load(),
+		ShipDataBytes:      m.ShipDataBytes.Load(),
+		DocBytes:           m.DocBytes.Load(),
+		TargetsAdded:       m.TargetsAdded.Load(),
 	}
 }
 

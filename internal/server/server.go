@@ -39,6 +39,7 @@ import (
 	"webdis/internal/sched"
 	"webdis/internal/trace"
 	"webdis/internal/webgraph"
+	"webdis/internal/webserver"
 	"webdis/internal/wire"
 )
 
@@ -172,6 +173,10 @@ type Options struct {
 	// Replica is this server's index among its site's replicas (0 is
 	// the classic endpoint; only meaningful with Cluster set).
 	Replica int
+	// Planner configures the cost-based distributed planner: plan-
+	// fragment pushdown, statistics piggybacking, and the per-edge
+	// ship-query-vs-ship-data decision. Zero disables all three.
+	Planner PlannerOptions
 }
 
 func (o Options) dedup() nodeproc.DedupMode {
@@ -226,6 +231,15 @@ type Server struct {
 	// opts.ResultBatch.Enabled(); nil otherwise.
 	batcher *resultBatcher
 
+	// peerStats holds the per-site statistics learned from piggybacked
+	// clone hints and from ship-data fetches; own-site statistics come
+	// straight from the metrics counters. fetch downloads foreign
+	// documents for ship-data edges; both only live under
+	// opts.Planner.Enabled.
+	statMu    sync.Mutex
+	peerStats map[string]wire.SiteStat
+	fetch     *webserver.Fetcher
+
 	// stoppedQ records queries whose user-site broadcast an active
 	// StopMsg (Budget.FirstN satisfied, or the submitting context was
 	// cancelled); their queued clones terminate with the typed STOPPED
@@ -254,6 +268,10 @@ func New(site string, docs DocSource, tr netsim.Transport, met *Metrics, opts Op
 		rng:      newLockedRand(opts.Seed, seedName(site, opts.Replica)),
 		dbCache:  make(map[string]*dbEntry),
 		stoppedQ: make(map[string]time.Time),
+	}
+	if opts.Planner.Enabled {
+		s.peerStats = make(map[string]wire.SiteStat)
+		s.fetch = webserver.NewFetcher(tr, s.self)
 	}
 	if opts.ResultBatch.Enabled() {
 		s.batcher = newResultBatcher(s, opts.ResultBatch)
@@ -614,6 +632,9 @@ func (s *Server) handle(c *wire.CloneMsg) {
 		s.stopClone(c)
 		return
 	}
+	if s.opts.Planner.Enabled {
+		s.absorbHints(c.Hints)
+	}
 	stages, arrRem, err := s.parseClone(c)
 	if err != nil {
 		// A malformed clone cannot be processed, but its CHT entries must
@@ -660,6 +681,22 @@ func (s *Server) handle(c *wire.CloneMsg) {
 			b := childB
 			b.Clones = divideQuota(bs.clones, len(order), i)
 			outs[key].msg.Budget = b
+		}
+	}
+
+	// Children inherit the pushed-down plan fragment unchanged — even a
+	// planner-off relay must not strip it, or downstream planner-on
+	// sites would lose the pushdown. Statistics hints ride only when the
+	// planner runs here, keeping the classic wire profile otherwise.
+	if c.Frag != nil {
+		for _, key := range order {
+			outs[key].msg.Frag = c.Frag
+		}
+	}
+	if s.opts.Planner.Enabled && len(order) > 0 {
+		hints := s.hintsFor()
+		for _, key := range order {
+			outs[key].msg.Hints = hints
 		}
 	}
 
@@ -850,6 +887,8 @@ func (s *Server) processNode(dest wire.DestNode, arrRem pre.Expr, stages []disql
 			s.trace(node, st, "error", err.Error())
 			continue
 		}
+		s.met.RowsScanned.Add(res.Scanned)
+		s.met.RowsEmitted.Add(res.Emitted)
 		if res.Evaluated {
 			s.met.Evaluations.Add(1)
 			if res.DeadEnd {
@@ -884,10 +923,16 @@ func (s *Server) processNode(dest wire.DestNode, arrRem pre.Expr, stages []disql
 					}
 				}
 				if len(rows) > 0 {
-					tables = append(tables, wire.NodeTable{
+					nt := wire.NodeTable{
 						Node: node, Stage: it.base,
 						Cols: res.Table.Cols, Rows: rows,
-					})
+						// Env identifies the contribution for the
+						// user-site's aggregate fold; stamped always so
+						// grouped queries work with the planner off too.
+						Env: wire.EnvKey(it.env),
+					}
+					s.applyFrag(c, it.base, it.env, &nt)
+					tables = append(tables, nt)
 				}
 			}
 		} else {
@@ -994,6 +1039,7 @@ func (s *Server) addTargets(outs map[string]*outClone, order *[]string, f nodepr
 			Node: tgt.URL, State: state, Origin: dest.Origin, Seq: dest.Seq,
 		})
 	}
+	s.met.TargetsAdded.Add(int64(len(children)))
 	return children
 }
 
@@ -1092,9 +1138,17 @@ func (s *Server) databaseUncoalesced(node string) (*relmodel.DB, error) {
 }
 
 // buildDB loads and parses the node's document: one Database Constructor
-// run.
+// run. Under the planner, a node hosted on another site is downloaded
+// from its home document host — the ship-data half of the cost model,
+// reached when forwardAll kept the clone here instead of shipping it.
 func (s *Server) buildDB(node string) (*relmodel.DB, error) {
-	content, err := s.docs.Get(node)
+	var content []byte
+	var err error
+	if host := webgraph.Host(node); s.fetch != nil && host != s.site {
+		content, err = s.fetchForeign(node, host)
+	} else {
+		content, err = s.docs.Get(node)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -1103,6 +1157,7 @@ func (s *Server) buildDB(node string) (*relmodel.DB, error) {
 		return nil, err
 	}
 	s.met.DocsParsed.Add(1)
+	s.met.DocBytes.Add(int64(len(content)))
 	return db, nil
 }
 
@@ -1118,14 +1173,21 @@ func (s *Server) dispatchResults(c *wire.CloneMsg, updates []wire.CHTUpdate, tab
 	if len(updates) == 0 && len(tables) == 0 {
 		return true
 	}
+	// Piggyback this site's statistics on the frame (Section 3.2 style:
+	// ride data that is going to the user-site anyway) so the user-site
+	// can hint future clones without a statistics round-trip.
+	var stats []wire.SiteStat
+	if s.opts.Planner.Enabled {
+		stats = []wire.SiteStat{s.ownStat()}
+	}
 	if s.batcher != nil {
-		r := wire.Report{Updates: updates, Tables: tables}
+		r := wire.Report{Updates: updates, Tables: tables, Stats: stats}
 		if s.traced(c) {
 			r.Span, r.Site, r.Hop, r.Spawned = c.Span, s.site, c.Hops, spawned
 		}
 		return s.batcher.add(c.ID, r)
 	}
-	msg := &wire.ResultMsg{ID: c.ID, Updates: updates, Tables: tables}
+	msg := &wire.ResultMsg{ID: c.ID, Updates: updates, Tables: tables, Stats: stats}
 	if s.traced(c) {
 		msg.Span, msg.Site, msg.Hop, msg.Spawned = c.Span, s.site, c.Hops, spawned
 	}
@@ -1162,12 +1224,23 @@ func (s *Server) forwardAll(outs map[string]*outClone, order []string) {
 	for _, key := range order {
 		oc := outs[key]
 		sort.Slice(oc.msg.Dest, func(i, j int) bool { return oc.msg.Dest[i].URL < oc.msg.Dest[j].URL })
-		s.jot(oc.msg, trace.Forward, "", oc.msg.State(), oc.site)
 		if oc.site == s.site {
+			s.jot(oc.msg, trace.Forward, "", oc.msg.State(), oc.site)
 			s.met.LocalClones.Add(1)
 			s.Enqueue(oc.msg)
 			continue
 		}
+		if s.chooseShipData(oc) {
+			// The cost model priced the destination documents below the
+			// clone: keep the clone on this site's queue and let buildDB
+			// pull the documents over instead (ship-data for this edge).
+			s.jot(oc.msg, trace.Forward, "", oc.msg.State(), "ship-data "+oc.site)
+			s.trace("", oc.msg.State(), "ship-data", oc.site)
+			s.met.ShipDataEdges.Add(1)
+			s.Enqueue(oc.msg)
+			continue
+		}
+		s.jot(oc.msg, trace.Forward, "", oc.msg.State(), oc.site)
 		remote = append(remote, oc)
 	}
 	if len(remote) == 0 {

@@ -122,6 +122,80 @@ type CloneMsg struct {
 	// Budget is the query's resource budget, inherited (and decremented)
 	// by every clone spawned from this one. The zero Budget is unlimited.
 	Budget Budget
+	// Frag, when non-nil, is the plan fragment the cost-based planner
+	// pushed into this clone: the output spec whose partial form every
+	// site applies to the named stage's raw rows before shipping them.
+	// Children inherit it unchanged. Sites ignore fragments whose
+	// Version they do not know.
+	Frag *PlanFrag
+	// Hints carries site statistics the sender had observed or been told
+	// about (piggybacked from result frames), so downstream sites can
+	// make ship-query-vs-ship-data decisions about edges they have never
+	// seen. Bounded to MaxHints entries; children inherit the merge of
+	// the clone's hints and the forwarder's own observations.
+	Hints []SiteStat
+}
+
+// PlanFragVersion is the current plan-fragment format. Encoded in every
+// PlanFrag; servers apply only fragments whose version they recognize,
+// so a mixed-version deployment degrades to naive shipping rather than
+// mis-folding rows.
+const PlanFragVersion = 1
+
+// MaxHints bounds the piggybacked statistics list on clones and
+// reports.
+const MaxHints = 64
+
+// PlanFrag is a pushed-down plan fragment riding a clone: the final
+// stage's output spec, which a site turns into a partial hash-aggregate
+// (or per-node top-K) over that stage's result rows before they ship.
+// Gob-plain data, like the node-queries it travels beside.
+type PlanFrag struct {
+	Version int
+	Stage   int // index of the stage the fragment transforms (the final stage)
+	Spec    nodequery.OutputSpec
+}
+
+// Applies reports whether the fragment is one this build understands
+// and targets the given stage.
+func (f *PlanFrag) Applies(stage int) bool {
+	return f != nil && f.Version == PlanFragVersion && f.Stage == stage
+}
+
+// SiteStat is one site's observed workload statistics: the planner's
+// raw material. Sites attach their own stat to result frames
+// (Report.Stats); the user-site accumulates them across queries and
+// re-attaches them to later clones as CloneMsg.Hints, closing the
+// feedback loop the paper's cost model needs.
+type SiteStat struct {
+	Site        string
+	Docs        int64 // documents parsed into virtual relations
+	DocBytes    int64 // raw content bytes of those documents
+	Evals       int64 // node-query evaluations run
+	RowsScanned int64 // tuples read by the operator pipeline
+	RowsEmitted int64 // distinct rows produced
+	Fanout      int64 // forward targets observed (link fan-out)
+}
+
+// AvgDocBytes returns the mean observed document size, or 0 when the
+// site has parsed nothing yet (the "no statistics" cold start that
+// defaults the planner to ship-query).
+func (s SiteStat) AvgDocBytes() int64 {
+	if s.Docs == 0 {
+		return 0
+	}
+	return s.DocBytes / s.Docs
+}
+
+// MergeStat folds b into a (same site): counters add.
+func MergeStat(a, b SiteStat) SiteStat {
+	a.Docs += b.Docs
+	a.DocBytes += b.DocBytes
+	a.Evals += b.Evals
+	a.RowsScanned += b.RowsScanned
+	a.RowsEmitted += b.RowsEmitted
+	a.Fanout += b.Fanout
+	return a
 }
 
 // Budget carries a query's resource limits on the wire, following the
@@ -212,6 +286,23 @@ func EnvKey(env map[string]string) string {
 	return b.String()
 }
 
+// ParseEnvKey inverts EnvKey: it rebuilds the environment map from the
+// canonical fingerprint. Values produced by EnvKey never contain the
+// \x00 separator (environment values are document column strings), so
+// the split is unambiguous. Returns nil for "".
+func ParseEnvKey(key string) map[string]string {
+	if key == "" {
+		return nil
+	}
+	env := make(map[string]string)
+	for _, pair := range strings.Split(strings.TrimSuffix(key, "\x00"), "\x00") {
+		if eq := strings.IndexByte(pair, '='); eq >= 0 {
+			env[pair[:eq]] = pair[eq+1:]
+		}
+	}
+	return env
+}
+
 // DestNode is one destination node of a clone message, tagged with the
 // serial of its CHT entry. The paper identifies CHT entries by (URL,
 // query-state) alone; that under-identifies clone instances — a revisit
@@ -260,6 +351,16 @@ type NodeTable struct {
 	Stage int // index of the node-query in the original web-query
 	Cols  []string
 	Rows  [][]string
+	// Env is the EnvKey of the clone environment the rows were computed
+	// under. One (Node, Stage, Env) triple is one *contribution*: its
+	// rows are deterministic, so the user-site deduplicates whole
+	// contributions when folding aggregates. Empty on frames from
+	// pre-planner builds, which never carry Partial tables either.
+	Env string
+	// Partial marks rows that are partial-aggregate state produced by a
+	// pushed-down PlanFrag (group keys then one state cell per
+	// aggregate) rather than raw result rows.
+	Partial bool
 }
 
 // Report is the outcome of processing one CloneMsg: its results, CHT
@@ -287,6 +388,11 @@ type Report struct {
 	Hop  int
 	// Spawned lists the clone messages forwarded during that processing.
 	Spawned []SpanLink
+	// Stats piggybacks the processing site's observed statistics (and
+	// any peers' it learned of) back to the user-site. Attached only
+	// when the planner is enabled, so classic deployments keep their
+	// exact wire profile.
+	Stats []SiteStat
 }
 
 // Rows returns the number of result rows the report carries (the size
@@ -338,6 +444,8 @@ type ResultMsg struct {
 	// unreplicated deployments, which accept every frame as before.
 	From string
 	Inc  int64
+	// Stats is the flat-form counterpart of Report.Stats.
+	Stats []SiteStat
 }
 
 // Each visits every report the message carries — the batched Reports
@@ -353,6 +461,7 @@ func (m *ResultMsg) Each(fn func(*Report)) {
 		Updates: m.Updates, Tables: m.Tables,
 		Expired: m.Expired, Stopped: m.Stopped,
 		Span: m.Span, Site: m.Site, Hop: m.Hop, Spawned: m.Spawned,
+		Stats: m.Stats,
 	})
 }
 

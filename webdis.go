@@ -49,6 +49,8 @@ import (
 	"webdis/internal/index"
 	"webdis/internal/netsim"
 	"webdis/internal/nodeproc"
+	"webdis/internal/nodequery"
+	"webdis/internal/plan"
 	"webdis/internal/pre"
 	"webdis/internal/sched"
 	"webdis/internal/server"
@@ -123,6 +125,18 @@ type (
 	SchedOptions = sched.Options
 	// SchedStats is a point-in-time summary of one server's queue.
 	SchedStats = sched.Stats
+	// PlannerOptions configure the cost-based distributed planner
+	// (ServerOptions.Planner): plan-fragment pushdown of GROUP BY /
+	// ORDER BY / LIMIT work to the sites, statistics piggybacking, and
+	// the per-edge ship-query-vs-ship-data decision.
+	PlannerOptions = server.PlannerOptions
+	// OutputSpec is a query's aggregation/ordering contract (WebQuery.
+	// Output): aggregate select items, GROUP BY, ORDER BY and LIMIT.
+	OutputSpec = nodequery.OutputSpec
+	// SyntaxError is the typed error every DISQL parse failure returns,
+	// carrying the byte offset of the offending token (-1 when the error
+	// is structural rather than positional).
+	SyntaxError = disql.SyntaxError
 )
 
 // Multi-query workloads.
@@ -235,6 +249,12 @@ func ReplicaEndpoint(site string, i int) string { return cluster.ReplicaEndpoint
 
 // ParseDISQL parses a DISQL query into its formal web-query.
 func ParseDISQL(src string) (*WebQuery, error) { return disql.Parse(src) }
+
+// Explain renders the distributed plan of a web-query: the per-stage
+// operator trees the sites will run, what the planner pushes down, and
+// how traversal edges are decided. plannerOn mirrors
+// ServerOptions.Planner.Enabled.
+func Explain(w *WebQuery, plannerOn bool) string { return plan.Explain(w, plannerOn) }
 
 // ParsePRE parses a Path Regular Expression such as "N | G·(L*4)".
 func ParsePRE(src string) (pre.Expr, error) { return pre.Parse(src) }
