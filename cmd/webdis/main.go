@@ -39,6 +39,7 @@ func main() {
 	traceMode := flag.String("trace", "", "print the query's causal clone tree after completion: text, dot, or chrome (trace_event JSON)")
 	explain := flag.Bool("explain", false, "print the distributed plan (operator trees, pushdown, edge policy) and exit without running the query")
 	naive := flag.Bool("naive", false, "turn the cost-based planner off: no pushed-down fragments on root clones, raw rows fold classically (with -explain, show the naive plan)")
+	wirev := flag.String("wire", "v2", "wire format: v2 negotiates the binary codec, v1 pins every session to framed gob")
 	flag.Parse()
 
 	if (*peersPath == "" && !*explain) || (*query == "" && *file == "") {
@@ -71,7 +72,10 @@ func main() {
 	if u, err := user.Current(); err == nil && u.Username != "" {
 		username = u.Username
 	}
-	c := client.NewWith(tr, username, "tcp://"+*listen, client.Options{Planner: !*naive})
+	if *wirev != "v1" && *wirev != "v2" {
+		fatal(fmt.Errorf("unknown wire format %q (want v1 or v2)", *wirev))
+	}
+	c := client.NewWith(tr, username, "tcp://"+*listen, client.Options{Planner: !*naive, WireV1: *wirev == "v1"})
 	c.SetHybrid(*hybrid)
 	var journal *trace.Journal
 	if *traceMode != "" {

@@ -122,6 +122,18 @@ type Options struct {
 	// Aggregation itself (GROUP BY / ORDER BY / LIMIT semantics) does
 	// not depend on this flag — only where the work runs does.
 	Planner bool
+	// WireV1 pins every connection this client opens or accepts to wire
+	// version 1 (persistent framed gob) instead of negotiating the v2
+	// binary codec — the compatibility profile for mixed-version
+	// deployments.
+	WireV1 bool
+	// AdaptiveBatch arms the collector-side batching feedback loop: when
+	// a query's stream consumer falls far behind the producers
+	// (ConsumerLag), the client asks every producing site for larger,
+	// older result batches via a TUNE frame, and restores the defaults
+	// once the consumer drains the backlog. Effective only against
+	// servers running with ResultBatch enabled; advisory everywhere.
+	AdaptiveBatch bool
 }
 
 // Client is a WEBDIS user-site. It can run many queries, each with its own
@@ -155,6 +167,15 @@ func NewWith(tr netsim.Transport, user, base string, opts Options) *Client {
 		c.stats = newStatStore()
 	}
 	return c
+}
+
+// frameOpts derives the wire-session options for this client's shared
+// (session) connections: version pinning under Options.WireV1.
+func (c *Client) frameOpts() wire.FramedOptions {
+	if c.opts.WireV1 {
+		return wire.FramedOptions{Offer: 1, Accept: 1}
+	}
+	return wire.FramedOptions{}
 }
 
 // SetHybrid enables the Section 7.1 migration path for queries submitted
@@ -224,6 +245,9 @@ type Stats struct {
 	// StopsSent counts active-termination StopMsg broadcasts shipped to
 	// sites with live CHT entries (Budget.FirstN or Stop/ctx cancel).
 	StopsSent int
+	// TunesSent counts adaptive-batching TUNE frames shipped to sites
+	// with live CHT entries (Options.AdaptiveBatch backpressure feedback).
+	TunesSent int
 	// FirstRow is the submit-to-first-streamed-row latency (0 until a
 	// first row arrives) — the headline number streaming improves.
 	FirstRow time.Duration
@@ -313,6 +337,13 @@ type Query struct {
 	firstN   int
 	stopping bool
 	stopSent map[string]bool
+
+	// Wire/batching knobs inherited from Options: wireV1 pins this
+	// query's sessions to framed gob; adaptive arms the TUNE feedback
+	// loop, with tuneLevel the hysteresis state (0 defaults, 1 boosted).
+	wireV1    bool
+	adaptive  bool
+	tuneLevel int
 
 	// sess, when non-nil, owns the collector endpoint: results are routed
 	// to this query by id over the session's shared listener and pool,
@@ -437,6 +468,8 @@ func (c *Client) submit(w *disql.WebQuery, b wire.Budget, sess *Session) (*Query
 		lastReport: time.Now(),
 		firstN:     b.FirstN,
 		stopSent:   make(map[string]bool),
+		wireV1:     c.opts.WireV1,
+		adaptive:   c.opts.AdaptiveBatch,
 	}
 	q.scond = sync.NewCond(&q.mu)
 	if w.Output != nil {
@@ -479,7 +512,7 @@ func (c *Client) submit(w *disql.WebQuery, b wire.Budget, sess *Session) (*Query
 		q.id = wire.QueryID{User: c.user, Site: endpoint, Num: num}
 		q.ln = ln
 		q.pool = netsim.NewPool(c.tr, endpoint, netsim.PoolOptions{
-			Wrap: func(c net.Conn) net.Conn { return wire.NewFramed(c) },
+			Wrap: func(conn net.Conn) net.Conn { return wire.NewFramedOpts(conn, q.frameOpts()) },
 		})
 		if q.cluster != nil {
 			// Proactive hygiene: when the health layer declares a replica
@@ -733,7 +766,7 @@ func (q *Query) collect() {
 			}()
 			// Reporting servers pool this connection and stream many
 			// frames over it; decode with a persistent session.
-			framed := wire.NewFramed(conn)
+			framed := wire.NewFramedOpts(conn, q.frameOpts())
 			for {
 				msg, err := wire.Receive(framed)
 				if err != nil {
@@ -808,8 +841,10 @@ func (q *Query) merge(rm *wire.ResultMsg) {
 	})
 	q.maybeComplete()
 	stops := q.stopTargets()
+	tunes, level := q.tuneCheck()
 	q.mu.Unlock()
 	q.broadcastStop(stops, "first-n satisfied")
+	q.broadcastTune(tunes, level)
 }
 
 // jot appends one causal event for clone c to the query's journal (used
@@ -1046,6 +1081,94 @@ func (q *Query) broadcastStop(sites []string, reason string) {
 			Detail: reason + " -> " + strings.Join(sites, ","),
 		})
 	}
+}
+
+// Adaptive batching (Options.AdaptiveBatch) hysteresis: when the stream
+// consumer's lag crosses tuneUpLag the collector is drowning in small
+// frames, so every producing site is asked for larger, older batches;
+// once the consumer drains back under tuneDownLag the defaults are
+// restored. The boost asks for 1024-row / 20ms bounds (still capped by
+// the server).
+const (
+	tuneUpLag          = 256
+	tuneDownLag        = 32
+	tuneBoostRows      = 1024
+	tuneBoostAgeMicros = 20000
+)
+
+// frameOpts derives the wire-session options for this query's
+// connections (its pool and its accepted collector sessions).
+func (q *Query) frameOpts() wire.FramedOptions {
+	if q.wireV1 {
+		return wire.FramedOptions{Offer: 1, Accept: 1}
+	}
+	return wire.FramedOptions{}
+}
+
+// tuneCheck runs the adaptive-batching hysteresis against the current
+// consumer lag and, on a level transition, returns the sites with live
+// CHT entries to notify. Callers hold q.mu; the sends happen outside
+// the lock via broadcastTune.
+func (q *Query) tuneCheck() ([]string, int) {
+	if !q.adaptive || q.done {
+		return nil, 0
+	}
+	lag := len(q.srows) - q.sread
+	switch {
+	case q.tuneLevel == 0 && lag >= tuneUpLag:
+		q.tuneLevel = 1
+	case q.tuneLevel == 1 && lag <= tuneDownLag:
+		q.tuneLevel = 0
+	default:
+		return nil, 0
+	}
+	seen := make(map[string]bool)
+	var sites []string
+	for key := range q.counts {
+		i := strings.Index(key, "§")
+		if i <= 0 {
+			continue
+		}
+		site := webgraph.Host(key[:i])
+		if seen[site] {
+			continue
+		}
+		seen[site] = true
+		sites = append(sites, site)
+	}
+	sort.Strings(sites)
+	return sites, q.tuneLevel
+}
+
+// broadcastTune ships the TUNE frame for the new level to each site's
+// query server — best-effort and advisory; a site that never hears it
+// (or runs without batching) just keeps its defaults. Callers must NOT
+// hold q.mu.
+func (q *Query) broadcastTune(sites []string, level int) {
+	if len(sites) == 0 {
+		return
+	}
+	msg := &wire.TuneMsg{ID: q.id}
+	if level > 0 {
+		msg.MaxRows, msg.MaxAgeMicros = tuneBoostRows, tuneBoostAgeMicros
+	}
+	sent := 0
+	for _, site := range sites {
+		eps := []string{server.Endpoint(site)}
+		if q.cluster != nil {
+			if all := q.cluster.Endpoints(site); len(all) > 0 {
+				eps = all
+			}
+		}
+		for _, ep := range eps {
+			if q.poolSend(ep, msg) == nil {
+				sent++
+			}
+		}
+	}
+	q.mu.Lock()
+	q.stats.TunesSent += sent
+	q.mu.Unlock()
 }
 
 // Stop actively terminates the query's in-flight work: a typed StopMsg

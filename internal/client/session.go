@@ -59,7 +59,7 @@ func (c *Client) NewSession() (*Session, error) {
 		endpoint: endpoint,
 		ln:       ln,
 		pool: netsim.NewPool(c.tr, endpoint, netsim.PoolOptions{
-			Wrap: func(conn net.Conn) net.Conn { return wire.NewFramed(conn) },
+			Wrap: func(conn net.Conn) net.Conn { return wire.NewFramedOpts(conn, c.frameOpts()) },
 		}),
 		conns:   make(map[net.Conn]bool),
 		queries: make(map[int]*Query),
@@ -165,7 +165,7 @@ func (s *Session) accept() {
 				delete(s.conns, conn)
 				s.mu.Unlock()
 			}()
-			framed := wire.NewFramed(conn)
+			framed := wire.NewFramedOpts(conn, s.c.frameOpts())
 			for {
 				msg, err := wire.Receive(framed)
 				if err != nil {

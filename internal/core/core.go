@@ -77,6 +77,17 @@ type Config struct {
 	// cadence, demotion thresholds, seed). Only consulted when some site
 	// has more than one replica.
 	Cluster cluster.Options
+	// SiteServerOptions, when non-nil, rewrites one site's server options
+	// just before its query servers are built — the hook mixed-version
+	// deployments use to pin a subset of sites to wire v1 while the rest
+	// negotiate v2. It receives the site name and the options every
+	// server would get (after deployment-wide adjustments) and returns
+	// the options that site actually runs with.
+	SiteServerOptions func(site string, o server.Options) server.Options
+	// AdaptiveBatch arms the client's collector-side batching feedback
+	// loop (see client.Options.AdaptiveBatch); effective when
+	// Server.ResultBatch is enabled too.
+	AdaptiveBatch bool
 	// Trace arms causal tracing: every site (and the user-site) gets a
 	// trace.Journal, clones carry span ids, and transport-level events
 	// (dials, refusals, dropped and severed frames) are journaled via the
@@ -210,6 +221,9 @@ func NewDeployment(cfg Config) (*Deployment, error) {
 			d.siteMetrics[key] = met
 			opts := srvOpts
 			opts.Replica = i
+			if cfg.SiteServerOptions != nil {
+				opts = cfg.SiteServerOptions(site, opts)
+			}
 			if cfg.Trace {
 				j := trace.NewJournal(key, cfg.TraceCapacity)
 				d.journals[key] = j
@@ -238,6 +252,11 @@ func NewDeployment(cfg Config) (*Deployment, error) {
 		// The user-site half of the planner follows the servers': frags
 		// on root clones, statistics learned and re-hinted.
 		Planner: cfg.Server.Planner.Enabled,
+		// The wire profile follows the servers': a deployment pinned to
+		// v1 pins its user-site too (per-site mixes go through
+		// SiteServerOptions and negotiate per connection).
+		WireV1:        cfg.Server.WireV1,
+		AdaptiveBatch: cfg.AdaptiveBatch,
 		// Resolve index("term") StartNode sources against the deployment's
 		// search index, built lazily on first use.
 		IndexResolver: func(term string) []string {

@@ -178,7 +178,7 @@ func TestBandwidthShapesTransfer(t *testing.T) {
 		return best
 	}
 	fast := elapsed(0)        // unlimited
-	slow := elapsed(64 << 10) // 64 KiB/s: ~27 KB of traffic needs real time
+	slow := elapsed(16 << 10) // 16 KiB/s: even v2's compact frames need real time
 	if slow < 2*fast {
 		t.Errorf("bandwidth shaping had no effect: unlimited %v vs 64KiB/s %v", fast, slow)
 	}

@@ -54,6 +54,7 @@ func All() []Experiment {
 		{"stream", "streaming / T15", "streaming delivery: first-row latency, result-frame batching, active early termination via FirstN (writes BENCH_PR5.json)", func(w io.Writer) error { _, err := Stream(w); return err }},
 		{"replicas", "robustness / T16", "replicated sites: hot-site throughput scaling 1/2/4, availability under mid-run replica kills (writes BENCH_PR6.json)", func(w io.Writer) error { _, err := Replicas(w); return err }},
 		{"planner", "distribution / T17", "cost-based distributed planner: aggregate pushdown and ship-query-vs-ship-data edge decisions vs naive shipping, bytes and latency (writes BENCH_PR7.json)", func(w io.Writer) error { _, err := Planner(w); return err }},
+		{"wire", "wire format / T18", "wire format v2: binary codec vs framed gob message throughput, with batching and adaptive-tuning variants (writes BENCH_PR8.json)", func(w io.Writer) error { _, err := Wire(w); return err }},
 	}
 }
 
@@ -218,10 +219,11 @@ func siteTable(w io.Writer, title string, sites map[string]server.Snapshot) {
 			fmt.Sprintf("%d/%d", s.RowsScanned, s.RowsEmitted),
 			fmt.Sprint(s.PushdownHits),
 			fmt.Sprint(s.PushdownBytesSaved),
+			fmt.Sprint(s.BytesV2Saved),
 		})
 	}
 	fmt.Fprintln(w, title)
-	table(w, []string{"site", "evals", "fwd", "local", "qdepth", "qhigh", "shed", "expired", "scan/emit", "push", "saved"}, rows)
+	table(w, []string{"site", "evals", "fwd", "local", "qdepth", "qhigh", "shed", "expired", "scan/emit", "push", "saved", "v2saved"}, rows)
 }
 
 func fmtBytes(n int64) string {

@@ -602,3 +602,59 @@ func TestPlannerShape(t *testing.T) {
 		t.Errorf("tree40 bytes ratio = %.2f, want > 1", out.TreeBytesRatio)
 	}
 }
+
+func TestWireShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wire grid is slow")
+	}
+	// Few measured runs, no artifact: the structure — identical answers
+	// down every column, the batching/tuning machinery engaging where
+	// configured — not the speedup ratios recorded in BENCH_PR8.json.
+	out, err := wireRun(io.Discard, 2, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := len(wireConfigs()) * len(wireWorkloads()) * 2 // x transports
+	if len(out.Rows) != want {
+		t.Fatalf("grid has %d rows, want %d", len(out.Rows), want)
+	}
+	rowsBy := make(map[string]int)
+	for _, r := range out.Rows {
+		if r.MeanMs <= 0 || r.Messages <= 0 || r.MsgsPerSec <= 0 {
+			t.Errorf("%s/%s/%s: degenerate cell %+v", r.Transport, r.Topology, r.Config, r)
+		}
+		// Every wire configuration must deliver the same complete answer
+		// (wireRun also enforces the full canonical-row comparison).
+		key := r.Transport + "/" + r.Topology
+		if prev, ok := rowsBy[key]; ok && prev != r.Rows {
+			t.Errorf("%s: %s delivered %d rows, other configs %d", key, r.Config, r.Rows, prev)
+		}
+		rowsBy[key] = r.Rows
+		switch r.Config {
+		case "gob", "v2":
+			if r.ResultMsgs != r.ResultReports {
+				t.Errorf("%s/%s unbatched cell coalesced frames: %d reports in %d messages",
+					key, r.Config, r.ResultReports, r.ResultMsgs)
+			}
+			if r.TunesSent != 0 || r.BatchTunes != 0 {
+				t.Errorf("%s/%s tuned without adaptive batching: %+v", key, r.Config, r)
+			}
+		case "gob-batch", "v2-batch":
+			if r.ResultMsgs >= r.ResultReports {
+				t.Errorf("%s/%s batching never coalesced: %d reports in %d messages",
+					key, r.Config, r.ResultReports, r.ResultMsgs)
+			}
+		case "v2-adaptive":
+			// Sent and applied counts skew at low run counts (a query's
+			// final TUNE broadcast can land after its Wait returns), so
+			// only their union is stable: the loop must engage somewhere.
+			if r.Topology == "tree40" && r.TunesSent == 0 && r.BatchTunes == 0 {
+				t.Errorf("%s adaptive cell never tuned: sent=%d applied=%d",
+					key, r.TunesSent, r.BatchTunes)
+			}
+		}
+	}
+	if out.SpeedupTCPTree <= 1 {
+		t.Errorf("tcp/tree40 v2 speedup = %.2f, want > 1", out.SpeedupTCPTree)
+	}
+}

@@ -147,7 +147,9 @@ type CampusOut struct {
 func Campus(w io.Writer) (*CampusOut, error) {
 	fmt.Fprintln(w, "F7/F8: the campus convener query (paper Section 5)")
 	fmt.Fprintln(w)
-	out, err := runDistributed(webgraph.Campus(), netZero(), server.Options{}, webgraph.CampusDISQL)
+	// WireOracle renders every v2 frame through gob as well, booking the
+	// per-site byte savings the campus table's v2saved column reports.
+	out, err := runDistributed(webgraph.Campus(), netZero(), server.Options{WireOracle: true}, webgraph.CampusDISQL)
 	if err != nil {
 		return nil, err
 	}

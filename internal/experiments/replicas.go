@@ -81,10 +81,10 @@ type ReplicasOut struct {
 // where replication, not a faster CPU, is the fix).
 const (
 	repSite         = "hot.example"
-	repPayloadWords = 5000          // ~30 KiB of text per answer
-	repBW           = 3 << 19       // bytes/second per connection (1.5 MiB/s)
-	repWorkers      = 12            // closed-loop clients
-	repKillReplicas = 3             // replica count in the availability grid
+	repPayloadWords = 5000    // ~30 KiB of text per answer
+	repBW           = 3 << 19 // bytes/second per connection (1.5 MiB/s)
+	repWorkers      = 12      // closed-loop clients
+	repKillReplicas = 3       // replica count in the availability grid
 )
 
 func repWeb() *webgraph.Web {
@@ -192,10 +192,15 @@ func replicasRun(w io.Writer, perWorker int, outPath string) (*ReplicasOut, erro
 
 // repScaleCell measures closed-loop throughput at one replica count.
 func repScaleCell(replicas, perWorker int) (*ReplicaCell, error) {
+	// WireV1 pins the calibrated regime: repBW makes ~30 KiB *gob*
+	// answers uplink-bound, which is what makes replicas scale. The v2
+	// codec compresses these highly-redundant result frames below the
+	// bandwidth knee and the cell would measure codec, not replication
+	// (T18 measures the codec).
 	d, err := core.NewDeployment(core.Config{
 		Web:          repWeb(),
 		Net:          netsim.Options{BytesPerSecond: repBW},
-		Server:       server.Options{CacheDBs: true},
+		Server:       server.Options{CacheDBs: true, WireV1: true},
 		NoDocService: true,
 		Replicas:     replicas,
 	})
@@ -287,6 +292,7 @@ func repKillCell(kills, perWorker int) (*ReplicaKillCell, error) {
 		Net: netsim.Options{BytesPerSecond: repBW},
 		Server: server.Options{
 			CacheDBs: true,
+			WireV1:   true, // same calibrated uplink-bound regime as repScaleCell
 			Retry:    server.RetryPolicy{Attempts: 3, Base: time.Millisecond, Max: 10 * time.Millisecond, Timeout: 200 * time.Millisecond},
 		},
 		NoDocService: true,

@@ -156,9 +156,21 @@ func (p *Pool) take(to string) net.Conn {
 	return pc.c
 }
 
+// ConnHealth is optionally implemented by wrapped connections carrying
+// session state that can fail independently of the transport — e.g. a
+// wire session poisoned by a mid-frame error. Put consults it so a
+// poisoned session is closed, never re-pooled for another sender.
+type ConnHealth interface {
+	Healthy() bool
+}
+
 // Put returns a connection to the pool after a successful send. The pool
 // takes ownership: the connection is retained idle or closed.
 func (p *Pool) Put(to string, c net.Conn) {
+	if hc, ok := c.(ConnHealth); ok && !hc.Healthy() {
+		c.Close()
+		return
+	}
 	p.mu.Lock()
 	if p.closed || len(p.idle[to]) >= p.opts.perPeer() {
 		p.mu.Unlock()

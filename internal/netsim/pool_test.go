@@ -212,3 +212,35 @@ func TestPoolClose(t *testing.T) {
 		t.Fatalf("IdleCount = %d, want 0 on closed pool", got)
 	}
 }
+
+// unhealthyConn wraps a connection with a failing ConnHealth answer —
+// the shape of a wire session poisoned by a mid-frame error.
+type unhealthyConn struct {
+	net.Conn
+	closed bool
+}
+
+func (u *unhealthyConn) Healthy() bool { return false }
+func (u *unhealthyConn) Close() error  { u.closed = true; return u.Conn.Close() }
+
+// TestPoolPutEvictsUnhealthySession: a connection whose session reports
+// unhealthy (e.g. poisoned by a torn frame) must be closed on Put, never
+// re-pooled for another sender.
+func TestPoolPutEvictsUnhealthySession(t *testing.T) {
+	n := New(Options{})
+	defer acceptAll(t, n, "server")()
+
+	p := NewPool(n, "client", PoolOptions{})
+	raw, err := n.Dial("client", "server")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := &unhealthyConn{Conn: raw}
+	p.Put("server", bad)
+	if !bad.closed {
+		t.Error("unhealthy session not closed on Put")
+	}
+	if got := p.IdleCount(); got != 0 {
+		t.Errorf("IdleCount = %d, want 0: poisoned session was pooled", got)
+	}
+}

@@ -54,6 +54,21 @@ func (b BatchOptions) maxAge() time.Duration {
 	return 2 * time.Millisecond
 }
 
+// tuneMaxRows and tuneMaxAge cap what a TUNE frame may request: the
+// collector is advisory, but the server bounds how much buffering it
+// will do on a remote's say-so.
+const (
+	tuneMaxRows = 8192
+	tuneMaxAge  = 100 * time.Millisecond
+)
+
+// tuneOverride holds one query's TUNE-adjusted batch bounds; a zero
+// field falls back to the server-wide BatchOptions.
+type tuneOverride struct {
+	maxRows int
+	maxAge  time.Duration
+}
+
 // deadTTL is how long a query whose collector refused a flush stays
 // blacklisted; entries are pruned lazily, so the bound only matters for
 // memory, not correctness (resends to a closed collector just fail
@@ -85,8 +100,9 @@ type resultBatcher struct {
 	opts BatchOptions
 
 	mu      sync.Mutex
-	batches map[string]*batch    // keyed by QueryID.String()
-	dead    map[string]time.Time // queries whose collector failed a flush
+	batches map[string]*batch       // keyed by QueryID.String()
+	dead    map[string]time.Time    // queries whose collector failed a flush
+	tunes   map[string]tuneOverride // per-query TUNE-adjusted bounds
 	started bool
 	closed  sync.Once
 	stopCh  chan struct{}
@@ -99,6 +115,7 @@ func newResultBatcher(s *Server, opts BatchOptions) *resultBatcher {
 		opts:    opts,
 		batches: make(map[string]*batch),
 		dead:    make(map[string]time.Time),
+		tunes:   make(map[string]tuneOverride),
 		stopCh:  make(chan struct{}),
 		done:    make(chan struct{}),
 	}
@@ -174,8 +191,12 @@ func (rb *resultBatcher) add(id wire.QueryID, r wire.Report) bool {
 	}
 	b.add(r)
 	rb.s.met.ResultReports.Add(1)
+	limit := rb.opts.maxRows()
+	if o, ok := rb.tunes[key]; ok && o.maxRows > 0 {
+		limit = o.maxRows
+	}
 	var out *batch
-	if b.rows >= rb.opts.maxRows() {
+	if b.rows >= limit {
 		delete(rb.batches, key)
 		out = b
 	}
@@ -186,13 +207,18 @@ func (rb *resultBatcher) add(id wire.QueryID, r wire.Report) bool {
 	return true
 }
 
-// flushAged flushes every batch whose oldest report has exceeded MaxAge.
+// flushAged flushes every batch whose oldest report has exceeded its
+// query's age bound (the TUNE override when one is set).
 func (rb *resultBatcher) flushAged() {
-	cutoff := time.Now().Add(-rb.opts.maxAge())
+	now := time.Now()
 	rb.mu.Lock()
 	var out []*batch
 	for key, b := range rb.batches {
-		if b.oldest.Before(cutoff) {
+		age := rb.opts.maxAge()
+		if o, ok := rb.tunes[key]; ok && o.maxAge > 0 {
+			age = o.maxAge
+		}
+		if b.oldest.Before(now.Add(-age)) {
 			delete(rb.batches, key)
 			out = append(out, b)
 		}
@@ -201,6 +227,32 @@ func (rb *resultBatcher) flushAged() {
 	for _, b := range out {
 		rb.flush(b)
 	}
+}
+
+// tune applies one TUNE frame: the query's collector asking for larger
+// (backpressure) or default (drained) batch bounds. A message with both
+// fields zero clears the override.
+func (rb *resultBatcher) tune(m *wire.TuneMsg) {
+	key := m.ID.String()
+	rb.mu.Lock()
+	defer rb.mu.Unlock()
+	if m.MaxRows <= 0 && m.MaxAgeMicros <= 0 {
+		delete(rb.tunes, key)
+		return
+	}
+	var o tuneOverride
+	if m.MaxRows > 0 {
+		o.maxRows = min(m.MaxRows, tuneMaxRows)
+	}
+	if m.MaxAgeMicros > 0 {
+		o.maxAge = min(time.Duration(m.MaxAgeMicros)*time.Microsecond, tuneMaxAge)
+	}
+	// Bound the override registry; dropping stale entries just reverts
+	// those queries to the server-wide defaults.
+	if len(rb.tunes) >= 256 {
+		rb.tunes = make(map[string]tuneOverride)
+	}
+	rb.tunes[key] = o
 }
 
 // flush ships one coalesced frame to the query's result collector. A

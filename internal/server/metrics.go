@@ -147,6 +147,14 @@ type Metrics struct {
 	// TargetsAdded counts forward targets scheduled (the fan-out the
 	// statistics report as Fanout).
 	TargetsAdded atomic.Int64
+
+	// BytesV2Saved accumulates, under Options.WireOracle, the per-frame
+	// difference between what gob would have put on the wire and what the
+	// v2 binary codec actually sent.
+	BytesV2Saved atomic.Int64
+	// BatchTunes counts TUNE frames applied to the result batcher's
+	// per-query bounds (the client's adaptive-batching feedback loop).
+	BatchTunes atomic.Int64
 }
 
 // Snapshot is a plain-integer copy of Metrics.
@@ -200,6 +208,9 @@ type Snapshot struct {
 	ShipDataBytes      int64
 	DocBytes           int64
 	TargetsAdded       int64
+
+	BytesV2Saved int64
+	BatchTunes   int64
 }
 
 // Snapshot returns a consistent-enough copy for reporting (individual
@@ -255,6 +266,9 @@ func (m *Metrics) Snapshot() Snapshot {
 		ShipDataBytes:      m.ShipDataBytes.Load(),
 		DocBytes:           m.DocBytes.Load(),
 		TargetsAdded:       m.TargetsAdded.Load(),
+
+		BytesV2Saved: m.BytesV2Saved.Load(),
+		BatchTunes:   m.BatchTunes.Load(),
 	}
 }
 

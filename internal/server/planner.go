@@ -98,14 +98,18 @@ func (s *Server) applyFrag(c *wire.CloneMsg, stage int, env map[string]string, n
 	if !s.opts.Planner.Enabled || !c.Frag.Applies(stage) {
 		return
 	}
+	before := wire.TableSize(nt)
 	cols, rows, partial, saved := plan.ApplyFrag(nt.Cols, nt.Rows, env, &c.Frag.Spec)
 	if !partial && saved <= 0 {
 		return
 	}
 	nt.Cols, nt.Rows, nt.Partial = cols, rows, partial
 	s.met.PushdownHits.Add(1)
-	if saved > 0 {
-		s.met.PushdownBytesSaved.Add(int64(saved))
+	// Book the saving as encoded wire bytes — the table's serialized size
+	// before minus after — not raw cell bytes, so the counter composes
+	// with the other wire-level byte metrics.
+	if d := before - wire.TableSize(nt); d > 0 {
+		s.met.PushdownBytesSaved.Add(int64(d))
 	}
 }
 
@@ -119,11 +123,16 @@ func (s *Server) chooseShipData(oc *outClone) bool {
 	if !p.Enabled || p.NoShipData || oc.site == s.site {
 		return false
 	}
-	envBytes := 0
-	for k, v := range oc.msg.Env {
-		envBytes += len(k) + len(v)
+	// Cost the clone at its actual encoded frame size; the structural
+	// estimate remains the fallback for messages the codec refuses.
+	cloneBytes := int64(wire.EncodedSize(oc.msg))
+	if cloneBytes == 0 {
+		envBytes := 0
+		for k, v := range oc.msg.Env {
+			envBytes += len(k) + len(v)
+		}
+		cloneBytes = plan.EstimateCloneBytes(len(oc.msg.Stages), envBytes, len(oc.msg.Dest))
 	}
-	cloneBytes := plan.EstimateCloneBytes(len(oc.msg.Stages), envBytes, len(oc.msg.Dest))
 	avg := s.peerStat(oc.site).AvgDocBytes()
 	return plan.ChooseShipData(len(oc.msg.Dest), avg, cloneBytes, p.ShipDataBias)
 }
@@ -135,7 +144,10 @@ func (s *Server) fetchForeign(node, host string) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	s.met.ShipDataBytes.Add(int64(len(content)))
+	// Book the transfer at its encoded frame size (what actually crossed
+	// the wire), while the peer's document statistic stays raw content
+	// bytes — the cost model's avgDocBytes numerator.
+	s.met.ShipDataBytes.Add(int64(wire.EncodedSize(&wire.FetchResp{URL: node, Content: content})))
 	s.recordPeerDoc(host, int64(len(content)))
 	return content, nil
 }

@@ -177,6 +177,16 @@ type Options struct {
 	// fragment pushdown, statistics piggybacking, and the per-edge
 	// ship-query-vs-ship-data decision. Zero disables all three.
 	Planner PlannerOptions
+	// WireV1 pins every framed session this server opens or accepts to
+	// wire version 1 (persistent framed gob) instead of negotiating the
+	// v2 binary codec — the compatibility profile for mixed-version
+	// deployments and the baseline arm of codec benchmarks.
+	WireV1 bool
+	// WireOracle arms per-frame byte measurement on outgoing v2
+	// sessions: every frame re-encodes through gob to book the saving
+	// into Metrics.BytesV2Saved. Strictly a measurement mode (the gob
+	// re-encode is not free); used by the campus experiment tables.
+	WireOracle bool
 }
 
 func (o Options) dedup() nodeproc.DedupMode {
@@ -290,12 +300,31 @@ func New(site string, docs DocSource, tr netsim.Transport, met *Metrics, opts Op
 	if !opts.NoConnPool {
 		s.pool = netsim.NewPool(tr, s.self, netsim.PoolOptions{
 			// Pooled connections carry many frames, so attach a persistent
-			// wire codec: type descriptors then travel only on a
-			// connection's first frame.
-			Wrap: func(c net.Conn) net.Conn { return wire.NewFramed(c) },
+			// wire codec: type descriptors (v1) or the intern table (v2)
+			// then amortize across a connection's lifetime.
+			Wrap: func(c net.Conn) net.Conn { return wire.NewFramedOpts(c, s.frameOpts()) },
 		})
 	}
 	return s
+}
+
+// frameOpts derives the wire-session options this server attaches to
+// every connection it opens or accepts: version pinning under WireV1 and
+// the per-frame gob-size oracle under WireOracle.
+func (s *Server) frameOpts() wire.FramedOptions {
+	fo := wire.FramedOptions{}
+	if s.opts.WireV1 {
+		fo.Offer, fo.Accept = 1, 1
+	}
+	if s.opts.WireOracle {
+		fo.MeasureGob = true
+		fo.OnFrame = func(kind string, wireBytes, gobBytes int) {
+			if gobBytes > 0 {
+				s.met.BytesV2Saved.Add(int64(gobBytes - wireBytes))
+			}
+		}
+	}
+	return fo
 }
 
 // seedName derives the per-server jitter-seed name: the bare site for
@@ -376,7 +405,7 @@ func (s *Server) Start() error {
 				}()
 				// The sender may pool this connection and stream many
 				// frames over it, so decode with a persistent session.
-				s.receive(wire.NewFramed(conn))
+				s.receive(wire.NewFramedOpts(conn, s.frameOpts()))
 			}()
 		}
 	}()
@@ -520,6 +549,13 @@ func (s *Server) receive(conn net.Conn) {
 			s.admit(m)
 		case *wire.StopMsg:
 			s.markStopped(m.ID.String())
+		case *wire.TuneMsg:
+			// Adaptive-batching feedback from the query's collector; purely
+			// advisory, and a no-op when batching is off.
+			if s.batcher != nil {
+				s.batcher.tune(m)
+				s.met.BatchTunes.Add(1)
+			}
 		default:
 			return
 		}

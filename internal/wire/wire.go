@@ -24,6 +24,7 @@ import (
 	"net"
 	"sort"
 	"strings"
+	"sync"
 
 	"webdis/internal/netsim"
 	"webdis/internal/nodequery"
@@ -512,6 +513,21 @@ type ShedMsg struct {
 	Site  string // site that refused the clone
 }
 
+// TuneMsg is the user-site → query-server feedback of the adaptive
+// result batcher: the observed consumer backpressure asks the site to
+// re-bound its per-query result batching. MaxRows and MaxAgeMicros
+// override the server's configured BatchOptions for this query; zero
+// values revert to the configured defaults. A slow consumer (deep
+// ConsumerLag) asks for large, late frames — fewer messages, better
+// compression — while a caught-up consumer asks the bounds back down so
+// first-row latency stays low. Servers without batching enabled ignore
+// the message; it is advisory, so mixed deployments interoperate.
+type TuneMsg struct {
+	ID           QueryID
+	MaxRows      int
+	MaxAgeMicros int64
+}
+
 // StopMsg is the user-site → query-server active-termination signal: the
 // user has enough answers (Budget.FirstN satisfied, or the submitting
 // context was cancelled), so still-running clones of the query should
@@ -535,6 +551,7 @@ const (
 	KindStop      = "stop"
 	KindFetchReq  = "fetch-req"
 	KindFetchResp = "fetch-resp"
+	KindTune      = "tune"
 )
 
 // envelope wraps every message so a single gob stream can carry any kind.
@@ -547,58 +564,279 @@ type envelope struct {
 	Stop      *StopMsg
 	FetchReq  *FetchReq
 	FetchResp *FetchResp
+	Tune      *TuneMsg
+}
+
+// wrap classifies msg into its envelope, the shared front half of Send
+// and the size helpers.
+func wrap(msg any) (envelope, error) {
+	switch m := msg.(type) {
+	case *CloneMsg:
+		return envelope{Kind: KindClone, Clone: m}, nil
+	case *ResultMsg:
+		return envelope{Kind: KindResult, Result: m}, nil
+	case *BounceMsg:
+		return envelope{Kind: KindBounce, Bounce: m}, nil
+	case *ShedMsg:
+		return envelope{Kind: KindShed, Shed: m}, nil
+	case *StopMsg:
+		return envelope{Kind: KindStop, Stop: m}, nil
+	case *FetchReq:
+		return envelope{Kind: KindFetchReq, FetchReq: m}, nil
+	case *FetchResp:
+		return envelope{Kind: KindFetchResp, FetchResp: m}, nil
+	case *TuneMsg:
+		return envelope{Kind: KindTune, Tune: m}, nil
+	}
+	return envelope{}, fmt.Errorf("wire: cannot send %T", msg)
 }
 
 // maxFrame bounds a frame to guard against corrupt length prefixes.
 const maxFrame = 64 << 20
 
-// Framed wraps a connection with a persistent gob session: one encoder
-// and one decoder for the connection's lifetime. The on-wire format is
-// the same length-prefixed framing Send and Receive have always used,
-// but type descriptors travel only in a connection's first frame instead
-// of every frame — the dominant per-message cost once connections are
-// pooled and carry many frames (a fresh gob codec re-compiles and
-// re-transmits the full type set each time).
+// frameHeaderLen is the v2 frame header: 4-byte length prefix plus the
+// kind and flags bytes the length covers.
+const frameHeaderLen = 6
+
+// helloMagic opens the 4-byte version hello and ack. The first byte is
+// deliberately above maxFrame's high byte (0x04), so it can never be
+// confused with a v1 length prefix.
+var helloMagic = [3]byte{0xAE, 'W', 'D'}
+
+// FramedOptions configure a framed session's wire version and
+// instrumentation. The zero value offers and accepts the newest format
+// (v2, the binary codec), falling back per connection when the peer
+// does not.
+type FramedOptions struct {
+	// Offer is the highest wire version this side proposes when it sends
+	// first on the connection (the dialing side). 0 means MaxWireVersion;
+	// 1 pins classic framed gob and sends no handshake at all, so v1
+	// deployments keep their exact wire profile.
+	Offer int
+	// Accept caps the version granted to a peer's hello when this side
+	// receives first (the accepting side). 0 means MaxWireVersion; 1
+	// answers every hello with v1, pinning the session to gob.
+	Accept int
+	// OnFrame, when set, observes every v2 frame sent: its kind, the
+	// bytes it occupied on the wire (after compression), and — only when
+	// MeasureGob is set — the bytes the same message would have cost as a
+	// fresh gob frame (else 0). Used by the BytesV2Saved accounting.
+	OnFrame func(kind string, wireBytes, gobBytes int)
+	// MeasureGob arms the gob-size oracle for OnFrame. It re-encodes
+	// every sent message with gob, so it is strictly a measurement mode.
+	MeasureGob bool
+}
+
+func (o FramedOptions) offer() int {
+	return clampVersion(o.Offer)
+}
+
+func (o FramedOptions) accept() int {
+	return clampVersion(o.Accept)
+}
+
+func clampVersion(v int) int {
+	if v <= 0 || v > MaxWireVersion {
+		return MaxWireVersion
+	}
+	return v
+}
+
+// Framed wraps a connection with a persistent wire session. The session
+// negotiates its format version once, before the first frame:
 //
-// A Framed connection is a session: after any Send or Receive error its
-// codec state is undefined and the connection must be closed, never
-// retried — exactly what every caller already does. One goroutine sends
-// and one receives; neither method is safe for concurrent use with
-// itself.
+//   - A dialer offering v2 writes the 4-byte hello {0xAE 'W' 'D' ver}
+//     pipelined with its first frame — always encoded at version 2, the
+//     baseline every hello-capable peer decodes — in a single write, so
+//     the handshake adds no round trip and no extra fault-injection
+//     draw to first delivery. The 4-byte ack carrying the granted
+//     version (min of offered and accepted) is read lazily before the
+//     second frame; the session speaks the granted version from then on.
+//   - A receiver classifies the connection by its first four bytes: the
+//     hello magic starts a handshake — the pipelined frame is decoded
+//     first and the ack written only after it arrives whole, so a lost
+//     ack can never lose a frame that was in fact delivered. Anything
+//     else must be a v1 length prefix (maxFrame caps its first byte at
+//     0x04), so the session is gob and those four bytes are replayed as
+//     the first frame's prefix. Plain per-dial senders and v1-pinned
+//     peers therefore interoperate unchanged, with no handshake on the
+//     wire.
+//
+// Version 2 frames carry the hand-rolled binary codec (see codec.go);
+// version 1 keeps the persistent gob session of PR 3, whose type
+// descriptors travel once per connection.
+//
+// A Framed connection is a session with an error latch: the first Send
+// or Receive failure — including a short read mid-frame — poisons it,
+// and every later call fails fast with ErrPoisoned wrapping the original
+// error. A poisoned session reports Healthy() == false, which the
+// connection pool checks before re-pooling, so a torn frame can never be
+// followed by a delivery on the same connection. One goroutine sends and
+// one receives; neither method is safe for concurrent use with itself.
 //
 // Interop: a sender using plain Send opens a fresh gob stream per frame,
 // which a Framed receiver handles (each dial-per-message connection is a
-// one-frame session). The reverse — plain Receive of a Framed sender's
-// second frame — does not work, so receivers wrap first, senders only
-// ever reuse connections through a pool that wraps.
+// one-frame v1 session). The reverse — plain Receive of a Framed
+// sender's second frame — does not work, so receivers wrap first,
+// senders only ever reuse connections through a pool that wraps.
 type Framed struct {
 	net.Conn
+	opts FramedOptions
+
+	// ver is the negotiated wire version; verSet latches once the
+	// version is settled: immediately for v1 offers and classified
+	// receivers, at ack time for hello-sending dialers.
+	ver    int
+	verSet bool
+	// txHello records that the hello went out pipelined with the first
+	// frame; the granted-version ack is read lazily before the second
+	// frame, so the handshake adds no round trip to first delivery.
+	txHello bool
+	// rxAckOwed is the granted version this side still owes the dialer;
+	// it is written only after the pipelined first frame decodes, so a
+	// lost ack can never lose a frame that was in fact delivered.
+	rxAckOwed byte
+	// rxFirstV2 marks that the next inbound frame is the pipelined one,
+	// which is always encoded at version 2 regardless of the grant.
+	rxFirstV2 bool
+
+	// v1 session state: persistent gob codec over length-prefixed frames.
 	encBuf bytes.Buffer
 	enc    *gob.Encoder
 	fr     frameReader
 	dec    *gob.Decoder
+
+	// v2 session state: per-direction codecs with interned string tables,
+	// plus reusable frame buffers (send, receive, inflate, compress).
+	enc2 *encoder
+	dec2 *decoder
+	rbuf []byte
+	dbuf []byte
+	cbuf bytes.Buffer
+
+	failMu sync.Mutex
+	fail   error
 }
 
-// NewFramed wraps conn in a persistent gob session; wrapping a Framed
+// NewFramed wraps conn in a persistent wire session with default
+// options (offer and accept the newest version); wrapping a Framed
 // connection returns it unchanged.
 func NewFramed(conn net.Conn) *Framed {
+	return NewFramedOpts(conn, FramedOptions{})
+}
+
+// NewFramedOpts wraps conn in a persistent wire session configured by
+// opts. Wrapping a Framed connection returns it unchanged, keeping its
+// original options — sessions negotiate once and never change shape.
+func NewFramedOpts(conn net.Conn, opts FramedOptions) *Framed {
 	if f, ok := conn.(*Framed); ok {
 		return f
 	}
-	return &Framed{Conn: conn}
+	return &Framed{Conn: conn, opts: opts}
 }
 
-// frameReader feeds the persistent decoder the concatenated payloads of
-// the connection's frames, stripping the length prefixes.
+// Healthy reports whether the session can still carry frames: false
+// once any Send or Receive has failed. The connection pool consults it
+// on Put, so poisoned sessions are closed instead of re-pooled.
+func (f *Framed) Healthy() bool {
+	f.failMu.Lock()
+	defer f.failMu.Unlock()
+	return f.fail == nil
+}
+
+func (f *Framed) poison(err error) {
+	f.failMu.Lock()
+	if f.fail == nil {
+		f.fail = err
+	}
+	f.failMu.Unlock()
+}
+
+func (f *Framed) latched() error {
+	f.failMu.Lock()
+	defer f.failMu.Unlock()
+	if f.fail != nil {
+		return fmt.Errorf("%w: %v", ErrPoisoned, f.fail)
+	}
+	return nil
+}
+
+// finishTx settles a pipelined handshake on the sending side: it reads
+// the granted-version ack the hello solicited. Called lazily before the
+// second frame (or a first receive), by which point the ack has usually
+// long since arrived — the handshake costs no round trip on the first
+// delivery.
+func (f *Framed) finishTx() error {
+	offer := f.opts.offer()
+	var ack [4]byte
+	if _, err := io.ReadFull(f.Conn, ack[:]); err != nil {
+		return fmt.Errorf("wire: handshake ack: %w", err)
+	}
+	if ack[0] != helloMagic[0] || ack[1] != helloMagic[1] || ack[2] != helloMagic[2] {
+		return fmt.Errorf("%w: bad handshake ack", ErrCorrupt)
+	}
+	v := int(ack[3])
+	if v < 1 || v > offer {
+		return fmt.Errorf("%w: handshake granted version %d against offer %d", ErrCorrupt, v, offer)
+	}
+	f.ver, f.verSet = v, true
+	return nil
+}
+
+// negotiateRx classifies an incoming connection by its first four bytes:
+// the hello magic starts a handshake (the pipelined first frame is
+// decoded before the ack is written), anything else is a v1 length
+// prefix, replayed into the gob frame reader.
+func (f *Framed) negotiateRx() error {
+	var first [4]byte
+	if _, err := io.ReadFull(f.Conn, first[:]); err != nil {
+		return err // io.EOF for a connection closed before any traffic
+	}
+	if first[0] == helloMagic[0] && first[1] == helloMagic[1] && first[2] == helloMagic[2] {
+		offered := int(first[3])
+		if offered < 2 {
+			// v1 peers never send a hello; an offer below 2 is noise.
+			return fmt.Errorf("%w: hello offers version %d", ErrCorrupt, offered)
+		}
+		v := f.opts.accept()
+		if offered < v {
+			v = offered
+		}
+		f.rxAckOwed = byte(v)
+		f.rxFirstV2 = true
+		f.ver, f.verSet = v, true
+		return nil
+	}
+	f.fr.pre = append(f.fr.pre[:0], first[:]...)
+	f.ver, f.verSet = 1, true
+	return nil
+}
+
+// frameReader feeds the persistent gob decoder the concatenated
+// payloads of the connection's v1 frames, stripping the length
+// prefixes. pre replays the bytes version detection consumed.
 type frameReader struct {
 	conn      net.Conn
+	pre       []byte
 	remaining int
+}
+
+func (r *frameReader) readFull(p []byte) error {
+	for len(p) > 0 && len(r.pre) > 0 {
+		n := copy(p, r.pre)
+		r.pre, p = r.pre[n:], p[n:]
+	}
+	if len(p) == 0 {
+		return nil
+	}
+	_, err := io.ReadFull(r.conn, p)
+	return err
 }
 
 func (r *frameReader) Read(p []byte) (int, error) {
 	for r.remaining == 0 {
 		var lenbuf [4]byte
-		if _, err := io.ReadFull(r.conn, lenbuf[:]); err != nil {
+		if err := r.readFull(lenbuf[:]); err != nil {
 			return 0, err
 		}
 		n := binary.BigEndian.Uint32(lenbuf[:])
@@ -610,12 +848,55 @@ func (r *frameReader) Read(p []byte) (int, error) {
 	if len(p) > r.remaining {
 		p = p[:r.remaining]
 	}
+	if len(r.pre) > 0 {
+		n := copy(p, r.pre)
+		r.pre = r.pre[n:]
+		r.remaining -= n
+		return n, nil
+	}
 	n, err := r.conn.Read(p)
 	r.remaining -= n
 	return n, err
 }
 
 func (f *Framed) send(env *envelope) error {
+	if err := f.latched(); err != nil {
+		return err
+	}
+	if !f.verSet {
+		if !f.txHello {
+			if f.opts.offer() < 2 {
+				f.ver, f.verSet = 1, true
+			} else {
+				// First frame: pipeline the hello with it in one write —
+				// no round trip, and one fault-injection draw, exactly as
+				// a bare v1 frame.
+				err := f.sendV2(env, true)
+				if err != nil {
+					f.poison(err)
+					return err
+				}
+				f.txHello = true
+				return nil
+			}
+		} else if err := f.finishTx(); err != nil {
+			f.poison(err)
+			return err
+		}
+	}
+	var err error
+	if f.ver >= 2 {
+		err = f.sendV2(env, false)
+	} else {
+		err = f.sendV1(env)
+	}
+	if err != nil {
+		f.poison(err)
+	}
+	return err
+}
+
+func (f *Framed) sendV1(env *envelope) error {
 	if f.enc == nil {
 		f.enc = gob.NewEncoder(&f.encBuf)
 	}
@@ -636,9 +917,103 @@ func (f *Framed) send(env *envelope) error {
 	return nil
 }
 
+func (f *Framed) sendV2(env *envelope, withHello bool) error {
+	if f.enc2 == nil {
+		f.enc2 = newEncoder()
+	}
+	code, ok := kindCode(env.Kind)
+	if !ok {
+		return fmt.Errorf("wire: cannot send kind %q", env.Kind)
+	}
+	e := f.enc2
+	e.buf = e.buf[:0]
+	start := 0
+	if withHello {
+		e.buf = append(e.buf, helloMagic[0], helloMagic[1], helloMagic[2], byte(f.opts.offer()))
+		start = 4
+	}
+	e.buf = append(e.buf, 0, 0, 0, 0, code, 0)
+	if err := encodeEnvelope(e, env); err != nil {
+		return err
+	}
+	frame := e.buf
+	if env.Kind == KindResult && len(frame)-start-frameHeaderLen >= compressMin {
+		f.cbuf.Reset()
+		f.cbuf.Write(frame[:start])
+		f.cbuf.Write([]byte{0, 0, 0, 0, code, flagCompressed})
+		if compressPayload(&f.cbuf, frame[start+frameHeaderLen:]) {
+			frame = f.cbuf.Bytes()
+		}
+	}
+	binary.BigEndian.PutUint32(frame[start:start+4], uint32(len(frame)-start-4))
+	if _, err := f.Conn.Write(frame); err != nil {
+		return fmt.Errorf("wire: send %s: %w", env.Kind, err)
+	}
+	if mm, ok := f.Conn.(netsim.MessageMarker); ok {
+		mm.MarkMessage(env.Kind)
+	}
+	if f.opts.OnFrame != nil {
+		g := 0
+		if f.opts.MeasureGob {
+			g = gobSize(env)
+		}
+		f.opts.OnFrame(env.Kind, len(frame)-start, g)
+	}
+	return nil
+}
+
 func (f *Framed) receive() (any, error) {
+	if err := f.latched(); err != nil {
+		return nil, err
+	}
+	if !f.verSet {
+		var err error
+		if f.txHello {
+			err = f.finishTx() // this side dialed; settle our own hello first
+		} else {
+			err = f.negotiateRx()
+		}
+		if err != nil {
+			if err != io.EOF {
+				f.poison(err)
+			}
+			return nil, err
+		}
+	}
+	if f.rxFirstV2 {
+		f.rxFirstV2 = false
+		msg, err := f.receiveV2()
+		if err != nil {
+			if err != io.EOF {
+				f.poison(err)
+			}
+			return nil, err
+		}
+		// The pipelined frame arrived whole: now the dialer may learn its
+		// granted version. An ack that fails to send only kills this
+		// session's future frames — never one already delivered.
+		ack := [4]byte{helloMagic[0], helloMagic[1], helloMagic[2], f.rxAckOwed}
+		if _, werr := f.Conn.Write(ack[:]); werr != nil {
+			f.poison(fmt.Errorf("wire: handshake ack: %w", werr))
+		}
+		return msg, nil
+	}
+	var msg any
+	var err error
+	if f.ver >= 2 {
+		msg, err = f.receiveV2()
+	} else {
+		msg, err = f.receiveV1()
+	}
+	if err != nil && err != io.EOF {
+		f.poison(err)
+	}
+	return msg, err
+}
+
+func (f *Framed) receiveV1() (any, error) {
 	if f.dec == nil {
-		f.fr = frameReader{conn: f.Conn}
+		f.fr.conn = f.Conn
 		f.dec = gob.NewDecoder(&f.fr)
 	}
 	var env envelope
@@ -651,36 +1026,71 @@ func (f *Framed) receive() (any, error) {
 	return unwrap(&env)
 }
 
-// Send encodes msg as one length-prefixed gob frame on conn and attributes
-// it to the connection's edge when the transport is instrumented. msg must
-// be one of *CloneMsg, *ResultMsg, *FetchReq, *FetchResp. On a Framed
-// connection the session's persistent encoder is used.
+func (f *Framed) receiveV2() (any, error) {
+	var lenbuf [4]byte
+	if _, err := io.ReadFull(f.Conn, lenbuf[:]); err != nil {
+		if err == io.EOF {
+			return nil, err
+		}
+		return nil, fmt.Errorf("%w: frame header: %v", ErrTruncated, err)
+	}
+	n := binary.BigEndian.Uint32(lenbuf[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("wire: frame of %d bytes exceeds limit", n)
+	}
+	if n < 2 {
+		return nil, fmt.Errorf("%w: frame of %d bytes", ErrCorrupt, n)
+	}
+	if cap(f.rbuf) < int(n) {
+		f.rbuf = make([]byte, n)
+	}
+	buf := f.rbuf[:n]
+	if _, err := io.ReadFull(f.Conn, buf); err != nil {
+		return nil, fmt.Errorf("%w: short frame: %v", ErrTruncated, err)
+	}
+	code, flags := buf[0], buf[1]
+	payload := buf[2:]
+	if flags&^flagCompressed != 0 {
+		return nil, fmt.Errorf("%w: unknown flags %#x", ErrCorrupt, flags)
+	}
+	if flags&flagCompressed != 0 {
+		var err error
+		f.dbuf, err = inflatePayload(payload, f.dbuf)
+		if err != nil {
+			return nil, err
+		}
+		payload = f.dbuf
+	}
+	if f.dec2 == nil {
+		f.dec2 = newDecoder()
+	}
+	f.dec2.reset(payload)
+	return decodeEnvelope(f.dec2, code)
+}
+
+// gobEncode appends env's gob encoding (a fresh one-frame gob session)
+// to buf. Shared by plain Send and the v2 byte-savings oracle.
+func gobEncode(buf *bytes.Buffer, env *envelope) error {
+	return gob.NewEncoder(buf).Encode(env)
+}
+
+// Send encodes msg as one length-prefixed frame on conn and attributes
+// it to the connection's edge when the transport is instrumented. msg
+// must be one of the wire message pointer types. On a Framed connection
+// the session's persistent codec is used (the negotiated version);
+// plain connections always carry one-frame gob sessions, which any
+// receiver understands.
 func Send(conn net.Conn, msg any) error {
-	var env envelope
-	switch m := msg.(type) {
-	case *CloneMsg:
-		env = envelope{Kind: KindClone, Clone: m}
-	case *ResultMsg:
-		env = envelope{Kind: KindResult, Result: m}
-	case *BounceMsg:
-		env = envelope{Kind: KindBounce, Bounce: m}
-	case *ShedMsg:
-		env = envelope{Kind: KindShed, Shed: m}
-	case *StopMsg:
-		env = envelope{Kind: KindStop, Stop: m}
-	case *FetchReq:
-		env = envelope{Kind: KindFetchReq, FetchReq: m}
-	case *FetchResp:
-		env = envelope{Kind: KindFetchResp, FetchResp: m}
-	default:
-		return fmt.Errorf("wire: cannot send %T", msg)
+	env, err := wrap(msg)
+	if err != nil {
+		return err
 	}
 	if f, ok := conn.(*Framed); ok {
 		return f.send(&env)
 	}
 	var buf bytes.Buffer
 	buf.Write(make([]byte, 4)) // length placeholder, patched below
-	if err := gob.NewEncoder(&buf).Encode(&env); err != nil {
+	if err := gobEncode(&buf, &env); err != nil {
 		return fmt.Errorf("wire: encode %s: %w", env.Kind, err)
 	}
 	frame := buf.Bytes()
@@ -758,6 +1168,11 @@ func unwrap(env *envelope) (any, error) {
 			return nil, fmt.Errorf("wire: empty %s envelope", env.Kind)
 		}
 		return env.FetchResp, nil
+	case KindTune:
+		if env.Tune == nil {
+			return nil, fmt.Errorf("wire: empty %s envelope", env.Kind)
+		}
+		return env.Tune, nil
 	}
 	return nil, fmt.Errorf("wire: unknown message kind %q", env.Kind)
 }

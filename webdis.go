@@ -79,7 +79,8 @@ type (
 // Engine configuration.
 type (
 	// ServerOptions configure every query server of a deployment (dedup
-	// mode, clone batching, hop bound, trace hook).
+	// mode, clone batching, hop bound, trace hook, wire-format pinning
+	// via WireV1 and the per-frame gob byte oracle via WireOracle).
 	ServerOptions = server.Options
 	// NetOptions configure the simulated network fabric.
 	NetOptions = netsim.Options
