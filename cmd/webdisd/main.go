@@ -39,17 +39,28 @@ import (
 func main() {
 	spec := flag.String("web", "campus", "web specification shared by all daemons")
 	seed := flag.Int64("seed", 1, "generator seed shared by all daemons")
+	pages := flag.Int("pages", 0, "scale the generator to at least this many pages (must match the webgen -pages used to build -store)")
 	peersPath := flag.String("peers", "", "peers file: '<site> <query-addr> [doc-addr]' per line (required)")
 	site := flag.String("site", "", "site this daemon serves (required; must appear in the peers file)")
 	dedup := flag.String("dedup", "subsume", "log table mode: off, exact, subsume, strong")
 	planner := flag.Bool("planner", true, "apply pushed-down plan fragments and decide ship-query vs ship-data per edge (false = naive shipping)")
 	wirev := flag.String("wire", "v2", "wire format: v2 negotiates the binary codec (v1 peers still interoperate), v1 pins every session to framed gob")
+	storeDir := flag.String("store", "", "serve local databases from the persistent site store under this directory (opened if present, built once otherwise; e.g. a webgen -out directory)")
+	poolPages := flag.Int("poolpages", 0, "buffer-pool page cap for -store (0 = default)")
+	dbcache := flag.Int("dbcache", 0, "retain constructed node databases in an LRU of this many entries (0 = build per evaluation, the paper's default)")
 	verbose := flag.Bool("v", false, "trace query processing to stderr")
 	flag.Parse()
 
 	if *peersPath == "" || *site == "" {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *pages > 0 {
+		scaled, err := webgraph.ScaleSpec(*spec, *pages)
+		if err != nil {
+			fatal(err)
+		}
+		*spec = scaled
 	}
 	web, err := webgraph.FromSpec(*spec, *seed)
 	if err != nil {
@@ -84,6 +95,13 @@ func main() {
 	}
 
 	opts := server.Options{DedupSet: true}
+	if *storeDir != "" {
+		opts.Store = server.StoreOptions{Dir: *storeDir, PoolPages: *poolPages}
+	}
+	if *dbcache > 0 {
+		opts.CacheDBs = true
+		opts.DBCacheEntries = *dbcache
+	}
 	if *planner {
 		opts.Planner = server.PlannerOptions{Enabled: true}
 		for _, p := range peers {

@@ -7,6 +7,7 @@
 //	webgen -web campus -stats
 //	webgen -web tree:f=3,d=4,pps=4 -dot > web.dot
 //	webgen -web figure1 -dump http://s4.example/n4.html
+//	webgen -web tree -pages 5000 -out /var/lib/webdis/store
 package main
 
 import (
@@ -15,25 +16,59 @@ import (
 	"os"
 
 	"webdis/internal/index"
+	"webdis/internal/store"
 	"webdis/internal/webgraph"
 )
 
 func main() {
 	spec := flag.String("web", "campus", "web specification (see webgraph.FromSpec)")
 	seed := flag.Int64("seed", 1, "generator seed")
+	pages := flag.Int("pages", 0, "scale the generator to at least this many pages (generated webs only)")
 	stats := flag.Bool("stats", false, "print summary statistics")
 	dot := flag.Bool("dot", false, "print the link graph in Graphviz DOT syntax")
 	dump := flag.String("dump", "", "print the HTML of the page at this URL")
 	list := flag.Bool("list", false, "list all page URLs")
 	search := flag.String("search", "", "query the web's search index for this term")
+	out := flag.String("out", "", "build each site's persistent store (heap file, catalog, text index) under this directory")
 	flag.Parse()
 
+	if *pages > 0 {
+		scaled, err := webgraph.ScaleSpec(*spec, *pages)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "webgen:", err)
+			os.Exit(2)
+		}
+		*spec = scaled
+	}
 	web, err := webgraph.FromSpec(*spec, *seed)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "webgen:", err)
 		os.Exit(2)
 	}
 	did := false
+	if *out != "" {
+		did = true
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "webgen:", err)
+			os.Exit(1)
+		}
+		get := func(u string) ([]byte, error) {
+			html, ok := web.HTML(u)
+			if !ok {
+				return nil, fmt.Errorf("no page at %s", u)
+			}
+			return html, nil
+		}
+		for _, host := range web.Hosts() {
+			st, err := store.Build(*out, host, web.URLsAt(host), get, store.Options{})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "webgen: building store for %s: %v\n", host, err)
+				os.Exit(1)
+			}
+			fmt.Printf("  %-40s %d docs, %d pages -> %s\n", host, st.Docs(), st.Pages(), store.Dir(*out, host))
+			st.Close()
+		}
+	}
 	if *stats {
 		did = true
 		fmt.Printf("web %q: %d pages on %d sites, %d bytes total, start node %s\n",

@@ -658,3 +658,62 @@ func TestWireShape(t *testing.T) {
 		t.Errorf("tcp/tree40 v2 speedup = %.2f, want > 1", out.SpeedupTCPTree)
 	}
 }
+
+func TestStoreShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("store grid is slow")
+	}
+	// Few measured runs, no artifact: the structure — identical answers
+	// down every column, store arms serving cold-opened pages without a
+	// single parse (storeCell enforces the counters), the eviction and
+	// index machinery engaging — not the memory/latency headlines
+	// recorded in BENCH_PR9.json (single-machine CI heap numbers are
+	// too noisy to gate on).
+	out, err := storeRun(io.Discard, 2, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := len(storeConfigs()) * len(storeWorkloads())
+	if len(out.Rows) != want {
+		t.Fatalf("grid has %d rows, want %d", len(out.Rows), want)
+	}
+	if out.WebScale < 10 {
+		t.Errorf("big web is only %.1fx the previous largest corpus, want >= 10x", out.WebScale)
+	}
+	rowsBy := make(map[string]int)
+	for _, r := range out.Rows {
+		if r.MeanMs <= 0 || r.Rows <= 0 {
+			t.Errorf("%s/%s: degenerate cell %+v", r.Topology, r.Config, r)
+		}
+		if prev, ok := rowsBy[r.Topology]; ok && prev != r.Rows {
+			t.Errorf("%s: %s delivered %d rows, other configs %d", r.Topology, r.Config, r.Rows, prev)
+		}
+		rowsBy[r.Topology] = r.Rows
+		switch r.Config {
+		case "ram":
+			if r.PagesRead != 0 || r.ColdOpens != 0 {
+				t.Errorf("%s/ram touched the store: %+v", r.Topology, r)
+			}
+		case "ram-bounded":
+			if r.DBCacheEvicted == 0 {
+				t.Errorf("%s/ram-bounded never evicted from the DB cache", r.Topology)
+			}
+		case "store", "store-noindex":
+			if r.DocsParsed != 0 {
+				t.Errorf("%s/%s parsed %d documents", r.Topology, r.Config, r.DocsParsed)
+			}
+			if r.PagesRead == 0 || r.ColdOpens == 0 {
+				t.Errorf("%s/%s served nothing from pages: %+v", r.Topology, r.Config, r)
+			}
+			if r.Topology == "bigtree" && r.PagesEvicted == 0 {
+				t.Errorf("%s/%s big web fit the %d-frame pool; eviction untested", r.Topology, r.Config, storePoolPages)
+			}
+			if r.Config == "store" && r.Topology == "bigtree" && r.IndexHits == 0 {
+				t.Error("bigtree/store never consulted the text index")
+			}
+			if r.Config == "store-noindex" && r.IndexHits != 0 {
+				t.Errorf("%s/store-noindex hit the index %d times", r.Topology, r.IndexHits)
+			}
+		}
+	}
+}

@@ -79,6 +79,67 @@ func TestTokenize(t *testing.T) {
 	}
 }
 
+func TestTokenizeEdgeCases(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"", nil},
+		{"   \t\n  ", nil},
+		{"!!!...---", nil},                      // punctuation only
+		{"a b c x", nil},                        // every run shorter than 2
+		{"a1 b2", []string{"a1", "b2"}},         // mixed alnum runs survive
+		{"don't stop", []string{"don", "stop"}}, // apostrophe splits
+		{"foo--bar..baz", []string{"foo", "bar", "baz"}},
+		{"Ünïcödé naïve", []string{"na", "ve"}}, // non-ASCII delimits, never folds
+		{"日本語テキスト", nil},                        // fully non-ASCII
+		{"C3PO and R2D2!", []string{"c3po", "and", "r2d2"}},
+		{"trailing token", []string{"trailing", "token"}},
+		{"2026", []string{"2026"}}, // digits alone
+	}
+	for _, c := range cases {
+		got := Tokenize(c.in)
+		if strings.Join(got, ",") != strings.Join(c.want, ",") {
+			t.Errorf("Tokenize(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestLookupLimitEdgeCases(t *testing.T) {
+	ix, err := Build(webgraph.Campus())
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := ix.Lookup("the", 0)
+	if len(all) == 0 {
+		t.Skip("corpus lacks the common token")
+	}
+	// A limit past the result length returns everything, unclamped into
+	// no panic; negative limits behave like 0 (unlimited).
+	if got := ix.Lookup("the", len(all)+100); len(got) != len(all) {
+		t.Errorf("oversized limit returned %d of %d", len(got), len(all))
+	}
+	if got := ix.Lookup("the", -5); len(got) != len(all) {
+		t.Errorf("negative limit returned %d of %d, want all", len(got), len(all))
+	}
+	if got := ix.Lookup("the", 1); len(got) != 1 {
+		t.Errorf("limit 1 returned %d", len(got))
+	}
+	// Unknown terms: alone, and mixed with a common one.
+	if got := ix.Lookup("zzqqunknownzz", 0); got != nil {
+		t.Errorf("unknown term returned %v", got)
+	}
+	if got := ix.Lookup("the zzqqunknownzz", 5); got != nil {
+		t.Errorf("conjunction with unknown term returned %v", got)
+	}
+	// Queries that tokenize to nothing.
+	for _, q := range []string{"", "  ", "!?!", "a b"} {
+		if got := ix.Lookup(q, 3); got != nil {
+			t.Errorf("Lookup(%q) = %v, want nil", q, got)
+		}
+	}
+}
+
 func TestQuickTokenizeLowercaseAlnum(t *testing.T) {
 	f := func(s string) bool {
 		for _, tok := range Tokenize(s) {

@@ -93,22 +93,34 @@ type Filter struct {
 	Env   map[string]string
 	emitted
 	idx map[string]int
+	// residual is Pred minus the conjuncts the DB's text oracle decided
+	// at Open (see textfold.go); never short-circuits the stream when a
+	// decided conjunct is false.
+	residual *nodequery.Pred
+	never    bool
 }
 
 func (f *Filter) Cols() []string { return f.Child.Cols() }
 
 func (f *Filter) Open(db *relmodel.DB) error {
 	f.idx, f.n = colIndex(f.Child.Cols()), 0
+	f.residual, f.never = f.Pred, false
+	if db.Text != nil {
+		f.residual, f.never = foldTextIndex(f.Pred, docScanVars(f.Child), db.Text)
+	}
 	return f.Child.Open(db)
 }
 
 func (f *Filter) Next() ([]string, bool, error) {
+	if f.never {
+		return nil, false, nil
+	}
 	for {
 		row, ok, err := f.Child.Next()
 		if !ok || err != nil {
 			return nil, false, err
 		}
-		pass, err := evalPredRow(f.Pred, f.idx, row, f.Env)
+		pass, err := evalPredRow(f.residual, f.idx, row, f.Env)
 		if err != nil {
 			return nil, false, err
 		}

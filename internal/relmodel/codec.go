@@ -1,0 +1,93 @@
+package relmodel
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Tuple codec: the byte encoding the persistent site store (package
+// store) writes into its slotted heap pages. One record is one tuple of
+// one virtual relation,
+//
+//	kind byte | ncols uvarint | (len uvarint, bytes)*ncols
+//
+// where kind names the relation (KindDocument/KindAnchor/KindRelInfon).
+// The encoding is self-delimiting, so DecodeTuple reports how many bytes
+// it consumed and a page slot can hold the record without a separate
+// length field.
+
+// Relation kind bytes of the tuple codec.
+const (
+	KindDocument byte = 1
+	KindAnchor   byte = 2
+	KindRelInfon byte = 3
+)
+
+// ErrBadTuple reports a malformed tuple encoding (unknown kind byte,
+// truncated varint or field, or an absurd column count).
+var ErrBadTuple = errors.New("relmodel: malformed tuple encoding")
+
+// maxCodecCols bounds the decoded column count; the widest virtual
+// relation has 4 columns, so anything large is corruption, not data.
+const maxCodecCols = 64
+
+// RelOfKind returns the relation name of a codec kind byte ("" if
+// unknown).
+func RelOfKind(k byte) string {
+	switch k {
+	case KindDocument:
+		return RelDocument
+	case KindAnchor:
+		return RelAnchor
+	case KindRelInfon:
+		return RelRelInfon
+	}
+	return ""
+}
+
+// AppendTuple appends the encoding of one tuple to dst and returns the
+// extended slice.
+func AppendTuple(dst []byte, kind byte, t Tuple) []byte {
+	dst = append(dst, kind)
+	dst = binary.AppendUvarint(dst, uint64(len(t)))
+	for _, v := range t {
+		dst = binary.AppendUvarint(dst, uint64(len(v)))
+		dst = append(dst, v...)
+	}
+	return dst
+}
+
+// DecodeTuple decodes one tuple from the front of b, returning the
+// relation kind, the tuple and the number of bytes consumed. All field
+// bytes are copied out of b, so the caller may reuse the buffer (it is
+// typically a pinned buffer-pool page).
+func DecodeTuple(b []byte) (kind byte, t Tuple, n int, err error) {
+	if len(b) == 0 {
+		return 0, nil, 0, fmt.Errorf("%w: empty record", ErrBadTuple)
+	}
+	kind = b[0]
+	if RelOfKind(kind) == "" {
+		return 0, nil, 0, fmt.Errorf("%w: unknown relation kind %d", ErrBadTuple, kind)
+	}
+	pos := 1
+	ncols, w := binary.Uvarint(b[pos:])
+	if w <= 0 || ncols > maxCodecCols {
+		return 0, nil, 0, fmt.Errorf("%w: bad column count", ErrBadTuple)
+	}
+	pos += w
+	t = make(Tuple, 0, ncols)
+	for i := uint64(0); i < ncols; i++ {
+		flen, w := binary.Uvarint(b[pos:])
+		if w <= 0 {
+			return 0, nil, 0, fmt.Errorf("%w: bad field length", ErrBadTuple)
+		}
+		pos += w
+		if uint64(len(b)-pos) < flen {
+			return 0, nil, 0, fmt.Errorf("%w: field overruns record", ErrBadTuple)
+		}
+		t = append(t, string(b[pos:pos+int(flen)]))
+		pos += int(flen)
+	}
+	return kind, t, pos, nil
+}

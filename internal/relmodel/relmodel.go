@@ -57,12 +57,28 @@ func (r *Relation) Col(name string) int {
 	return -1
 }
 
+// TextOracle answers `contains` predicates over a document's text
+// columns from an index instead of a full text scan. MatchContains asks
+// whether this DB's document tuple satisfies `<col> contains <lit>`
+// (case-insensitive substring, exactly the evaluator's semantics).
+// decided reports whether the oracle can answer at all; when false the
+// evaluator must fall back to scanning the column value, so an oracle is
+// always free to decline (unknown column, literal outside the indexed
+// alphabet). The persistent site store attaches one per document.
+type TextOracle interface {
+	MatchContains(col, lit string) (hit, decided bool)
+}
+
 // DB is the temporary in-memory database a query-server constructs for one
 // node evaluation.
 type DB struct {
 	Document *Relation
 	Anchor   *Relation
 	RelInfon *Relation
+	// Text, when non-nil, answers contains-predicates over the document
+	// tuple's text/title columns from a persisted index (see TextOracle).
+	// Purely an accelerator: a nil oracle changes nothing.
+	Text TextOracle
 }
 
 // Relation returns the named virtual relation, or an error for an unknown

@@ -155,6 +155,24 @@ type Metrics struct {
 	// BatchTunes counts TUNE frames applied to the result batcher's
 	// per-query bounds (the client's adaptive-batching feedback loop).
 	BatchTunes atomic.Int64
+
+	// PagesRead counts heap pages read from disk by the persistent
+	// store's buffer pool (misses; hits touch no counter).
+	PagesRead atomic.Int64
+	// PagesEvicted counts unpinned pool frames dropped to make room.
+	PagesEvicted atomic.Int64
+	// IndexHits counts contains-predicates decided by the store's
+	// persisted text index instead of a full text scan.
+	IndexHits atomic.Int64
+	// ColdOpens counts server starts that opened an existing store
+	// (open-not-rebuild: no document was fetched or parsed).
+	ColdOpens atomic.Int64
+	// StoreBuilds counts server starts that had to materialize the store
+	// from source documents (first run, or damaged-store recovery).
+	StoreBuilds atomic.Int64
+	// DBCacheEvicted counts retained databases dropped by the
+	// Options.DBCacheEntries LRU bound.
+	DBCacheEvicted atomic.Int64
 }
 
 // Snapshot is a plain-integer copy of Metrics.
@@ -211,6 +229,13 @@ type Snapshot struct {
 
 	BytesV2Saved int64
 	BatchTunes   int64
+
+	PagesRead      int64
+	PagesEvicted   int64
+	IndexHits      int64
+	ColdOpens      int64
+	StoreBuilds    int64
+	DBCacheEvicted int64
 }
 
 // Snapshot returns a consistent-enough copy for reporting (individual
@@ -269,6 +294,13 @@ func (m *Metrics) Snapshot() Snapshot {
 
 		BytesV2Saved: m.BytesV2Saved.Load(),
 		BatchTunes:   m.BatchTunes.Load(),
+
+		PagesRead:      m.PagesRead.Load(),
+		PagesEvicted:   m.PagesEvicted.Load(),
+		IndexHits:      m.IndexHits.Load(),
+		ColdOpens:      m.ColdOpens.Load(),
+		StoreBuilds:    m.StoreBuilds.Load(),
+		DBCacheEvicted: m.DBCacheEvicted.Load(),
 	}
 }
 

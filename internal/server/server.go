@@ -21,6 +21,7 @@
 package server
 
 import (
+	"container/list"
 	"errors"
 	"net"
 	"runtime"
@@ -37,6 +38,7 @@ import (
 	"webdis/internal/pre"
 	"webdis/internal/relmodel"
 	"webdis/internal/sched"
+	"webdis/internal/store"
 	"webdis/internal/trace"
 	"webdis/internal/webgraph"
 	"webdis/internal/webserver"
@@ -110,6 +112,18 @@ type Options struct {
 	// repeatedly"). The default follows the paper's main design: build
 	// per evaluation, purge immediately.
 	CacheDBs bool
+	// DBCacheEntries bounds the CacheDBs retention to an LRU of this
+	// many node databases; evictions count into Metrics.DBCacheEvicted.
+	// 0 is the seed behaviour: the cache grows without limit. Ignored
+	// without CacheDBs.
+	DBCacheEntries int
+	// Store plugs in the persistent page-based site store (package
+	// store): the server opens — or on first start builds — its site's
+	// heap file under Store.Dir and serves local databases from slotted
+	// pages through a bounded buffer pool, with contains-predicates
+	// answered by the persisted text index. The zero value keeps the
+	// in-RAM Database Constructor.
+	Store StoreOptions
 	// LogPurgeAge and LogPurgeEvery enable the paper's periodic log-table
 	// purge when both are positive.
 	LogPurgeAge   time.Duration
@@ -231,6 +245,17 @@ type Server struct {
 	// visits. Read-mostly once warm, hence the RWMutex.
 	dbMu    sync.RWMutex
 	dbCache map[string]*dbEntry
+	// dbLRU/dbPos bound the CacheDBs retention to Options.DBCacheEntries
+	// databases (nil = unbounded, the seed behaviour). Both are guarded
+	// by dbMu; only completed, retained builds appear in them, so an
+	// in-flight singleflight entry can never be evicted from under its
+	// waiters.
+	dbLRU *list.List
+	dbPos map[string]*list.Element
+
+	// store is the persistent page-based site store, opened (or first
+	// built) at Start when opts.Store is enabled; nil otherwise.
+	store *store.Store
 
 	// pool reuses connections to frequently dialed peers (other sites'
 	// query servers, the user-site's result collectors); nil under
@@ -282,6 +307,10 @@ func New(site string, docs DocSource, tr netsim.Transport, met *Metrics, opts Op
 	if opts.Planner.Enabled {
 		s.peerStats = make(map[string]wire.SiteStat)
 		s.fetch = webserver.NewFetcher(tr, s.self)
+	}
+	if opts.CacheDBs && opts.DBCacheEntries > 0 {
+		s.dbLRU = list.New()
+		s.dbPos = make(map[string]*list.Element)
 	}
 	if opts.ResultBatch.Enabled() {
 		s.batcher = newResultBatcher(s, opts.ResultBatch)
@@ -349,6 +378,14 @@ func (s *Server) LogTable() *nodeproc.LogTable { return s.log }
 
 // Start begins accepting and processing clones. It returns immediately.
 func (s *Server) Start() error {
+	if s.opts.Store.Enabled() && s.store == nil {
+		// Open (or first build) the persistent site store before taking
+		// any traffic, so every local Database Constructor run can serve
+		// from pages instead of parsing.
+		if err := s.openStore(); err != nil {
+			return err
+		}
+	}
 	ln, err := s.tr.Listen(s.self)
 	if err != nil {
 		return err
@@ -495,6 +532,10 @@ func (s *Server) Stop() {
 	}
 	if s.pool != nil {
 		s.pool.Close()
+	}
+	if s.store != nil {
+		s.store.Close()
+		s.store = nil
 	}
 }
 
@@ -1126,6 +1167,8 @@ func (s *Server) database(node string) (*relmodel.DB, error) {
 					delete(s.dbCache, node)
 				}
 				s.dbMu.Unlock()
+			} else {
+				s.noteDBUse(node)
 			}
 			return e.db, e.err
 		}
@@ -1135,6 +1178,7 @@ func (s *Server) database(node string) (*relmodel.DB, error) {
 	case <-e.done:
 		if s.opts.CacheDBs && e.err == nil {
 			s.met.DBCacheHits.Add(1)
+			s.noteDBUse(node)
 		}
 	default:
 		s.met.DBBuildCoalesced.Add(1)
@@ -1155,6 +1199,7 @@ func (s *Server) databaseUncoalesced(node string) (*relmodel.DB, error) {
 			case <-e.done:
 				if e.err == nil {
 					s.met.DBCacheHits.Add(1)
+					s.noteDBUse(node)
 					return e.db, nil
 				}
 			default:
@@ -1169,6 +1214,7 @@ func (s *Server) databaseUncoalesced(node string) (*relmodel.DB, error) {
 		s.dbMu.Lock()
 		s.dbCache[node] = &dbEntry{done: closedChan, db: db}
 		s.dbMu.Unlock()
+		s.noteDBUse(node)
 	}
 	return db, nil
 }
@@ -1182,6 +1228,11 @@ func (s *Server) buildDB(node string) (*relmodel.DB, error) {
 	var err error
 	if host := webgraph.Host(node); s.fetch != nil && host != s.site {
 		content, err = s.fetchForeign(node, host)
+	} else if s.store != nil {
+		// Local node with the persistent store: assemble the database
+		// from slotted pages through the buffer pool — no fetch, no
+		// parse, and the text oracle rides along for contains folding.
+		return s.store.DB(node)
 	} else {
 		content, err = s.docs.Get(node)
 	}

@@ -1,0 +1,98 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+
+	"webdis/internal/store"
+)
+
+// StoreOptions configure the server's persistent site store.
+type StoreOptions struct {
+	// Dir is the store root directory (one subdirectory per site).
+	// Empty disables the store entirely.
+	Dir string
+	// PoolPages caps the buffer pool (0 = store.DefaultPoolPages).
+	PoolPages int
+	// NoTextIndex opens the store without its inverted text index, so
+	// contains-predicates full-scan — the index ablation arm.
+	NoTextIndex bool
+}
+
+// Enabled reports whether a store directory is configured.
+func (o StoreOptions) Enabled() bool { return o.Dir != "" }
+
+// DocLister is the optional DocSource extension the store's lazy build
+// needs: enumerate the site's documents. webserver.Host implements it.
+type DocLister interface {
+	URLs() []string
+}
+
+// openStore runs at Start when Options.Store is enabled: open the
+// site's store if it exists (cold start is open-not-rebuild — no
+// document is fetched or parsed), otherwise materialize it once from the
+// document source. A store that fails verification (torn write, bit rot)
+// is rebuilt the same way; any other failure aborts the start.
+func (s *Server) openStore() error {
+	o := store.Options{
+		PoolPages:   s.opts.Store.PoolPages,
+		NoTextIndex: s.opts.Store.NoTextIndex,
+		Counters: store.Counters{
+			PagesRead:    &s.met.PagesRead,
+			PagesEvicted: &s.met.PagesEvicted,
+			IndexHits:    &s.met.IndexHits,
+		},
+	}
+	st, err := store.Open(s.opts.Store.Dir, s.site, o)
+	if err == nil {
+		s.met.ColdOpens.Add(1)
+		s.store = st
+		return nil
+	}
+	if !errors.Is(err, store.ErrNotBuilt) && !errors.Is(err, store.ErrCorrupt) && !errors.Is(err, store.ErrTruncated) {
+		return err
+	}
+	lister, ok := s.docs.(DocLister)
+	if !ok {
+		return fmt.Errorf("server: no store for %s under %s and the document source cannot enumerate pages to build one: %w",
+			s.site, s.opts.Store.Dir, err)
+	}
+	// Building is the one time the store runs the Database Constructor,
+	// so it books the parse metrics; reopens never touch them.
+	o.OnDoc = func(_ string, raw int) {
+		s.met.DocsParsed.Add(1)
+		s.met.DocBytes.Add(int64(raw))
+	}
+	st, err = store.Build(s.opts.Store.Dir, s.site, lister.URLs(), s.docs.Get, o)
+	if err != nil {
+		return err
+	}
+	s.met.StoreBuilds.Add(1)
+	s.store = st
+	return nil
+}
+
+// noteDBUse records a use of node's retained database for the
+// DBCacheEntries LRU and evicts past the bound. Entries join the list
+// only once their build completed and was retained, so in-flight builds
+// are never evicted from under their waiters.
+func (s *Server) noteDBUse(node string) {
+	if s.dbLRU == nil {
+		return
+	}
+	s.dbMu.Lock()
+	if el := s.dbPos[node]; el != nil {
+		s.dbLRU.MoveToFront(el)
+	} else if s.dbCache[node] != nil {
+		s.dbPos[node] = s.dbLRU.PushFront(node)
+	}
+	for s.dbLRU.Len() > s.opts.DBCacheEntries {
+		el := s.dbLRU.Back()
+		victim := el.Value.(string)
+		s.dbLRU.Remove(el)
+		delete(s.dbPos, victim)
+		delete(s.dbCache, victim)
+		s.met.DBCacheEvicted.Add(1)
+	}
+	s.dbMu.Unlock()
+}

@@ -1,0 +1,136 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"webdis/internal/relmodel"
+)
+
+// poolFixture writes n small single-record pages and returns a pool over
+// them with the given capacity.
+func poolFixture(t *testing.T, npages, cap int, ctr Counters) *pool {
+	t.Helper()
+	var sink pageSink
+	pw := newPageWriter(&sink)
+	for i := 0; i < npages; i++ {
+		// One record per page: pad the record so the page fills.
+		body := relmodel.AppendTuple(nil, relmodel.KindDocument, relmodel.Tuple{
+			fmt.Sprintf("page-%d", i),
+			string(make([]byte, PageSize-pageHeaderSize-slotSize-64)),
+		})
+		if _, _, err := pw.append(body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := pw.finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(got) != npages {
+		t.Fatalf("fixture wrote %d pages, want %d", got, npages)
+	}
+	return newPool(sink.readerAt(), got, cap, ctr)
+}
+
+// TestPoolCapAndEvictionAccounting: the pool never exceeds its cap and
+// reads - evictions == resident frames.
+func TestPoolCapAndEvictionAccounting(t *testing.T) {
+	var reads, evicts atomic.Int64
+	p := poolFixture(t, 32, 8, Counters{PagesRead: &reads, PagesEvicted: &evicts})
+	for round := 0; round < 3; round++ {
+		for no := uint32(0); no < 32; no++ {
+			fr, err := p.get(no)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p.unpin(fr)
+			if r := p.resident(); r > 8 {
+				t.Fatalf("resident %d exceeds cap 8", r)
+			}
+		}
+	}
+	if got := reads.Load() - evicts.Load(); got != int64(p.resident()) {
+		t.Fatalf("reads(%d) - evictions(%d) = %d, want resident %d",
+			reads.Load(), evicts.Load(), got, p.resident())
+	}
+	if evicts.Load() == 0 {
+		t.Fatal("no evictions despite 32 pages through an 8-frame pool")
+	}
+}
+
+// TestPoolPinnedNeverEvicted: with every frame pinned, a miss reports
+// ErrPoolExhausted instead of stealing a pinned page, and the pinned
+// buffers stay intact.
+func TestPoolPinnedNeverEvicted(t *testing.T) {
+	p := poolFixture(t, 8, 4, Counters{})
+	var pinned []*frame
+	for no := uint32(0); no < 4; no++ {
+		fr, err := p.get(no)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pinned = append(pinned, fr)
+	}
+	if _, err := p.get(5); !errors.Is(err, ErrPoolExhausted) {
+		t.Fatalf("full-pinned miss: err = %v, want ErrPoolExhausted", err)
+	}
+	for i, fr := range pinned {
+		if err := verifyPage(fr.buf); err != nil {
+			t.Fatalf("pinned frame %d damaged: %v", i, err)
+		}
+		p.unpin(fr)
+	}
+	// Room again: the miss now succeeds by evicting an unpinned frame.
+	fr, err := p.get(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.unpin(fr)
+}
+
+// TestPoolConcurrentStress hammers a small pool from many goroutines
+// (run under -race in CI): cap is never exceeded, pinned reads always
+// see verified pages, and the books reconcile at the end.
+func TestPoolConcurrentStress(t *testing.T) {
+	var reads, evicts atomic.Int64
+	p := poolFixture(t, 24, 6, Counters{PagesRead: &reads, PagesEvicted: &evicts})
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				no := uint32((g*7 + i*13) % 24)
+				fr, err := p.get(no)
+				if err != nil {
+					if errors.Is(err, ErrPoolExhausted) {
+						continue // legal under full pin pressure
+					}
+					errs <- err
+					return
+				}
+				if err := verifyPage(fr.buf); err != nil {
+					errs <- fmt.Errorf("page %d while pinned: %w", no, err)
+				}
+				p.unpin(fr)
+				if r := p.resident(); r > 6 {
+					errs <- fmt.Errorf("resident %d exceeds cap", r)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if got := reads.Load() - evicts.Load(); got != int64(p.resident()) {
+		t.Fatalf("reads(%d) - evictions(%d) = %d, want resident %d",
+			reads.Load(), evicts.Load(), got, p.resident())
+	}
+}

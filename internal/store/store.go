@@ -1,0 +1,466 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"io/fs"
+	"net/url"
+	"os"
+	"path/filepath"
+
+	"webdis/internal/htmlx"
+	"webdis/internal/relmodel"
+)
+
+// Per-site store files under Dir(root, site).
+const (
+	heapFile    = "tuples.heap" // slotted pages of encoded tuples
+	catalogFile = "catalog.bin" // url → (start page, slot, record count)
+	idxFile     = "text.idx"    // inverted index over text/title
+)
+
+const catalogMagic = "WDSCAT1\n"
+
+// Options configure a Build or Open.
+type Options struct {
+	// PoolPages caps the buffer pool (0 = DefaultPoolPages).
+	PoolPages int
+	// NoTextIndex skips building (Build) or loading (Open) the inverted
+	// text index; contains-predicates then always full-scan.
+	NoTextIndex bool
+	// Counters receive the store's I/O and index bookkeeping.
+	Counters Counters
+	// OnDoc, when set, is called once per document ingested by Build
+	// with its raw content size — the server books Database Constructor
+	// metrics (DocsParsed/DocBytes) through it, so a reopened store
+	// parses nothing and books nothing.
+	OnDoc func(url string, rawBytes int)
+}
+
+// docEntry locates one document's records in the heap.
+type docEntry struct {
+	url  string
+	page uint32
+	slot uint16
+	nrec uint32
+}
+
+// Store is an opened per-site store. DB is safe for concurrent use.
+type Store struct {
+	site   string
+	f      *os.File
+	pool   *pool
+	npages uint32
+	docs   []docEntry
+	byURL  map[string]int
+	ix     *textIndex // nil when absent or disabled
+	ctr    Counters
+}
+
+// Dir is the directory holding site's store files under root.
+func Dir(root, site string) string {
+	return filepath.Join(root, url.PathEscape(site))
+}
+
+// Build ingests the site's documents — parse, build the virtual
+// relations, serialize every tuple into slotted pages, index the text —
+// writes heap, catalog and index to a temporary directory, fsyncs, and
+// atomically renames it into place before reopening it. A crashed build
+// leaves at worst a stale temp directory, never a half-visible store; a
+// concurrent identical build loses the rename race and adopts the
+// winner's files.
+func Build(root, site string, urls []string, get func(string) ([]byte, error), o Options) (*Store, error) {
+	dir := Dir(root, site)
+	if err := os.MkdirAll(root, 0o755); err != nil {
+		return nil, err
+	}
+	tmp, err := os.MkdirTemp(root, url.PathEscape(site)+".build-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(tmp)
+
+	hf, err := os.Create(filepath.Join(tmp, heapFile))
+	if err != nil {
+		return nil, err
+	}
+	pw := newPageWriter(hf)
+	ib := newIndexBuilder()
+	docs := make([]docEntry, 0, len(urls))
+	for i, u := range urls {
+		content, err := get(u)
+		if err != nil {
+			hf.Close()
+			return nil, fmt.Errorf("store: build %s: %w", u, err)
+		}
+		doc, err := htmlx.Parse(u, content)
+		if err != nil {
+			hf.Close()
+			return nil, fmt.Errorf("store: build %s: %w", u, err)
+		}
+		if o.OnDoc != nil {
+			o.OnDoc(u, len(content))
+		}
+		db := relmodel.Build(doc)
+		de := docEntry{url: u}
+		add := func(kind byte, rel *relmodel.Relation) error {
+			for _, t := range rel.Tuples {
+				pg, sl, err := pw.append(relmodel.AppendTuple(nil, kind, t))
+				if err != nil {
+					return err
+				}
+				if de.nrec == 0 {
+					de.page, de.slot = pg, sl
+				}
+				de.nrec++
+			}
+			return nil
+		}
+		if err := add(relmodel.KindDocument, db.Document); err == nil {
+			err = add(relmodel.KindAnchor, db.Anchor)
+			if err == nil {
+				err = add(relmodel.KindRelInfon, db.RelInfon)
+			}
+		} else {
+			hf.Close()
+			return nil, err
+		}
+		docs = append(docs, de)
+		if !o.NoTextIndex {
+			ib.add(uint32(i), "text", doc.Text)
+			ib.add(uint32(i), "title", doc.Title)
+		}
+	}
+	npages, err := pw.finish()
+	if err == nil {
+		err = hf.Sync()
+	}
+	if cerr := hf.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := writeFileSync(filepath.Join(tmp, catalogFile), encodeCatalog(npages, !o.NoTextIndex, docs)); err != nil {
+		return nil, err
+	}
+	if !o.NoTextIndex {
+		if err := writeFileSync(filepath.Join(tmp, idxFile), ib.encode()); err != nil {
+			return nil, err
+		}
+	}
+	if err := syncDir(tmp); err != nil {
+		return nil, err
+	}
+	// Replace any previous build (e.g. one that failed verification).
+	os.RemoveAll(dir)
+	if err := os.Rename(tmp, dir); err != nil {
+		// A concurrent builder renamed first; its store is equivalent
+		// (same site, same source). Open the winner.
+		if st, oerr := Open(root, site, o); oerr == nil {
+			return st, nil
+		}
+		return nil, err
+	}
+	syncDir(root)
+	return Open(root, site, o)
+}
+
+// Open loads the catalog and text index, verifies every heap page's
+// checksum (the torn-write scan — the whole point of checksums is to
+// refuse a silently damaged store at open, not mid-query), and hooks up
+// the buffer pool. ErrNotBuilt signals an absent store; ErrCorrupt and
+// ErrTruncated a damaged one — the caller's recovery is Build.
+func Open(root, site string, o Options) (*Store, error) {
+	dir := Dir(root, site)
+	cb, err := os.ReadFile(filepath.Join(dir, catalogFile))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, fmt.Errorf("%w: no store for %s under %s", ErrNotBuilt, site, root)
+	}
+	if err != nil {
+		return nil, err
+	}
+	npages, hasIndex, docs, err := decodeCatalog(cb)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.Open(filepath.Join(dir, heapFile))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, fmt.Errorf("%w: heap file missing for %s", ErrNotBuilt, site)
+	}
+	if err != nil {
+		return nil, err
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if fi.Size() != int64(npages)*PageSize {
+		f.Close()
+		return nil, fmt.Errorf("%w: heap is %d bytes, catalog says %d pages", ErrTruncated, fi.Size(), npages)
+	}
+	if err := verifyHeap(f, npages); err != nil {
+		f.Close()
+		return nil, err
+	}
+	ctr := o.Counters.norm()
+	s := &Store{
+		site: site, f: f,
+		pool:   newPool(f, npages, o.PoolPages, ctr),
+		npages: npages,
+		docs:   docs,
+		byURL:  make(map[string]int, len(docs)),
+		ctr:    ctr,
+	}
+	for i, d := range docs {
+		s.byURL[d.url] = i
+	}
+	if hasIndex && !o.NoTextIndex {
+		ixb, err := os.ReadFile(filepath.Join(dir, idxFile))
+		if err != nil {
+			f.Close()
+			return nil, fmt.Errorf("%w: text index unreadable: %v", ErrTruncated, err)
+		}
+		if s.ix, err = decodeTextIndex(ixb, ctr.IndexHits); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// verifyHeap checks every page checksum sequentially.
+func verifyHeap(f *os.File, npages uint32) error {
+	buf := make([]byte, PageSize)
+	for pg := uint32(0); pg < npages; pg++ {
+		if _, err := f.ReadAt(buf, int64(pg)*PageSize); err != nil {
+			return fmt.Errorf("%w: page %d unreadable: %v", ErrTruncated, pg, err)
+		}
+		if err := verifyPage(buf); err != nil {
+			return fmt.Errorf("page %d: %w", pg, err)
+		}
+	}
+	return nil
+}
+
+// Docs is the number of stored documents.
+func (s *Store) Docs() int { return len(s.docs) }
+
+// Pages is the heap-file page count.
+func (s *Store) Pages() uint32 { return s.npages }
+
+// Indexed reports whether the text index is loaded.
+func (s *Store) Indexed() bool { return s.ix != nil }
+
+// Resident is the buffer pool's current frame count (tests reconcile it
+// against reads minus evictions).
+func (s *Store) Resident() int { return s.pool.resident() }
+
+// DB assembles the virtual-relation database of one document from the
+// heap — the persistent Database Constructor. The result is value-equal
+// to relmodel.Build over the parsed document, plus the text-index oracle
+// when the index is loaded.
+func (s *Store) DB(u string) (*relmodel.DB, error) {
+	i, ok := s.byURL[u]
+	if !ok {
+		return nil, fmt.Errorf("store: site %s has no document %s", s.site, u)
+	}
+	de := s.docs[i]
+	db := &relmodel.DB{
+		Document: &relmodel.Relation{Name: relmodel.RelDocument, Cols: relmodel.Schemas[relmodel.RelDocument]},
+		Anchor:   &relmodel.Relation{Name: relmodel.RelAnchor, Cols: relmodel.Schemas[relmodel.RelAnchor]},
+		RelInfon: &relmodel.Relation{Name: relmodel.RelRelInfon, Cols: relmodel.Schemas[relmodel.RelRelInfon]},
+	}
+	rr := recReader{pool: s.pool, page: de.page, slot: int(de.slot)}
+	for k := uint32(0); k < de.nrec; k++ {
+		kind, t, err := rr.next()
+		if err != nil {
+			return nil, fmt.Errorf("store: %s record %d: %w", u, k, err)
+		}
+		switch kind {
+		case relmodel.KindDocument:
+			db.Document.Tuples = append(db.Document.Tuples, t)
+		case relmodel.KindAnchor:
+			db.Anchor.Tuples = append(db.Anchor.Tuples, t)
+		case relmodel.KindRelInfon:
+			db.RelInfon.Tuples = append(db.RelInfon.Tuples, t)
+		}
+	}
+	if s.ix != nil {
+		db.Text = docOracle{ix: s.ix, id: uint32(i)}
+	}
+	return db, nil
+}
+
+// Close releases the heap file. Outstanding DBs remain valid (their
+// tuples are copies), but further DB calls will fail.
+func (s *Store) Close() error {
+	if s.f == nil {
+		return nil
+	}
+	err := s.f.Close()
+	s.f = nil
+	return err
+}
+
+// recReader streams a document's records out of the heap through the
+// buffer pool, following spanned-record overflow chains.
+type recReader struct {
+	pool *pool
+	page uint32
+	slot int
+}
+
+func (r *recReader) next() (byte, relmodel.Tuple, error) {
+	fr, err := r.pool.get(r.page)
+	if err != nil {
+		return 0, nil, err
+	}
+	p := fr.buf
+	if pageKind(p) != kindDataPage {
+		r.pool.unpin(fr)
+		return 0, nil, fmt.Errorf("%w: record cursor on non-data page %d", ErrCorrupt, r.page)
+	}
+	nslots := pageNSlots(p)
+	off, length, spilled, err := pageSlot(p, r.slot)
+	if err != nil {
+		r.pool.unpin(fr)
+		return 0, nil, err
+	}
+	if !spilled {
+		// Decode straight out of the pinned page; the codec copies all
+		// field bytes, so nothing aliases the frame after unpin.
+		kind, t, n, err := relmodel.DecodeTuple(p[off : off+length])
+		r.pool.unpin(fr)
+		if err == nil && n != length {
+			err = fmt.Errorf("%w: record slack in slot", ErrCorrupt)
+		}
+		if err != nil {
+			return 0, nil, fmt.Errorf("page %d slot %d: %w", r.page, r.slot, err)
+		}
+		r.slot++
+		if r.slot >= nslots {
+			r.page, r.slot = r.page+1, 0
+		}
+		return kind, t, nil
+	}
+	// Spanned record: by construction the last slot of its data page;
+	// collect the overflow chain and resume at the page after it.
+	body := append(make([]byte, 0, 2*length), p[off:off+length]...)
+	r.pool.unpin(fr)
+	next := r.page + 1
+	for {
+		ofr, err := r.pool.get(next)
+		if err != nil {
+			return 0, nil, err
+		}
+		frag, more, err := overflowFrag(ofr.buf)
+		if err != nil {
+			r.pool.unpin(ofr)
+			return 0, nil, fmt.Errorf("page %d: %w", next, err)
+		}
+		body = append(body, frag...)
+		r.pool.unpin(ofr)
+		next++
+		if !more {
+			break
+		}
+	}
+	kind, t, n, err := relmodel.DecodeTuple(body)
+	if err == nil && n != len(body) {
+		err = fmt.Errorf("%w: spanned record slack", ErrCorrupt)
+	}
+	if err != nil {
+		return 0, nil, fmt.Errorf("spanned record at page %d: %w", r.page, err)
+	}
+	r.page, r.slot = next, 0
+	return kind, t, nil
+}
+
+// encodeCatalog renders the catalog file: magic, geometry, index flag,
+// per-document locators, CRC32-C trailer.
+func encodeCatalog(npages uint32, hasIndex bool, docs []docEntry) []byte {
+	out := []byte(catalogMagic)
+	out = binary.AppendUvarint(out, PageSize)
+	out = binary.AppendUvarint(out, uint64(npages))
+	if hasIndex {
+		out = append(out, 1)
+	} else {
+		out = append(out, 0)
+	}
+	out = binary.AppendUvarint(out, uint64(len(docs)))
+	for _, d := range docs {
+		out = appendString(out, d.url)
+		out = binary.AppendUvarint(out, uint64(d.page))
+		out = binary.AppendUvarint(out, uint64(d.slot))
+		out = binary.AppendUvarint(out, uint64(d.nrec))
+	}
+	crc := crc32.Checksum(out, castagnoli)
+	return binary.LittleEndian.AppendUint32(out, crc)
+}
+
+func decodeCatalog(b []byte) (npages uint32, hasIndex bool, docs []docEntry, err error) {
+	if len(b) < len(catalogMagic)+4 {
+		return 0, false, nil, fmt.Errorf("%w: catalog too short", ErrTruncated)
+	}
+	body, tail := b[:len(b)-4], b[len(b)-4:]
+	if crc32.Checksum(body, castagnoli) != binary.LittleEndian.Uint32(tail) {
+		return 0, false, nil, fmt.Errorf("%w: catalog checksum mismatch", ErrCorrupt)
+	}
+	if string(body[:len(catalogMagic)]) != catalogMagic {
+		return 0, false, nil, fmt.Errorf("%w: bad catalog magic", ErrCorrupt)
+	}
+	r := &byteReader{b: body, pos: len(catalogMagic)}
+	if ps := r.uvarint(); r.err == nil && ps != PageSize {
+		return 0, false, nil, fmt.Errorf("%w: catalog page size %d, want %d", ErrCorrupt, ps, PageSize)
+	}
+	np := r.uvarint()
+	hasIndex = r.byte() == 1
+	ndocs := r.uvarint()
+	for i := uint64(0); i < ndocs && r.err == nil; i++ {
+		d := docEntry{url: r.str()}
+		d.page = uint32(r.uvarint())
+		d.slot = uint16(r.uvarint())
+		d.nrec = uint32(r.uvarint())
+		docs = append(docs, d)
+	}
+	if r.err != nil {
+		return 0, false, nil, fmt.Errorf("%w: catalog body: %v", ErrCorrupt, r.err)
+	}
+	return uint32(np), hasIndex, docs, nil
+}
+
+func writeFileSync(path string, b []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	_, err = f.Write(b)
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// syncDir fsyncs a directory so renames and creates within it are
+// durable (best-effort on platforms where directories reject Sync).
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !errors.Is(err, io.EOF) {
+		// Some filesystems refuse fsync on directories; that only costs
+		// durability of the rename, never consistency.
+		return nil
+	}
+	return nil
+}

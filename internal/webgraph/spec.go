@@ -2,6 +2,7 @@ package webgraph
 
 import (
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -79,6 +80,74 @@ func FromSpec(spec string, seed int64) (*Web, error) {
 		return Grid(geti("c", 6), geti("r", 6), seed), nil
 	}
 	return nil, fmt.Errorf("webgraph: unknown web spec %q (campus, figure1, figure5, tree, random, powerlaw, chain, grid)", name)
+}
+
+// ScaleSpec rewrites a generator spec's size parameter so the web it
+// builds holds at least pages pages, leaving every other parameter as
+// given — the webgen -pages knob. Tree webs grow by depth (the only
+// parameter that changes a tree's page count), random webs by site
+// count, grids by rows; powerlaw and chain take the count directly.
+// Fixed webs (campus, figure1, figure5) cannot be scaled.
+func ScaleSpec(spec string, pages int) (string, error) {
+	if pages <= 0 {
+		return "", fmt.Errorf("webgraph: cannot scale %q to %d pages", spec, pages)
+	}
+	name, args, _ := strings.Cut(spec, ":")
+	params, err := parseParams(args)
+	if err != nil {
+		return "", err
+	}
+	geti := func(key string, def int) int {
+		if v, ok := params[key]; ok {
+			n, _ := strconv.Atoi(v)
+			return n
+		}
+		return def
+	}
+	switch name {
+	case "tree":
+		f := geti("f", 3)
+		if f < 2 {
+			f = 2
+		}
+		total, width, depth := 1, 1, 0
+		for total < pages {
+			width *= f
+			total += width
+			depth++
+		}
+		params["d"] = strconv.Itoa(depth)
+	case "random":
+		pps := geti("pps", 4)
+		if pps < 1 {
+			pps = 1
+		}
+		params["s"] = strconv.Itoa((pages + pps - 1) / pps)
+	case "powerlaw":
+		params["n"] = strconv.Itoa(pages)
+	case "chain":
+		params["n"] = strconv.Itoa(pages)
+	case "grid":
+		c := geti("c", 6)
+		if c < 1 {
+			c = 1
+		}
+		params["r"] = strconv.Itoa((pages + c - 1) / c)
+	case "campus", "figure1", "figure5":
+		return "", fmt.Errorf("webgraph: %s is a fixed web and cannot be scaled", name)
+	default:
+		return "", fmt.Errorf("webgraph: unknown web spec %q", name)
+	}
+	keys := make([]string, 0, len(params))
+	for k := range params {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = k + "=" + params[k]
+	}
+	return name + ":" + strings.Join(parts, ","), nil
 }
 
 func parseParams(args string) (map[string]string, error) {

@@ -46,6 +46,54 @@ func TestFromSpecErrors(t *testing.T) {
 	}
 }
 
+func TestScaleSpec(t *testing.T) {
+	cases := []struct {
+		spec  string
+		pages int
+	}{
+		{"tree:f=2,pps=3", 100},
+		{"tree", 500},
+		{"random:pps=5,marker=0.3", 120},
+		{"powerlaw:out=2", 333},
+		{"chain:pps=4", 40},
+		{"grid:c=4", 30},
+	}
+	for _, c := range cases {
+		scaled, err := ScaleSpec(c.spec, c.pages)
+		if err != nil {
+			t.Fatalf("ScaleSpec(%q, %d): %v", c.spec, c.pages, err)
+		}
+		w, err := FromSpec(scaled, 1)
+		if err != nil {
+			t.Fatalf("FromSpec(%q): %v", scaled, err)
+		}
+		// At least the requested count, without gross overshoot: a tree
+		// can only grow by whole levels (factor f), everything else is
+		// bounded by one site/row/page of slack.
+		if w.NumPages() < c.pages {
+			t.Errorf("ScaleSpec(%q, %d) = %q: only %d pages", c.spec, c.pages, scaled, w.NumPages())
+		}
+		if w.NumPages() > c.pages*4 {
+			t.Errorf("ScaleSpec(%q, %d) = %q: overshot to %d pages", c.spec, c.pages, scaled, w.NumPages())
+		}
+	}
+	// Deterministic output: same input, same spec string.
+	a, _ := ScaleSpec("random:pps=5,marker=0.3", 120)
+	b, _ := ScaleSpec("random:pps=5,marker=0.3", 120)
+	if a != b {
+		t.Errorf("ScaleSpec not deterministic: %q vs %q", a, b)
+	}
+	// Fixed webs and garbage refuse.
+	for _, bad := range []string{"campus", "figure1", "figure5", "nosuch", "tree:=x"} {
+		if _, err := ScaleSpec(bad, 100); err == nil {
+			t.Errorf("ScaleSpec(%q) should fail", bad)
+		}
+	}
+	if _, err := ScaleSpec("tree", 0); err == nil {
+		t.Error("ScaleSpec with pages=0 should fail")
+	}
+}
+
 func TestFromSpecSeedMatters(t *testing.T) {
 	a, _ := FromSpec("random:s=3,pps=3", 1)
 	b, _ := FromSpec("random:s=3,pps=3", 2)

@@ -126,6 +126,11 @@ type (
 	SchedOptions = sched.Options
 	// SchedStats is a point-in-time summary of one server's queue.
 	SchedStats = sched.Stats
+	// StoreOptions configure the persistent page-based site store
+	// (ServerOptions.Store): slotted-page heap files, a bounded buffer
+	// pool, and an on-disk inverted text index per site. The zero value
+	// keeps the in-RAM Database Constructor.
+	StoreOptions = server.StoreOptions
 	// PlannerOptions configure the cost-based distributed planner
 	// (ServerOptions.Planner): plan-fragment pushdown of GROUP BY /
 	// ORDER BY / LIMIT work to the sites, statistics piggybacking, and
