@@ -13,11 +13,14 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"os/user"
 	"strings"
+	"syscall"
 	"time"
 
 	"webdis/internal/client"
@@ -39,6 +42,7 @@ func main() {
 	traceMode := flag.String("trace", "", "print the query's causal clone tree after completion: text, dot, or chrome (trace_event JSON)")
 	explain := flag.Bool("explain", false, "print the distributed plan (operator trees, pushdown, edge policy) and exit without running the query")
 	naive := flag.Bool("naive", false, "turn the cost-based planner off: no pushed-down fragments on root clones, raw rows fold classically (with -explain, show the naive plan)")
+	watch := flag.Bool("watch", false, "register the query as a standing continuous query: print the baseline result set, then stream typed add/remove row deltas as the daemons report web mutations (run webdisd with -mutate), until interrupted")
 	wirev := flag.String("wire", "v2", "wire format: v2 negotiates the binary codec, v1 pins every session to framed gob")
 	flag.Parse()
 
@@ -64,7 +68,8 @@ func main() {
 	}
 
 	tr := netsim.NewTCP()
-	if err := registerPeers(tr, *peersPath); err != nil {
+	sites, err := registerPeers(tr, *peersPath)
+	if err != nil {
 		fatal(err)
 	}
 
@@ -92,6 +97,10 @@ func main() {
 	}
 
 	fmt.Printf("webdis: %s\n", w)
+	if *watch {
+		runWatch(c, w, sites)
+		return
+	}
 	start := time.Now()
 	q, err := c.Submit(w)
 	if err != nil {
@@ -127,12 +136,48 @@ func main() {
 	}
 }
 
-func registerPeers(tr *netsim.TCPTransport, path string) error {
+// runWatch registers w as a standing query over every peer site, prints
+// the baseline, then streams deltas until interrupted.
+func runWatch(c *client.Client, w *disql.WebQuery, sites []string) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		cancel()
+	}()
+
+	wa, err := c.Watch(ctx, w, sites)
+	if err != nil {
+		fatal(err)
+	}
+	defer wa.Close()
+	rows := 0
+	for _, table := range wa.Results() {
+		fmt.Printf("\nnode-query q%d baseline: %s\n", table.Stage+1, strings.Join(table.Cols, ", "))
+		for _, row := range table.Rows {
+			fmt.Printf("  %q\n", row)
+		}
+		rows += len(table.Rows)
+	}
+	fmt.Printf("\nwatching %d sites (%d baseline rows); deltas follow, ^C to stop\n", len(sites), rows)
+	for delta := range wa.Stream(ctx) {
+		fmt.Printf("epoch %d  %-6s  q%d %q\n", delta.Epoch, delta.Op, delta.Stage+1, delta.Row)
+	}
+	if err := wa.Err(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("watch closed at epoch %d\n", wa.Epoch())
+}
+
+func registerPeers(tr *netsim.TCPTransport, path string) ([]string, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	defer f.Close()
+	var sites []string
 	sc := bufio.NewScanner(f)
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
@@ -141,14 +186,15 @@ func registerPeers(tr *netsim.TCPTransport, path string) error {
 		}
 		fields := strings.Fields(line)
 		if len(fields) < 2 {
-			return fmt.Errorf("bad peers line %q", line)
+			return nil, fmt.Errorf("bad peers line %q", line)
 		}
+		sites = append(sites, fields[0])
 		tr.Register(server.Endpoint(fields[0]), fields[1])
 		if len(fields) > 2 {
 			tr.Register(webserver.Endpoint(fields[0]), fields[2])
 		}
 	}
-	return sc.Err()
+	return sites, sc.Err()
 }
 
 func fatal(err error) {

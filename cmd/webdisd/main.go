@@ -28,6 +28,7 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"webdis/internal/netsim"
 	"webdis/internal/nodeproc"
@@ -48,6 +49,8 @@ func main() {
 	storeDir := flag.String("store", "", "serve local databases from the persistent site store under this directory (opened if present, built once otherwise; e.g. a webgen -out directory)")
 	poolPages := flag.Int("poolpages", 0, "buffer-pool page cap for -store (0 = default)")
 	dbcache := flag.Int("dbcache", 0, "retain constructed node databases in an LRU of this many entries (0 = build per evaluation, the paper's default)")
+	mutate := flag.Duration("mutate", 0, "apply one step of the seeded web mutation schedule this often (0 = frozen web); give every daemon the same -mutate and -mutseed so their copies of the corpus stay in sync")
+	mutseed := flag.Int64("mutseed", 20, "mutation schedule seed shared by all daemons")
 	verbose := flag.Bool("v", false, "trace query processing to stderr")
 	flag.Parse()
 
@@ -149,6 +152,44 @@ func main() {
 	}
 	defer s.Stop()
 	fmt.Printf("webdisd: serving %s (%d pages) on %s\n", *site, len(web.URLsAt(*site)), me.query)
+
+	if *mutate > 0 {
+		// Every daemon replays the same deterministic schedule against
+		// its own copy of the generated web; this daemon invalidates
+		// (and notifies watches) only for mutations landing on its site.
+		mut := webgraph.NewMutator(web, webgraph.MutationPlan{Seed: *mutseed})
+		stop := make(chan struct{})
+		defer close(stop)
+		go func() {
+			tick := time.NewTicker(*mutate)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-tick.C:
+				}
+				m, ok := mut.Step()
+				if !ok {
+					return
+				}
+				edited, rewired := m.Touched()
+				mine := func(urls []string) []string {
+					var out []string
+					for _, u := range urls {
+						if webgraph.Host(u) == *site {
+							out = append(out, u)
+						}
+					}
+					return out
+				}
+				if ed, rw := mine(edited), mine(rewired); len(ed)+len(rw) > 0 {
+					s.InvalidateDocs(ed, rw)
+					fmt.Printf("webdisd: mutation %v\n", m)
+				}
+			}
+		}()
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -75,3 +75,60 @@ func ExampleQuery_Stream() {
 	// http://a.example/more.html
 	// err: <nil>
 }
+
+// ExampleDeployment_Watch registers a continuous query over a mutating
+// web: the watch's baseline matches a one-shot run, and when the seeded
+// mutation schedule rewrites the page's text the standing result set
+// loses its row — delivered as a typed remove delta at epoch 1.
+func ExampleDeployment_Watch() {
+	web := NewWeb()
+	web.NewPage("http://a.example/p.html", "P").AddText("the needle")
+
+	d, err := NewDeployment(Config{
+		Web: web,
+		// Edit-only schedule: every Mutate step rewrites page text.
+		Watch: WatchConfig{Mutations: MutationPlan{Seed: 1, Edit: 1}},
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer d.Close()
+
+	ctx := context.Background()
+	w, err := d.Watch(ctx,
+		`select d.url from document d such that "http://a.example/p.html" N d where d.text contains "needle"`,
+		WatchOptions{})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer w.Close()
+
+	rows := 0
+	for _, t := range w.Results() {
+		rows += len(t.Rows)
+	}
+	fmt.Println("baseline rows:", rows)
+
+	// One mutation step: the edit replaces the page's only text item,
+	// so "needle" disappears and the standing row is retracted.
+	muts, notified := d.Mutate(1)
+	fmt.Println("mutation:", muts[0].Kind)
+	if err := w.WaitEpoch(ctx, notified); err != nil {
+		fmt.Println(err)
+		return
+	}
+	for delta, err := range w.Deltas() {
+		if err != nil {
+			fmt.Println(err)
+			return
+		}
+		fmt.Printf("epoch %d: %s %s\n", delta.Epoch, delta.Op, delta.Row[0])
+		break
+	}
+	// Output:
+	// baseline rows: 1
+	// mutation: edit
+	// epoch 1: remove http://a.example/p.html
+}

@@ -134,6 +134,12 @@ type Options struct {
 	// once the consumer drains the backlog. Effective only against
 	// servers running with ResultBatch enabled; advisory everywhere.
 	AdaptiveBatch bool
+	// Done, when non-nil, bounds the lifetime of every goroutine this
+	// client's queries start: when the channel closes (the owning
+	// deployment shut down), stream pumps and watch loops exit even if
+	// their consumer abandoned the channel with a background context.
+	// Nil means unbounded (the channel form of context.Background()).
+	Done <-chan struct{}
 }
 
 // Client is a WEBDIS user-site. It can run many queries, each with its own
@@ -167,6 +173,33 @@ func NewWith(tr netsim.Transport, user, base string, opts Options) *Client {
 		c.stats = newStatStore()
 	}
 	return c
+}
+
+// selfListener is the optional transport capability of minting extra
+// dialable collector endpoints from one configured address (TCP's
+// ephemeral-port overflow). Transports without it simply fail the
+// original bind.
+type selfListener interface {
+	ListenSelf(base, suffix string) (net.Listener, string, error)
+}
+
+// listenCollector binds a collector endpoint named base/suffix. When the
+// exact bind fails (a TCP base whose port another collector of this
+// process already holds), it falls back to the transport's self-listen
+// overflow, which embeds the actually-bound address in the name so
+// remote sites can still dial it.
+func (c *Client) listenCollector(suffix string) (net.Listener, string, error) {
+	endpoint := fmt.Sprintf("%s/%s", c.base, suffix)
+	ln, err := c.tr.Listen(endpoint)
+	if err == nil {
+		return ln, endpoint, nil
+	}
+	if sl, ok := c.tr.(selfListener); ok {
+		if ln2, name, err2 := sl.ListenSelf(c.base, suffix); err2 == nil {
+			return ln2, name, nil
+		}
+	}
+	return nil, "", err
 }
 
 // frameOpts derives the wire-session options for this client's shared
@@ -274,6 +307,16 @@ type Query struct {
 
 	ln     net.Listener
 	doneCh chan struct{}
+	// extDone mirrors Options.Done: a deployment-lifetime bound for the
+	// query's pump goroutines. Nil blocks forever in a select — exactly
+	// the unbounded default.
+	extDone <-chan struct{}
+
+	// rec, when non-nil, records the raw result flow — every reported
+	// node table and every parent→child CHT edge — before deduplication.
+	// The continuous-query layer replays this recording to maintain a
+	// standing result set incrementally (see watch.go).
+	rec *recording
 
 	hybrid    bool
 	reapGrace time.Duration
@@ -374,7 +417,7 @@ func (q *Query) ID() wire.QueryID { return q.id }
 // entered first, then the query is dispatched to each StartNode's site
 // (batched per site, Section 3.2 item 4).
 func (c *Client) Submit(w *disql.WebQuery) (*Query, error) {
-	return c.submit(w, wire.Budget{}, nil)
+	return c.submit(w, wire.Budget{}, nil, nil)
 }
 
 // SubmitBudget submits a web-query carrying a resource budget: the root
@@ -385,7 +428,7 @@ func (c *Client) Submit(w *disql.WebQuery) (*Query, error) {
 // user-site: once that many rows have been merged, a typed StopMsg is
 // broadcast along the CHT's live entries.
 func (c *Client) SubmitBudget(w *disql.WebQuery, b wire.Budget) (*Query, error) {
-	return c.submit(w, b, nil)
+	return c.submit(w, b, nil, nil)
 }
 
 // SubmitContext submits a web-query bound to ctx: when ctx ends before
@@ -401,7 +444,7 @@ func (c *Client) SubmitBudgetContext(ctx context.Context, w *disql.WebQuery, b w
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	q, err := c.submit(w, b, nil)
+	q, err := c.submit(w, b, nil, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -425,7 +468,7 @@ func (q *Query) watch(ctx context.Context) {
 	}()
 }
 
-func (c *Client) submit(w *disql.WebQuery, b wire.Budget, sess *Session) (*Query, error) {
+func (c *Client) submit(w *disql.WebQuery, b wire.Budget, sess *Session, rec *recording) (*Query, error) {
 	if err := w.Validate(); err != nil {
 		return nil, err
 	}
@@ -470,6 +513,8 @@ func (c *Client) submit(w *disql.WebQuery, b wire.Budget, sess *Session) (*Query
 		stopSent:   make(map[string]bool),
 		wireV1:     c.opts.WireV1,
 		adaptive:   c.opts.AdaptiveBatch,
+		extDone:    c.opts.Done,
+		rec:        rec,
 	}
 	q.scond = sync.NewCond(&q.mu)
 	if w.Output != nil {
@@ -504,8 +549,7 @@ func (c *Client) submit(w *disql.WebQuery, b wire.Budget, sess *Session) (*Query
 			return nil, err
 		}
 	} else {
-		endpoint := fmt.Sprintf("%s/q%d", c.base, num)
-		ln, err := c.tr.Listen(endpoint)
+		ln, endpoint, err := c.listenCollector(fmt.Sprintf("q%d", num))
 		if err != nil {
 			return nil, fmt.Errorf("client: result collector: %w", err)
 		}
@@ -550,7 +594,12 @@ func (c *Client) submit(w *disql.WebQuery, b wire.Budget, sess *Session) (*Query
 		seq++
 		dest := wire.DestNode{URL: node, Origin: q.id.Site, Seq: seq}
 		bySite[site] = append(bySite[site], dest)
-		q.addEntry(wire.CHTEntry{Node: node, State: state, Origin: dest.Origin, Seq: dest.Seq})
+		e := wire.CHTEntry{Node: node, State: state, Origin: dest.Origin, Seq: dest.Seq}
+		q.addEntry(e)
+		if q.rec != nil {
+			// Client-root arrivals: parent "" marks the user-site itself.
+			q.rec.edges = append(q.rec.edges, recEdge{parent: "", child: e})
+		}
 	}
 	q.mu.Unlock()
 	sort.Strings(sites)
@@ -837,6 +886,9 @@ func (q *Query) merge(rm *wire.ResultMsg) {
 			for _, child := range u.Children {
 				q.addEntry(child)
 			}
+		}
+		if q.rec != nil {
+			q.rec.fold(r)
 		}
 	})
 	q.maybeComplete()
@@ -1545,19 +1597,26 @@ func (q *Query) Rows() iter.Seq2[int, []string] {
 // delivering every row) or when ctx ends — the abandon-safe form of
 // Rows for select loops. A slow consumer never blocks merge: rows spill
 // into the query's ordered log and the lag is accounted in Stats.
+//
+// The pump is additionally bounded by the client's Options.Done channel:
+// a consumer that abandons the channel with a background context would
+// otherwise pin the pump forever on a finished query's undelivered rows,
+// outliving the deployment that owns the transport.
 func (q *Query) Stream(ctx context.Context) <-chan StreamRow {
 	ch := make(chan StreamRow, 64)
 	stop := make(chan struct{})
 	go func() {
 		// Waker: a cond-waiting pump cannot select on ctx, so turn the
-		// ctx's end into a broadcast.
+		// ctx's (or the deployment's) end into a broadcast.
 		select {
 		case <-ctx.Done():
-			q.mu.Lock()
-			q.scond.Broadcast()
-			q.mu.Unlock()
+		case <-q.extDone:
 		case <-stop:
+			return
 		}
+		q.mu.Lock()
+		q.scond.Broadcast()
+		q.mu.Unlock()
 	}()
 	go func() {
 		defer close(ch)
@@ -1565,10 +1624,10 @@ func (q *Query) Stream(ctx context.Context) <-chan StreamRow {
 		i := 0
 		for {
 			q.mu.Lock()
-			for i >= len(q.srows) && !q.done && ctx.Err() == nil {
+			for i >= len(q.srows) && !q.done && ctx.Err() == nil && !q.extClosed() {
 				q.scond.Wait()
 			}
-			if ctx.Err() != nil || i >= len(q.srows) {
+			if ctx.Err() != nil || q.extClosed() || i >= len(q.srows) {
 				q.mu.Unlock()
 				return
 			}
@@ -1582,10 +1641,23 @@ func (q *Query) Stream(ctx context.Context) <-chan StreamRow {
 			case ch <- r:
 			case <-ctx.Done():
 				return
+			case <-q.extDone:
+				return
 			}
 		}
 	}()
 	return ch
+}
+
+// extClosed reports whether the client-wide Options.Done channel has
+// closed (nil never closes).
+func (q *Query) extClosed() bool {
+	select {
+	case <-q.extDone:
+		return true
+	default:
+		return false
+	}
 }
 
 // Results returns the merged result tables ordered by stage, with rows

@@ -49,8 +49,7 @@ func (c *Client) NewSession() (*Session, error) {
 	c.sessions++
 	n := c.sessions
 	c.mu.Unlock()
-	endpoint := fmt.Sprintf("%s/s%d", c.base, n)
-	ln, err := c.tr.Listen(endpoint)
+	ln, endpoint, err := c.listenCollector(fmt.Sprintf("s%d", n))
 	if err != nil {
 		return nil, fmt.Errorf("client: session collector: %w", err)
 	}
@@ -86,13 +85,13 @@ func (s *Session) Endpoint() string { return s.endpoint }
 // session's shared endpoint. Queries from one session run concurrently;
 // Wait on each Query as usual.
 func (s *Session) Submit(w *disql.WebQuery) (*Query, error) {
-	return s.c.submit(w, wire.Budget{}, s)
+	return s.c.submit(w, wire.Budget{}, s, nil)
 }
 
 // SubmitBudget is Submit with a wire-carried resource budget (see
 // Client.SubmitBudget).
 func (s *Session) SubmitBudget(w *disql.WebQuery, b wire.Budget) (*Query, error) {
-	return s.c.submit(w, b, s)
+	return s.c.submit(w, b, s, nil)
 }
 
 // SubmitContext is Submit bound to ctx: when ctx ends before the query
@@ -107,7 +106,7 @@ func (s *Session) SubmitBudgetContext(ctx context.Context, w *disql.WebQuery, b 
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	q, err := s.c.submit(w, b, s)
+	q, err := s.c.submit(w, b, s, nil)
 	if err != nil {
 		return nil, err
 	}

@@ -9,6 +9,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"reflect"
 	"sort"
 	"sync"
 	"time"
@@ -25,26 +26,99 @@ import (
 	"webdis/internal/wire"
 )
 
-// Config describes a deployment.
+// ExecConfig groups a deployment's execution-path knobs: how query
+// servers run, which sites participate, how the user-site degrades and
+// observes. Preferred over the equivalent deprecated flat Config
+// fields; when both are set, the flat field wins (it predates the
+// group).
+type ExecConfig struct {
+	// Server configures every query server (dedup mode, batching, trace).
+	Server server.Options
+	// Transport runs the deployment over this transport instead of a
+	// fresh simulated fabric (see Config.Transport).
+	Transport netsim.Transport
+	// User names the user submitting queries; defaults to "user".
+	User string
+	// NoDocService skips starting the per-site fetch services.
+	NoDocService bool
+	// Participate selects which sites run a query server.
+	Participate func(site string) bool
+	// Hybrid enables the bounce/fallback path even when every site
+	// participates.
+	Hybrid bool
+	// ReapGrace arms the client's orphan-CHT reaper.
+	ReapGrace time.Duration
+	// Replicas runs every participating site as N replica servers.
+	Replicas int
+	// ReplicasFor overrides Replicas per site.
+	ReplicasFor map[string]int
+	// Cluster tunes the membership table's health machinery.
+	Cluster cluster.Options
+	// SiteServerOptions rewrites one site's server options.
+	SiteServerOptions func(site string, o server.Options) server.Options
+	// AdaptiveBatch arms the client's batching feedback loop.
+	AdaptiveBatch bool
+	// Trace arms causal tracing.
+	Trace bool
+	// TraceCapacity sizes each journal's event ring.
+	TraceCapacity int
+}
+
+// WatchConfig groups the continuous-query knobs: the seeded mutation
+// schedule the deployment's web evolves under, and the budget standing
+// queries run their initial traversal with. The zero value is a frozen
+// web — full back-compat with every one-shot deployment.
+type WatchConfig struct {
+	// Mutations drives Deployment.Mutate: a seeded, deterministic
+	// schedule of page edits, link rewires, page births and deaths.
+	// The zero plan mutates nothing.
+	Mutations webgraph.MutationPlan
+	// Budget applies to every watch's initial run (incremental re-runs
+	// always ship as low-weight flows regardless).
+	Budget wire.Budget
+}
+
+// Config describes a deployment. The network, execution, storage and
+// continuous-query knobs live in the Net, Exec, Storage and Watch
+// groups; the remaining flat fields are deprecated aliases kept for one
+// release.
 type Config struct {
 	// Web is the document corpus; one query server and one document host
 	// start per site. Required.
 	Web *webgraph.Web
-	// Net configures the simulated fabric (latency, bandwidth).
+	// Net groups the simulated fabric's knobs (latency, bandwidth,
+	// fault plan, observer).
 	Net netsim.Options
+	// Exec groups the execution-path knobs (server options, hybrid
+	// fallback, replicas, tracing, ...).
+	Exec ExecConfig
+	// Storage groups the persistent site-store knobs, applied to every
+	// query server (equivalent to Exec.Server.Store).
+	Storage server.StoreOptions
+	// Watch groups the continuous-query knobs (mutation schedule, watch
+	// budget).
+	Watch WatchConfig
 	// Transport, when set, runs the deployment over this transport (e.g.
 	// netsim.NewTCP for real sockets within one process) instead of a
 	// fresh simulated fabric. Network() then returns nil: the fabric's
 	// fault injection, traffic stats and transport-level trace observer
 	// are unavailable, and Net is ignored.
+	//
+	// Deprecated: set Exec.Transport instead.
 	Transport netsim.Transport
 	// Server configures every query server (dedup mode, batching, trace).
+	//
+	// Deprecated: set Exec.Server instead.
 	Server server.Options
 	// User names the user submitting queries; defaults to "user".
+	//
+	// Deprecated: set Exec.User instead.
 	User string
 	// NoDocService skips starting the per-site fetch services; the
 	// distributed engine reads documents co-located, so only runs that
 	// also use the centralized baseline need them.
+	//
+	// Deprecated: set Exec.NoDocService instead.
 	NoDocService bool
 	// Participate, when non-nil, selects which sites run a query server —
 	// the paper's Section 7.1 world where only some of the web has
@@ -52,16 +126,22 @@ type Config struct {
 	// servers bounce undeliverable clones back to the user-site, and the
 	// client's hybrid fallback processes them centrally. Incompatible
 	// with NoDocService (the fallback must be able to download).
+	//
+	// Deprecated: set Exec.Participate instead.
 	Participate func(site string) bool
 	// Hybrid enables the bounce/fallback path even when every site
 	// participates: a clone whose forward attempts are exhausted under
 	// Server.Retry is returned to the user-site and evaluated centrally —
 	// per-edge degraded-mode recovery from query shipping to data
 	// shipping. Implied by Participate. Incompatible with NoDocService.
+	//
+	// Deprecated: set Exec.Hybrid instead.
 	Hybrid bool
 	// ReapGrace arms the client's orphan-CHT reaper: a query that has
 	// seen no report for this long while entries remain outstanding is
 	// completed as Partial, its orphans retired. Zero disables reaping.
+	//
+	// Deprecated: set Exec.ReapGrace instead.
 	ReapGrace time.Duration
 	// Replicas runs every participating site as N replica query servers
 	// behind a shared cluster membership table (see internal/cluster):
@@ -69,13 +149,19 @@ type Config struct {
 	// 1..N-1 on "<site>/query@i", and every forward path picks a live
 	// replica with failover. 0 or 1 is the classic unreplicated
 	// deployment.
+	//
+	// Deprecated: set Exec.Replicas instead.
 	Replicas int
 	// ReplicasFor overrides Replicas per site — e.g. replicate only the
 	// hot site of a skewed workload. Sites not in the map use Replicas.
+	//
+	// Deprecated: set Exec.ReplicasFor instead.
 	ReplicasFor map[string]int
 	// Cluster tunes the membership table's health machinery (probe
 	// cadence, demotion thresholds, seed). Only consulted when some site
 	// has more than one replica.
+	//
+	// Deprecated: set Exec.Cluster instead.
 	Cluster cluster.Options
 	// SiteServerOptions, when non-nil, rewrites one site's server options
 	// just before its query servers are built — the hook mixed-version
@@ -83,19 +169,64 @@ type Config struct {
 	// negotiate v2. It receives the site name and the options every
 	// server would get (after deployment-wide adjustments) and returns
 	// the options that site actually runs with.
+	//
+	// Deprecated: set Exec.SiteServerOptions instead.
 	SiteServerOptions func(site string, o server.Options) server.Options
 	// AdaptiveBatch arms the client's collector-side batching feedback
 	// loop (see client.Options.AdaptiveBatch); effective when
 	// Server.ResultBatch is enabled too.
+	//
+	// Deprecated: set Exec.AdaptiveBatch instead.
 	AdaptiveBatch bool
 	// Trace arms causal tracing: every site (and the user-site) gets a
 	// trace.Journal, clones carry span ids, and transport-level events
 	// (dials, refusals, dropped and severed frames) are journaled via the
 	// fabric's observer hook. Journeys are reconstructed with Journey.
+	//
+	// Deprecated: set Exec.Trace instead.
 	Trace bool
 	// TraceCapacity sizes each journal's event ring; <= 0 uses
 	// trace.DefaultCapacity.
+	//
+	// Deprecated: set Exec.TraceCapacity instead.
 	TraceCapacity int
+}
+
+// merged resolves one deprecated flat knob against its Exec-group
+// counterpart: the flat field wins when set (it predates the group),
+// the nested value applies otherwise. Zero-ness is structural, so knob
+// types carrying funcs and maps resolve too.
+func merged[T any](flat, nested T) T {
+	if reflect.ValueOf(&flat).Elem().IsZero() {
+		return nested
+	}
+	return flat
+}
+
+// normalized folds the nested option groups onto the deprecated flat
+// fields, so the deployment builder reads one coherent shape whichever
+// way the caller configured it.
+func (cfg Config) normalized() Config {
+	cfg.Transport = merged(cfg.Transport, cfg.Exec.Transport)
+	cfg.Server = merged(cfg.Server, cfg.Exec.Server)
+	cfg.User = merged(cfg.User, cfg.Exec.User)
+	cfg.NoDocService = cfg.NoDocService || cfg.Exec.NoDocService
+	if cfg.Participate == nil {
+		cfg.Participate = cfg.Exec.Participate
+	}
+	cfg.Hybrid = cfg.Hybrid || cfg.Exec.Hybrid
+	cfg.ReapGrace = merged(cfg.ReapGrace, cfg.Exec.ReapGrace)
+	cfg.Replicas = merged(cfg.Replicas, cfg.Exec.Replicas)
+	cfg.ReplicasFor = merged(cfg.ReplicasFor, cfg.Exec.ReplicasFor)
+	cfg.Cluster = merged(cfg.Cluster, cfg.Exec.Cluster)
+	if cfg.SiteServerOptions == nil {
+		cfg.SiteServerOptions = cfg.Exec.SiteServerOptions
+	}
+	cfg.AdaptiveBatch = cfg.AdaptiveBatch || cfg.Exec.AdaptiveBatch
+	cfg.Trace = cfg.Trace || cfg.Exec.Trace
+	cfg.TraceCapacity = merged(cfg.TraceCapacity, cfg.Exec.TraceCapacity)
+	cfg.Server.Store = merged(cfg.Server.Store, cfg.Storage)
+	return cfg
 }
 
 // Deployment is a running WEBDIS installation over a simulated web.
@@ -123,10 +254,20 @@ type Deployment struct {
 	ixOnce sync.Once
 	ix     *index.Index
 	ixErr  error
+
+	// Continuous-query machinery: the seeded web mutator (nil plan gives
+	// an inert one), the budget watches run their initial traversal
+	// with, and the deployment-lifetime done channel that bounds every
+	// client-side pump goroutine.
+	mut         *webgraph.Mutator
+	watchBudget wire.Budget
+	done        chan struct{}
+	closeOnce   sync.Once
 }
 
 // NewDeployment builds and starts a deployment.
 func NewDeployment(cfg Config) (*Deployment, error) {
+	cfg = cfg.normalized()
 	if cfg.Web == nil {
 		return nil, fmt.Errorf("core: Config.Web is required")
 	}
@@ -178,6 +319,9 @@ func NewDeployment(cfg Config) (*Deployment, error) {
 		clientMetrics: &server.Metrics{},
 		journals:      make(map[string]*trace.Journal),
 		netJournal:    netJournal,
+		mut:           webgraph.NewMutator(cfg.Web, cfg.Watch.Mutations),
+		watchBudget:   cfg.Watch.Budget,
+		done:          make(chan struct{}),
 	}
 
 	// One membership table serves the whole deployment — every server and
@@ -257,6 +401,7 @@ func NewDeployment(cfg Config) (*Deployment, error) {
 		// SiteServerOptions and negotiate per connection).
 		WireV1:        cfg.Server.WireV1,
 		AdaptiveBatch: cfg.AdaptiveBatch,
+		Done:          d.done,
 		// Resolve index("term") StartNode sources against the deployment's
 		// search index, built lazily on first use.
 		IndexResolver: func(term string) []string {
@@ -385,6 +530,96 @@ func (d *Deployment) SubmitContext(ctx context.Context, w *disql.WebQuery) (*cli
 // Web returns the deployment's document corpus.
 func (d *Deployment) Web() *webgraph.Web { return d.web }
 
+// Done returns the deployment-lifetime channel, closed by Close. Every
+// client-side pump goroutine (query streams, watches) is bounded by it.
+func (d *Deployment) Done() <-chan struct{} { return d.done }
+
+// Mutator returns the deployment's seeded web mutator (inert unless
+// Config.Watch.Mutations is set), for callers that need step-level
+// control; most should use Mutate.
+func (d *Deployment) Mutator() *webgraph.Mutator { return d.mut }
+
+// Mutate applies up to n steps of the configured mutation schedule and
+// propagates the changes: every touched site's query servers (all
+// replicas) evict exactly the mutated documents from their retained-DB
+// caches and mark the matching store entries and text-index postings
+// stale, and every registered watch is sent one change notification per
+// touched site. It returns the applied mutations and the notification
+// count — the WaitEpoch barrier increment for any watch registered
+// across the whole deployment.
+func (d *Deployment) Mutate(n int) ([]webgraph.Mutation, int) {
+	muts := d.mut.Apply(n)
+	edited := make(map[string][]string)
+	rewired := make(map[string][]string)
+	var sites []string
+	note := func(urls []string, into map[string][]string) {
+		for _, u := range urls {
+			site := webgraph.Host(u)
+			if _, ok := edited[site]; !ok {
+				if _, ok := rewired[site]; !ok {
+					sites = append(sites, site)
+				}
+			}
+			into[site] = append(into[site], u)
+		}
+	}
+	for _, m := range muts {
+		ed, rw := m.Touched()
+		note(ed, edited)
+		note(rw, rewired)
+	}
+	sort.Strings(sites)
+	notified := 0
+	for _, site := range sites {
+		reps := d.servers[site]
+		if len(reps) == 0 {
+			continue // non-participating site: nothing caches its documents
+		}
+		for _, s := range reps {
+			s.InvalidateDocs(edited[site], rewired[site])
+		}
+		notified++
+	}
+	return muts, notified
+}
+
+// WatchOptions configure one standing query.
+type WatchOptions struct {
+	// Budget applies to the watch's initial run, overriding the
+	// deployment-wide Config.Watch.Budget when non-zero.
+	Budget wire.Budget
+}
+
+// Watch parses src and registers it as a standing query: the initial
+// result set is computed with a normal distributed run, every
+// participating site is asked to push change notifications, and from
+// then on Deployment.Mutate drives incremental re-derivation — typed
+// add/remove row deltas on the returned Watch, one epoch per
+// notification. ctx bounds the initial run and, when cancellable, the
+// watch itself. Close the watch when done; Close'ing the deployment
+// releases it too.
+func (d *Deployment) Watch(ctx context.Context, src string, opts WatchOptions) (*client.Watch, error) {
+	w, err := disql.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return d.WatchQuery(ctx, w, opts)
+}
+
+// WatchQuery is Watch for an already-parsed web-query.
+func (d *Deployment) WatchQuery(ctx context.Context, w *disql.WebQuery, opts WatchOptions) (*client.Watch, error) {
+	b := opts.Budget
+	if b.IsZero() {
+		b = d.watchBudget
+	}
+	sites := make([]string, 0, len(d.servers))
+	for site := range d.servers {
+		sites = append(sites, site)
+	}
+	sort.Strings(sites)
+	return d.client.WatchBudget(ctx, w, sites, b)
+}
+
 // Network returns the simulated fabric (for stats and failure
 // injection), or nil when the deployment runs over Config.Transport.
 func (d *Deployment) Network() *netsim.Network { return d.network }
@@ -502,8 +737,11 @@ func (d *Deployment) Cluster() *cluster.Membership { return d.cluster }
 // Host returns the document host of site, or nil.
 func (d *Deployment) Host(site string) *webserver.Host { return d.hosts[site] }
 
-// Close stops the health prober, every server replica and document host.
+// Close stops the health prober, every server replica and document
+// host, and closes the deployment's done channel — releasing every
+// stream pump and watch whose consumer abandoned it. Idempotent.
 func (d *Deployment) Close() {
+	d.closeOnce.Do(func() { close(d.done) })
 	if d.cluster != nil {
 		d.cluster.StopProber()
 	}

@@ -56,6 +56,7 @@ func All() []Experiment {
 		{"planner", "distribution / T17", "cost-based distributed planner: aggregate pushdown and ship-query-vs-ship-data edge decisions vs naive shipping, bytes and latency (writes BENCH_PR7.json)", func(w io.Writer) error { _, err := Planner(w); return err }},
 		{"wire", "wire format / T18", "wire format v2: binary codec vs framed gob message throughput, with batching and adaptive-tuning variants (writes BENCH_PR8.json)", func(w io.Writer) error { _, err := Wire(w); return err }},
 		{"store", "storage / T19", "persistent site store: slotted-page heap files + bounded buffer pool vs in-RAM databases — heap ceiling, p95, indexed contains (writes BENCH_PR9.json)", func(w io.Writer) error { _, err := Store(w); return err }},
+		{"watch", "continuous queries / T20", "standing queries over a mutating web: incremental delta maintenance vs naive re-execution — bytes, epoch latency, full re-run oracle at every step (writes BENCH_PR10.json)", func(w io.Writer) error { _, err := Watch(w); return err }},
 	}
 }
 

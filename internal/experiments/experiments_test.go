@@ -717,3 +717,35 @@ func TestStoreShape(t *testing.T) {
 		}
 	}
 }
+
+func TestWatchShape(t *testing.T) {
+	// Short schedule, no artifact: correctness is enforced inside
+	// watchRun (it errors on the first divergence from the full re-run
+	// oracle), so the shape test asserts the structure — the watch
+	// engaged, deltas flowed, and incremental maintenance moved fewer
+	// bytes than naive re-execution. The 2x headline is asserted over
+	// the full 60-step schedule in CI's bench job, not here.
+	out, err := watchRun(io.Discard, 25, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.OracleOK {
+		t.Error("oracle_ok = false")
+	}
+	if out.Epochs < out.Steps {
+		t.Errorf("epochs = %d, want >= steps (%d)", out.Epochs, out.Steps)
+	}
+	if out.Baseline == 0 {
+		t.Error("baseline standing set is empty")
+	}
+	if out.Edits+out.Rewires+out.Births+out.Removals != out.Steps {
+		t.Errorf("op mix %d/%d/%d/%d does not sum to %d steps",
+			out.Edits, out.Rewires, out.Births, out.Removals, out.Steps)
+	}
+	if out.IncrementalBytes <= 0 || out.NaiveBytes <= 0 {
+		t.Fatalf("degenerate byte counts: incremental %d, naive %d", out.IncrementalBytes, out.NaiveBytes)
+	}
+	if out.SavingsX <= 1 {
+		t.Errorf("savings = %.2fx, want > 1x", out.SavingsX)
+	}
+}

@@ -105,6 +105,30 @@ func (t *TCPTransport) Listen(name string) (net.Listener, error) {
 	return ln, nil
 }
 
+// ListenSelf binds an ephemeral port on the host embedded in base (a
+// self-addressed "tcp://host:port" name) and returns the listener plus
+// the self-addressed name remote processes can dial directly. It is the
+// overflow path for clients that need several collector endpoints but
+// have only one configured address — a long-lived watch's per-epoch
+// re-derivation collectors, or concurrent queries from one process.
+func (t *TCPTransport) ListenSelf(base, suffix string) (net.Listener, string, error) {
+	embedded, ok := splitTCPName(base)
+	if !ok {
+		return nil, "", fmt.Errorf("netsim: %q is not a self-addressed tcp:// name", base)
+	}
+	host, _, err := net.SplitHostPort(embedded)
+	if err != nil {
+		return nil, "", fmt.Errorf("netsim: listen-self %s: %w", base, err)
+	}
+	ln, err := net.Listen("tcp", net.JoinHostPort(host, "0"))
+	if err != nil {
+		return nil, "", fmt.Errorf("netsim: listen-self %s: %w", base, err)
+	}
+	name := "tcp://" + ln.Addr().String() + "/" + suffix
+	t.Register(name, ln.Addr().String())
+	return ln, name, nil
+}
+
 // Dial connects to the named endpoint.
 func (t *TCPTransport) Dial(from, to string) (net.Conn, error) {
 	t.mu.Lock()

@@ -173,6 +173,17 @@ type Metrics struct {
 	// DBCacheEvicted counts retained databases dropped by the
 	// Options.DBCacheEntries LRU bound.
 	DBCacheEvicted atomic.Int64
+
+	// DocsInvalidated counts documents whose cached state (retained
+	// database, store entry, text-index postings) was invalidated by a
+	// web mutation — entry-level eviction, never a full rebuild.
+	DocsInvalidated atomic.Int64
+	// WatchesRegistered counts standing continuous-query registrations
+	// accepted from user-sites.
+	WatchesRegistered atomic.Int64
+	// DeltasSent counts DELTA notifications dispatched to watch
+	// collectors after mutations.
+	DeltasSent atomic.Int64
 }
 
 // Snapshot is a plain-integer copy of Metrics.
@@ -236,6 +247,10 @@ type Snapshot struct {
 	ColdOpens      int64
 	StoreBuilds    int64
 	DBCacheEvicted int64
+
+	DocsInvalidated   int64
+	WatchesRegistered int64
+	DeltasSent        int64
 }
 
 // Snapshot returns a consistent-enough copy for reporting (individual
@@ -301,6 +316,10 @@ func (m *Metrics) Snapshot() Snapshot {
 		ColdOpens:      m.ColdOpens.Load(),
 		StoreBuilds:    m.StoreBuilds.Load(),
 		DBCacheEvicted: m.DBCacheEvicted.Load(),
+
+		DocsInvalidated:   m.DocsInvalidated.Load(),
+		WatchesRegistered: m.WatchesRegistered.Load(),
+		DeltasSent:        m.DeltasSent.Load(),
 	}
 }
 

@@ -282,6 +282,13 @@ type Server struct {
 	stopMu   sync.Mutex
 	stoppedQ map[string]time.Time
 
+	// watches is the standing continuous-query registry: watch QueryID
+	// string → registration. A registered watch receives one DeltaMsg
+	// (with this site's per-watch monotonic Seq) for every local batch of
+	// web mutations, until the user-site cancels it.
+	watchMu sync.Mutex
+	watches map[string]*watchReg
+
 	mu    sync.Mutex
 	ln    net.Listener
 	conns map[net.Conn]bool // accepted connections, open for the sender's pool
@@ -597,8 +604,91 @@ func (s *Server) receive(conn net.Conn) {
 				s.batcher.tune(m)
 				s.met.BatchTunes.Add(1)
 			}
+		case *wire.WatchMsg:
+			s.handleWatch(m)
 		default:
 			return
+		}
+	}
+}
+
+// watchReg is one standing watch: the collector's identity plus the
+// per-watch monotonic delta sequence this site stamps on notifications.
+type watchReg struct {
+	id  wire.QueryID
+	seq int64
+}
+
+// handleWatch registers or cancels a standing watch. Registration is
+// idempotent (a re-register keeps the existing sequence, so a collector
+// that retries never sees Seq restart).
+func (s *Server) handleWatch(m *wire.WatchMsg) {
+	if !m.Applies() {
+		return
+	}
+	key := m.ID.String()
+	s.watchMu.Lock()
+	defer s.watchMu.Unlock()
+	if m.Cancel {
+		delete(s.watches, key)
+		return
+	}
+	if s.watches == nil {
+		s.watches = make(map[string]*watchReg)
+	}
+	if _, ok := s.watches[key]; !ok {
+		s.watches[key] = &watchReg{id: m.ID}
+		s.met.WatchesRegistered.Add(1)
+	}
+}
+
+// InvalidateDocs is the site-local change-detection hook: after the web
+// mutates, the deployment reports which of this site's documents changed
+// content only (edited) and which changed link structure or vanished
+// (rewired). Invalidation is entry-level — the touched retained
+// databases are evicted, the touched store documents and their index
+// postings marked stale — never a cache flush or a store rebuild. Every
+// standing watch is then sent one DeltaMsg carrying the split.
+func (s *Server) InvalidateDocs(edited, rewired []string) {
+	touch := func(urls []string, detail string) {
+		for _, u := range urls {
+			s.dbMu.Lock()
+			if _, ok := s.dbCache[u]; ok {
+				delete(s.dbCache, u)
+				if el, lok := s.dbPos[u]; lok {
+					s.dbLRU.Remove(el)
+					delete(s.dbPos, u)
+				}
+			}
+			s.dbMu.Unlock()
+			if s.store != nil {
+				s.store.Invalidate(u)
+			}
+			s.met.DocsInvalidated.Add(1)
+			if s.opts.Journal != nil {
+				s.opts.Journal.Append(trace.Event{Kind: trace.Invalidate, Node: u, Detail: detail})
+			}
+		}
+	}
+	touch(edited, "edited")
+	touch(rewired, "rewired")
+
+	s.watchMu.Lock()
+	regs := make([]*wire.DeltaMsg, 0, len(s.watches))
+	for _, w := range s.watches {
+		w.seq++
+		regs = append(regs, &wire.DeltaMsg{
+			Version: wire.WatchVersion, ID: w.id, Site: s.site, Seq: w.seq,
+			Edited: edited, Rewired: rewired,
+		})
+	}
+	s.watchMu.Unlock()
+	for _, msg := range regs {
+		if s.send(msg.ID.Site, msg) == nil {
+			s.met.DeltasSent.Add(1)
+			if s.opts.Journal != nil {
+				s.opts.Journal.Append(trace.Event{Query: msg.ID.String(), Kind: trace.Delta, Detail: msg.ID.Site})
+			}
 		}
 	}
 }
@@ -1232,7 +1322,14 @@ func (s *Server) buildDB(node string) (*relmodel.DB, error) {
 		// Local node with the persistent store: assemble the database
 		// from slotted pages through the buffer pool — no fetch, no
 		// parse, and the text oracle rides along for contains folding.
-		return s.store.DB(node)
+		// A mutated (stale) or freshly born (unknown) document instead
+		// takes the live read-through below: fetch + parse the current
+		// web, leaving every untouched store entry served from pages.
+		db, serr := s.store.DB(node)
+		if serr == nil || !(errors.Is(serr, store.ErrStale) || errors.Is(serr, store.ErrUnknownDoc)) {
+			return db, serr
+		}
+		content, err = s.docs.Get(node)
 	} else {
 		content, err = s.docs.Get(node)
 	}

@@ -69,6 +69,13 @@ var (
 	ErrTruncated = errors.New("store: truncated")
 	// ErrPoolExhausted: every buffer-pool frame is pinned.
 	ErrPoolExhausted = errors.New("store: buffer pool exhausted")
+	// ErrStale: the document was invalidated by a web mutation after the
+	// store was built. Recovery is a live read-through (fetch + parse),
+	// not a store rebuild — only the touched entry is stale.
+	ErrStale = errors.New("store: stale")
+	// ErrUnknownDoc: the store has no entry for the URL — typically a
+	// page born after the build. Recovery is the same live read-through.
+	ErrUnknownDoc = errors.New("store: unknown document")
 )
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)

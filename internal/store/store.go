@@ -10,6 +10,7 @@ import (
 	"net/url"
 	"os"
 	"path/filepath"
+	"sync"
 
 	"webdis/internal/htmlx"
 	"webdis/internal/relmodel"
@@ -58,6 +59,9 @@ type Store struct {
 	byURL  map[string]int
 	ix     *textIndex // nil when absent or disabled
 	ctr    Counters
+
+	staleMu sync.RWMutex
+	dirty   map[int]bool // doc id → invalidated by a web mutation
 }
 
 // Dir is the directory holding site's store files under root.
@@ -260,6 +264,42 @@ func (s *Store) Indexed() bool { return s.ix != nil }
 // against reads minus evictions).
 func (s *Store) Resident() int { return s.pool.resident() }
 
+// Invalidate marks one document stale after a web mutation: DB returns
+// ErrStale for it from now on (the server's recovery is a live
+// read-through) and its text-index postings stop matching. Only the
+// touched entry is invalidated — the heap, catalog and every other
+// document's postings stay live, so there is no store rebuild. Returns
+// false when the URL is not in this store (e.g. a freshly born page) or
+// was already stale.
+func (s *Store) Invalidate(u string) bool {
+	i, ok := s.byURL[u]
+	if !ok {
+		return false
+	}
+	s.staleMu.Lock()
+	if s.dirty == nil {
+		s.dirty = make(map[int]bool)
+	}
+	was := s.dirty[i]
+	s.dirty[i] = true
+	s.staleMu.Unlock()
+	if !was && s.ix != nil {
+		s.ix.invalidate(uint32(i))
+	}
+	return !was
+}
+
+// Stale reports whether the document has been invalidated.
+func (s *Store) Stale(u string) bool {
+	i, ok := s.byURL[u]
+	if !ok {
+		return false
+	}
+	s.staleMu.RLock()
+	defer s.staleMu.RUnlock()
+	return s.dirty[i]
+}
+
 // DB assembles the virtual-relation database of one document from the
 // heap — the persistent Database Constructor. The result is value-equal
 // to relmodel.Build over the parsed document, plus the text-index oracle
@@ -267,7 +307,13 @@ func (s *Store) Resident() int { return s.pool.resident() }
 func (s *Store) DB(u string) (*relmodel.DB, error) {
 	i, ok := s.byURL[u]
 	if !ok {
-		return nil, fmt.Errorf("store: site %s has no document %s", s.site, u)
+		return nil, fmt.Errorf("%w: site %s has no document %s", ErrUnknownDoc, s.site, u)
+	}
+	s.staleMu.RLock()
+	stale := s.dirty[i]
+	s.staleMu.RUnlock()
+	if stale {
+		return nil, fmt.Errorf("%w: %s at site %s", ErrStale, u, s.site)
 	}
 	de := s.docs[i]
 	db := &relmodel.DB{

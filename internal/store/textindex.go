@@ -109,6 +109,24 @@ type textIndex struct {
 
 	mu   sync.Mutex
 	memo map[string]map[uint32]bool // field\x00literal → matching doc ids
+	dead map[uint32]bool            // invalidated doc ids (stale postings)
+}
+
+// invalidate retires one document's postings: the id is dropped from
+// every memoized match set and excluded from future ones. The posting
+// lists themselves are left in place (they are shared, delta-encoded
+// history) — the dead set filters them at match time, so invalidation
+// touches only the one entry, never the index structure.
+func (ix *textIndex) invalidate(id uint32) {
+	ix.mu.Lock()
+	if ix.dead == nil {
+		ix.dead = make(map[uint32]bool)
+	}
+	ix.dead[id] = true
+	for _, set := range ix.memo {
+		delete(set, id)
+	}
+	ix.mu.Unlock()
 }
 
 func decodeTextIndex(b []byte, hits *atomic.Int64) (*textIndex, error) {
@@ -197,7 +215,9 @@ func (ix *textIndex) matchContains(field string, id uint32, lit string) (hit, de
 		for term, post := range terms {
 			if strings.Contains(term, lower) {
 				for _, d := range post {
-					set[d] = true
+					if !ix.dead[d] {
+						set[d] = true
+					}
 				}
 			}
 		}

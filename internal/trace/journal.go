@@ -90,6 +90,14 @@ const (
 	// instance serials, sent to a surviving replica, so the traversal
 	// resumes where the corpse dropped it.
 	Replay Kind = "replay"
+	// Invalidate is a site evicting one mutated document's cached state
+	// (retained database, store entry, index postings); Detail records
+	// whether the change was content-only ("edited") or structural
+	// ("rewired").
+	Invalidate Kind = "invalidate"
+	// Delta is a DELTA notification leaving a site for a standing
+	// watch's collector (or the collector folding one in).
+	Delta Kind = "delta"
 )
 
 // Transport-level events, written by the netsim observer hook.

@@ -1,0 +1,327 @@
+// Web mutation: a seeded, deterministic schedule of page-level changes —
+// pages appear and disappear, links rewire, rel-infon text edits — in the
+// same spirit as netsim's FaultPlan. The schedule is a pure function of
+// the plan's seed and the web's (deterministic) state, so every run
+// replays the same mutation sequence and the same web states; that is
+// what makes continuous-query results reproducible and lets the
+// differential oracle compare a delta-maintained answer against a
+// from-scratch re-run at every step.
+
+package webgraph
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+)
+
+// MutationKind identifies one class of web change.
+type MutationKind int
+
+// Mutation kinds.
+const (
+	// MutEditText rewrites one rel-infon text item of an existing page.
+	MutEditText MutationKind = iota
+	// MutRewireLink re-targets one anchor of an existing page.
+	MutRewireLink
+	// MutAddPage creates a new page and links it from an existing one.
+	MutAddPage
+	// MutRemovePage deletes an existing page; links to it dangle (404).
+	MutRemovePage
+)
+
+func (k MutationKind) String() string {
+	switch k {
+	case MutEditText:
+		return "edit"
+	case MutRewireLink:
+		return "rewire"
+	case MutAddPage:
+		return "add"
+	case MutRemovePage:
+		return "remove"
+	}
+	return "unknown"
+}
+
+// Mutation is one applied web change.
+type Mutation struct {
+	Seq  int
+	Kind MutationKind
+	// URL is the page whose rendered content changed: the edited page,
+	// the page holding the rewired or newly added link, or the removed
+	// page.
+	URL string
+	// Target is the new link destination (rewire), the new page's URL
+	// (add), or empty.
+	Target string
+}
+
+// Touched splits the mutation's invalidation footprint: edited URLs
+// changed content only (their outgoing links are intact), rewired URLs
+// changed link structure (or disappeared), so everything reachable
+// through them may need re-derivation.
+func (m Mutation) Touched() (edited, rewired []string) {
+	if m.Kind == MutEditText {
+		return []string{m.URL}, nil
+	}
+	return nil, []string{m.URL}
+}
+
+func (m Mutation) String() string {
+	if m.Target != "" {
+		return fmt.Sprintf("#%d %s %s -> %s", m.Seq, m.Kind, m.URL, m.Target)
+	}
+	return fmt.Sprintf("#%d %s %s", m.Seq, m.Kind, m.URL)
+}
+
+// MutationPlan is a seeded, deterministic mutation schedule. The zero
+// value mutates nothing — a frozen web, full back-compat with every
+// one-shot deployment. With Seed set and all weights zero, a default op
+// mix applies (mostly edits, some rewires, a few page births/deaths).
+type MutationPlan struct {
+	// Seed initializes the mutation decision stream.
+	Seed int64
+	// Edit, Rewire, Add, Remove weight the op mix. All zero = the
+	// default mix (0.4 / 0.3 / 0.15 / 0.15).
+	Edit, Rewire, Add, Remove float64
+	// Sites, when non-empty, scopes mutations to pages at these hosts.
+	Sites []string
+}
+
+// Enabled reports whether the plan can ever mutate anything.
+func (p MutationPlan) Enabled() bool {
+	return p.Seed != 0 || p.Edit > 0 || p.Rewire > 0 || p.Add > 0 || p.Remove > 0
+}
+
+// mix returns the normalized op weights.
+func (p MutationPlan) mix() (edit, rewire, add, remove float64) {
+	edit, rewire, add, remove = p.Edit, p.Rewire, p.Add, p.Remove
+	if edit == 0 && rewire == 0 && add == 0 && remove == 0 {
+		return 0.4, 0.3, 0.15, 0.15
+	}
+	return
+}
+
+// Mutator applies a MutationPlan to a Web, one deterministic step at a
+// time. Safe for use while servers concurrently read the web.
+type Mutator struct {
+	web  *Web
+	plan MutationPlan
+
+	mu     sync.Mutex
+	rng    *rand.Rand
+	seq    int
+	births int
+}
+
+// NewMutator returns a mutator driving w by plan. A disabled plan yields
+// a mutator whose Step always reports false.
+func NewMutator(w *Web, plan MutationPlan) *Mutator {
+	return &Mutator{web: w, plan: plan, rng: rand.New(rand.NewSource(plan.Seed))}
+}
+
+// Step applies the next mutation of the schedule and returns it. ok is
+// false when the plan is disabled or no mutation is possible (no
+// in-scope pages).
+func (m *Mutator) Step() (mut Mutation, ok bool) {
+	if !m.plan.Enabled() {
+		return Mutation{}, false
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	urls := m.scopedURLs()
+	if len(urls) == 0 {
+		return Mutation{}, false
+	}
+	edit, rewire, add, remove := m.plan.mix()
+	draw := m.rng.Float64() * (edit + rewire + add + remove)
+	var kind MutationKind
+	switch {
+	case draw < edit:
+		kind = MutEditText
+	case draw < edit+rewire:
+		kind = MutRewireLink
+	case draw < edit+rewire+add:
+		kind = MutAddPage
+	default:
+		kind = MutRemovePage
+	}
+	m.seq++
+	switch kind {
+	case MutRewireLink:
+		if mut, ok = m.rewire(urls); ok {
+			return mut, true
+		}
+	case MutAddPage:
+		return m.addPage(urls), true
+	case MutRemovePage:
+		if mut, ok = m.remove(urls); ok {
+			return mut, true
+		}
+	}
+	// Edit, or the fallback when a rewire found no anchor / a remove
+	// found no safely removable page.
+	return m.edit(urls), true
+}
+
+// Apply runs up to n schedule steps and returns the applied mutations.
+func (m *Mutator) Apply(n int) []Mutation {
+	var out []Mutation
+	for i := 0; i < n; i++ {
+		mut, ok := m.Step()
+		if !ok {
+			break
+		}
+		out = append(out, mut)
+	}
+	return out
+}
+
+// scopedURLs returns the sorted in-scope page URLs — the deterministic
+// candidate list every selection draws from.
+func (m *Mutator) scopedURLs() []string {
+	urls := m.web.URLs()
+	if len(m.plan.Sites) == 0 {
+		return urls
+	}
+	scope := make(map[string]bool, len(m.plan.Sites))
+	for _, s := range m.plan.Sites {
+		scope[s] = true
+	}
+	out := urls[:0:0]
+	for _, u := range urls {
+		if scope[Host(u)] {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// edit rewrites one text-bearing item of a page (or appends a paragraph
+// to an empty one). About a third of edits toggle the benchmark Marker
+// into the text, so content-predicate answers genuinely come and go.
+func (m *Mutator) edit(urls []string) Mutation {
+	u := urls[m.rng.Intn(len(urls))]
+	p := m.web.Page(u)
+	text := fillText(m.rng, 8+m.rng.Intn(8))
+	if m.rng.Float64() < 0.3 {
+		text = Marker + " " + text
+	}
+	p.edit(func() {
+		var idxs []int
+		for i, it := range p.Items {
+			if it.Kind == Text || it.Kind == Bold || it.Kind == Heading {
+				idxs = append(idxs, i)
+			}
+		}
+		if len(idxs) == 0 {
+			p.Items = append(p.Items, Item{Kind: Text, Text: text})
+			return
+		}
+		p.Items[idxs[m.rng.Intn(len(idxs))]].Text = text
+	})
+	return Mutation{Seq: m.seq, Kind: MutEditText, URL: u}
+}
+
+// rewire re-targets one anchor of a page that has one. ok is false when
+// no in-scope page carries an anchor or there is no alternative target.
+func (m *Mutator) rewire(urls []string) (Mutation, bool) {
+	if len(urls) < 2 {
+		return Mutation{}, false
+	}
+	start := m.rng.Intn(len(urls))
+	for off := 0; off < len(urls); off++ {
+		u := urls[(start+off)%len(urls)]
+		p := m.web.Page(u)
+		var target string
+		ok := false
+		p.edit(func() {
+			var anchors []int
+			for i, it := range p.Items {
+				if it.Kind == Anchor {
+					anchors = append(anchors, i)
+				}
+			}
+			if len(anchors) == 0 {
+				return
+			}
+			ai := anchors[m.rng.Intn(len(anchors))]
+			old := Resolve(u, p.Items[ai].Href)
+			for try := 0; try < 8; try++ {
+				cand := urls[m.rng.Intn(len(urls))]
+				if cand != old && cand != u {
+					target = cand
+					break
+				}
+			}
+			if target == "" {
+				return
+			}
+			p.Items[ai].Href = target
+			ok = true
+		})
+		if ok {
+			return Mutation{Seq: m.seq, Kind: MutRewireLink, URL: u, Target: target}, true
+		}
+	}
+	return Mutation{}, false
+}
+
+// addPage births a page on an existing site and links it from a parent
+// page there-or-elsewhere; the parent is the mutated (rewired) URL, the
+// new page the target.
+func (m *Mutator) addPage(urls []string) Mutation {
+	parent := urls[m.rng.Intn(len(urls))]
+	host := Host(parent)
+	var nu string
+	for {
+		m.births++
+		nu = fmt.Sprintf("http://%s/mut%d.html", host, m.births)
+		if m.web.Page(nu) == nil {
+			break
+		}
+	}
+	np := &Page{URL: nu, Title: "mutant " + fmt.Sprint(m.births)}
+	np.AddText(fillText(m.rng, 20+m.rng.Intn(20)))
+	if m.rng.Float64() < 0.5 {
+		np.AddText(Marker + " " + fillText(m.rng, 6))
+	}
+	if m.rng.Float64() < 0.5 {
+		np.AddLink(urls[m.rng.Intn(len(urls))], "back")
+	}
+	m.web.Add(np)
+	p := m.web.Page(parent)
+	p.edit(func() {
+		p.Items = append(p.Items, Item{Kind: Anchor, Href: nu, Text: "fresh"})
+	})
+	return Mutation{Seq: m.seq, Kind: MutAddPage, URL: parent, Target: nu}
+}
+
+// remove deletes a page, never a site's last one (a siteless server has
+// nothing to serve and webs keep their host set stable).
+func (m *Mutator) remove(urls []string) (Mutation, bool) {
+	if len(urls) < 2 {
+		return Mutation{}, false
+	}
+	start := m.rng.Intn(len(urls))
+	for off := 0; off < len(urls); off++ {
+		u := urls[(start+off)%len(urls)]
+		if len(m.web.URLsAt(Host(u))) < 2 {
+			continue
+		}
+		m.web.Remove(u)
+		return Mutation{Seq: m.seq, Kind: MutRemovePage, URL: u}, true
+	}
+	return Mutation{}, false
+}
+
+// edit runs f over the page's Items with the render lock held and drops
+// the cached render — the one mutation-safe way to change a page that
+// concurrent readers may be rendering.
+func (p *Page) edit(f func()) {
+	p.renderMu.Lock()
+	f()
+	p.html = nil
+	p.renderMu.Unlock()
+}

@@ -1,0 +1,123 @@
+package webgraph
+
+import (
+	"bytes"
+	"testing"
+)
+
+func treeForMutation() *Web {
+	return Tree(TreeOpts{Depth: 3, Fanout: 3, PagesPerSite: 4, Seed: 7})
+}
+
+// Same seed ⇒ byte-identical schedule and byte-identical web states after
+// every step.
+func TestMutationDeterminism(t *testing.T) {
+	w1, w2 := treeForMutation(), treeForMutation()
+	m1 := NewMutator(w1, MutationPlan{Seed: 42})
+	m2 := NewMutator(w2, MutationPlan{Seed: 42})
+	for i := 0; i < 100; i++ {
+		a, okA := m1.Step()
+		b, okB := m2.Step()
+		if okA != okB || a.String() != b.String() {
+			t.Fatalf("step %d diverged: %v (%v) vs %v (%v)", i, a, okA, b, okB)
+		}
+		if !okA {
+			t.Fatalf("step %d: schedule dried up", i)
+		}
+		if err := sameWeb(w1, w2); err != "" {
+			t.Fatalf("step %d (%v): %s", i, a, err)
+		}
+	}
+}
+
+func sameWeb(a, b *Web) string {
+	ua, ub := a.URLs(), b.URLs()
+	if len(ua) != len(ub) {
+		return "URL count differs"
+	}
+	for i := range ua {
+		if ua[i] != ub[i] {
+			return "URL sets differ at " + ua[i]
+		}
+		ha, _ := a.HTML(ua[i])
+		hb, _ := b.HTML(ub[i])
+		if !bytes.Equal(ha, hb) {
+			return "HTML differs at " + ua[i]
+		}
+	}
+	return ""
+}
+
+// The zero plan mutates nothing: frozen web, full back-compat.
+func TestMutationZeroPlanFrozen(t *testing.T) {
+	w := treeForMutation()
+	before := w.NumPages()
+	m := NewMutator(w, MutationPlan{})
+	if _, ok := m.Step(); ok {
+		t.Fatal("zero plan produced a mutation")
+	}
+	if got := m.Apply(10); len(got) != 0 {
+		t.Fatalf("zero plan applied %d mutations", len(got))
+	}
+	if w.NumPages() != before {
+		t.Fatal("zero plan changed the web")
+	}
+}
+
+// A scoped plan only touches pages at the named hosts.
+func TestMutationScope(t *testing.T) {
+	w := treeForMutation()
+	site := w.Hosts()[1]
+	m := NewMutator(w, MutationPlan{Seed: 9, Sites: []string{site}})
+	for _, mut := range m.Apply(50) {
+		if Host(mut.URL) != site {
+			t.Fatalf("%v escaped scope %s", mut, site)
+		}
+		if mut.Kind == MutAddPage && Host(mut.Target) != site {
+			t.Fatalf("%v added a page off-scope", mut)
+		}
+	}
+}
+
+// Render caches invalidate on mutation: a page's HTML reflects edits.
+func TestMutationInvalidatesRender(t *testing.T) {
+	w := NewWeb()
+	p := w.NewPage("http://a.example/x.html", "x")
+	p.AddText("before")
+	first := string(p.Render())
+	m := NewMutator(w, MutationPlan{Seed: 1, Edit: 1})
+	mut, ok := m.Step()
+	if !ok || mut.Kind != MutEditText {
+		t.Fatalf("expected an edit, got %v ok=%v", mut, ok)
+	}
+	second, _ := w.HTML("http://a.example/x.html")
+	if first == string(second) {
+		t.Fatal("render cache not invalidated by edit")
+	}
+}
+
+// Removed pages disappear; the host's last page never does.
+func TestMutationRemove(t *testing.T) {
+	w := NewWeb()
+	w.NewPage("http://a.example/1.html", "1").AddText("x")
+	w.NewPage("http://a.example/2.html", "2").AddText("y")
+	m := NewMutator(w, MutationPlan{Seed: 3, Remove: 1})
+	mut, ok := m.Step()
+	if !ok || mut.Kind != MutRemovePage {
+		t.Fatalf("expected a remove, got %v ok=%v", mut, ok)
+	}
+	if w.Page(mut.URL) != nil {
+		t.Fatal("removed page still present")
+	}
+	// One page left at the host: further removes must fall back to edits.
+	mut, ok = m.Step()
+	if !ok {
+		t.Fatal("schedule dried up")
+	}
+	if mut.Kind == MutRemovePage {
+		t.Fatal("removed a site's last page")
+	}
+	if w.NumPages() != 1 {
+		t.Fatalf("page count %d, want 1", w.NumPages())
+	}
+}

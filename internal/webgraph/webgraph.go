@@ -44,8 +44,8 @@ type Page struct {
 	Title string
 	Items []Item
 
-	renderOnce sync.Once
-	html       []byte // cached render
+	renderMu sync.Mutex
+	html     []byte // cached render; nil = dirty
 }
 
 // AddText appends a paragraph.
@@ -66,13 +66,27 @@ func (p *Page) AddLink(href, label string) {
 	p.Items = append(p.Items, Item{Kind: Anchor, Href: href, Text: label})
 }
 
-// Render produces the page's HTML. The result is cached and the first
-// render is synchronized (a site's query server and its document host may
-// request the same page concurrently); Render after a mutation of Items
-// returns the stale cache, so build pages fully first.
+// Render produces the page's HTML. The result is cached and rendering is
+// synchronized (a site's query server and its document host may request
+// the same page concurrently). A mutation applied through Web's mutation
+// helpers invalidates the cache, so Render always reflects the page's
+// current Items; direct Items edits after the first render must call
+// Invalidate themselves.
 func (p *Page) Render() []byte {
-	p.renderOnce.Do(p.render)
+	p.renderMu.Lock()
+	defer p.renderMu.Unlock()
+	if p.html == nil {
+		p.render()
+	}
 	return p.html
+}
+
+// Invalidate drops the page's cached render so the next Render reflects
+// the current Items.
+func (p *Page) Invalidate() {
+	p.renderMu.Lock()
+	p.html = nil
+	p.renderMu.Unlock()
 }
 
 func (p *Page) render() {
@@ -117,8 +131,11 @@ func Host(url string) string {
 }
 
 // Web is a complete synthetic web: pages indexed by URL and grouped by
-// host.
+// host. A Web is safe for concurrent readers; mutation (Add, Remove, the
+// MutationPlan machinery) takes the write lock, so pages may appear,
+// disappear and change while servers read — the continuous-query setting.
 type Web struct {
+	mu    sync.RWMutex
 	pages map[string]*Page
 	sites map[string][]string // host -> URLs in insertion order
 	hosts []string            // insertion order
@@ -139,6 +156,8 @@ func (w *Web) NewPage(url, title string) *Page {
 // Add registers a page. Adding two pages with the same URL panics: the
 // generators are deterministic and a collision is a bug.
 func (w *Web) Add(p *Page) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
 	if _, dup := w.pages[p.URL]; dup {
 		panic("webgraph: duplicate page " + p.URL)
 	}
@@ -150,12 +169,39 @@ func (w *Web) Add(p *Page) {
 	w.sites[h] = append(w.sites[h], p.URL)
 }
 
+// Remove deletes the page at url. Links pointing at it are left dangling
+// — arrivals at the URL then miss, exactly like a 404 on the live web.
+// It reports whether a page was removed.
+func (w *Web) Remove(url string) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if _, ok := w.pages[url]; !ok {
+		return false
+	}
+	delete(w.pages, url)
+	h := Host(url)
+	urls := w.sites[h]
+	for i, u := range urls {
+		if u == url {
+			w.sites[h] = append(urls[:i:i], urls[i+1:]...)
+			break
+		}
+	}
+	return true
+}
+
 // Page returns the page at url, or nil.
-func (w *Web) Page(url string) *Page { return w.pages[url] }
+func (w *Web) Page(url string) *Page {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	return w.pages[url]
+}
 
 // HTML returns the rendered bytes of the page at url.
 func (w *Web) HTML(url string) ([]byte, bool) {
+	w.mu.RLock()
 	p, ok := w.pages[url]
+	w.mu.RUnlock()
 	if !ok {
 		return nil, false
 	}
@@ -164,6 +210,8 @@ func (w *Web) HTML(url string) ([]byte, bool) {
 
 // Hosts returns all site hosts in insertion order.
 func (w *Web) Hosts() []string {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
 	out := make([]string, len(w.hosts))
 	copy(out, w.hosts)
 	return out
@@ -171,6 +219,8 @@ func (w *Web) Hosts() []string {
 
 // URLsAt returns the URLs hosted at host, in insertion order.
 func (w *Web) URLsAt(host string) []string {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
 	out := make([]string, len(w.sites[host]))
 	copy(out, w.sites[host])
 	return out
@@ -178,6 +228,8 @@ func (w *Web) URLsAt(host string) []string {
 
 // URLs returns every page URL, sorted.
 func (w *Web) URLs() []string {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
 	out := make([]string, 0, len(w.pages))
 	for u := range w.pages {
 		out = append(out, u)
@@ -187,14 +239,24 @@ func (w *Web) URLs() []string {
 }
 
 // NumPages returns the number of pages.
-func (w *Web) NumPages() int { return len(w.pages) }
+func (w *Web) NumPages() int {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	return len(w.pages)
+}
 
 // NumSites returns the number of distinct hosts.
-func (w *Web) NumSites() int { return len(w.sites) }
+func (w *Web) NumSites() int {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	return len(w.sites)
+}
 
 // TotalBytes returns the summed rendered size of all pages — what a crawler
 // would download to mirror the whole web.
 func (w *Web) TotalBytes() int64 {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
 	var n int64
 	for _, p := range w.pages {
 		n += int64(len(p.Render()))
@@ -205,10 +267,16 @@ func (w *Web) TotalBytes() int64 {
 // DOT renders the web's link graph in Graphviz DOT syntax (the webgen
 // tool's -dot flag). Local links are solid, global links dashed.
 func (w *Web) DOT() string {
+	urls := w.URLs()
+	w.mu.RLock()
+	defer w.mu.RUnlock()
 	var b strings.Builder
 	b.WriteString("digraph web {\n  rankdir=LR;\n")
-	for _, u := range w.URLs() {
+	for _, u := range urls {
 		p := w.pages[u]
+		if p == nil {
+			continue
+		}
 		fmt.Fprintf(&b, "  %q;\n", u)
 		for _, it := range p.Items {
 			if it.Kind != Anchor {

@@ -10,7 +10,7 @@
 // Frame layout (after the 4-byte big-endian length prefix shared with
 // v1, which covers everything that follows):
 //
-//	byte 0   kind   (codeClone..codeTune)
+//	byte 0   kind   (codeClone..codeDelta)
 //	byte 1   flags  (bit 0: payload is DEFLATE-compressed)
 //	bytes 2+ payload — the message fields in declaration order, or, when
 //	         compressed, a uvarint raw payload length followed by the
@@ -76,6 +76,8 @@ const (
 	codeFetchReq
 	codeFetchResp
 	codeTune
+	codeWatch
+	codeDelta
 )
 
 // flagCompressed marks a DEFLATE-compressed payload.
@@ -117,6 +119,10 @@ func kindCode(kind string) (byte, bool) {
 		return codeFetchResp, true
 	case KindTune:
 		return codeTune, true
+	case KindWatch:
+		return codeWatch, true
+	case KindDelta:
+		return codeDelta, true
 	}
 	return 0, false
 }
@@ -538,6 +544,25 @@ func (d *decoder) outputSpec() nodequery.OutputSpec {
 	return s
 }
 
+func (e *encoder) strs(ss []string) {
+	e.u(uint64(len(ss)))
+	for _, s := range ss {
+		e.str(s)
+	}
+}
+
+func (d *decoder) strs() []string {
+	n := d.count()
+	if n == 0 {
+		return nil
+	}
+	out := make([]string, n)
+	for i := range out {
+		out[i] = d.str()
+	}
+	return out
+}
+
 func (e *encoder) stageMsg(s *StageMsg) {
 	e.str(s.PRE)
 	e.query(s.Query)
@@ -877,6 +902,17 @@ func encodeEnvelope(e *encoder, env *envelope) error {
 		e.queryID(env.Tune.ID)
 		e.i(int64(env.Tune.MaxRows))
 		e.i(env.Tune.MaxAgeMicros)
+	case KindWatch:
+		e.i(int64(env.Watch.Version))
+		e.queryID(env.Watch.ID)
+		e.bool(env.Watch.Cancel)
+	case KindDelta:
+		e.i(int64(env.Delta.Version))
+		e.queryID(env.Delta.ID)
+		e.str(env.Delta.Site)
+		e.i(env.Delta.Seq)
+		e.strs(env.Delta.Edited)
+		e.strs(env.Delta.Rewired)
 	default:
 		return fmt.Errorf("wire: cannot encode kind %q", env.Kind)
 	}
@@ -904,6 +940,13 @@ func decodeEnvelope(d *decoder, code byte) (any, error) {
 		env = envelope{Kind: KindFetchResp, FetchResp: &FetchResp{URL: d.str(), Content: d.bytes(), Err: d.str()}}
 	case codeTune:
 		env = envelope{Kind: KindTune, Tune: &TuneMsg{ID: d.queryID(), MaxRows: d.int(), MaxAgeMicros: d.i()}}
+	case codeWatch:
+		env = envelope{Kind: KindWatch, Watch: &WatchMsg{Version: d.int(), ID: d.queryID(), Cancel: d.bool()}}
+	case codeDelta:
+		env = envelope{Kind: KindDelta, Delta: &DeltaMsg{
+			Version: d.int(), ID: d.queryID(), Site: d.str(), Seq: d.i(),
+			Edited: d.strs(), Rewired: d.strs(),
+		}}
 	default:
 		return nil, fmt.Errorf("%w: unknown kind code %#x", ErrCorrupt, code)
 	}

@@ -166,7 +166,7 @@ func (s *fuzzSource) result() *ResultMsg {
 
 // message builds one wire message of a fuzz-chosen kind.
 func (s *fuzzSource) message() any {
-	switch s.n(8) {
+	switch s.n(10) {
 	case 0:
 		return s.clone()
 	case 1:
@@ -181,8 +181,19 @@ func (s *fuzzSource) message() any {
 		return &FetchReq{URL: s.str()}
 	case 6:
 		return &FetchResp{URL: s.str(), Content: []byte(s.str()), Err: s.str()}
-	default:
+	case 7:
 		return &TuneMsg{ID: QueryID{User: s.str(), Site: s.str(), Num: s.n(100)}, MaxRows: s.n(10000), MaxAgeMicros: s.i64()}
+	case 8:
+		return &WatchMsg{Version: s.n(3), ID: QueryID{User: s.str(), Site: s.str(), Num: s.n(100)}, Cancel: s.n(2) == 1}
+	default:
+		m := &DeltaMsg{Version: s.n(3), ID: QueryID{User: s.str(), Site: s.str(), Num: s.n(100)}, Site: s.str(), Seq: s.i64()}
+		for i, k := 0, s.n(3); i < k; i++ {
+			m.Edited = append(m.Edited, s.str())
+		}
+		for i, k := 0, s.n(3); i < k; i++ {
+			m.Rewired = append(m.Rewired, s.str())
+		}
+		return m
 	}
 }
 

@@ -91,6 +91,14 @@ func sampleMessages() []any {
 		&FetchReq{URL: "http://a.example/x.html"},
 		&FetchResp{URL: "http://a.example/x.html", Content: []byte("<html><body>hi</body></html>"), Err: ""},
 		&TuneMsg{ID: QueryID{User: "maya", Site: "user/results", Num: 7}, MaxRows: 1024, MaxAgeMicros: 20000},
+		&WatchMsg{Version: WatchVersion, ID: QueryID{User: "maya", Site: "user/w1", Num: 1}},
+		&WatchMsg{Version: WatchVersion, ID: QueryID{User: "maya", Site: "user/w1", Num: 1}, Cancel: true},
+		&DeltaMsg{
+			Version: WatchVersion, ID: QueryID{User: "maya", Site: "user/w1", Num: 1},
+			Site: "a.example", Seq: 3,
+			Edited:  []string{"http://a.example/x.html"},
+			Rewired: []string{"http://a.example/y.html", "http://a.example/z.html"},
+		},
 	}
 }
 

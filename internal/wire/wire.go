@@ -542,6 +542,52 @@ type StopMsg struct {
 	Reason string
 }
 
+// WatchVersion is the current watch-protocol format. Encoded in every
+// WatchMsg and DeltaMsg so mixed-version deployments degrade cleanly
+// (the PlanFrag precedent): a server that does not understand the
+// version ignores the registration, a client drops deltas it cannot
+// parse, and one-shot queries are untouched either way.
+const WatchVersion = 1
+
+// WatchMsg registers (or cancels) a standing query at a query server:
+// the user-site asks to be notified whenever the site's documents
+// change. ID names the watch; ID.Site is the endpoint DeltaMsg
+// notifications are delivered to — the watch's own collector, exactly
+// like a query's Result Collector.
+type WatchMsg struct {
+	Version int
+	ID      QueryID
+	// Cancel deregisters the watch instead.
+	Cancel bool
+}
+
+// Applies reports whether the message is of a version this build
+// understands.
+func (m *WatchMsg) Applies() bool { return m != nil && m.Version == WatchVersion }
+
+// DeltaMsg is the site → user-site change notification of a registered
+// watch: the web mutated at this site, and the named documents' virtual
+// relations are no longer what the watch last saw. Seq is a monotonic
+// per-watch, per-site sequence number. Edited lists documents whose
+// content changed but whose outgoing links are intact (re-evaluation of
+// the documents themselves suffices); Rewired lists documents whose link
+// structure changed or that disappeared (the PRE frontiers reachable
+// through them need re-traversal). The user-site's Watch coalesces
+// notifications and re-dispatches only the affected frontiers, then
+// emits typed add/remove row deltas with its own monotonic epoch.
+type DeltaMsg struct {
+	Version int
+	ID      QueryID
+	Site    string
+	Seq     int64
+	Edited  []string
+	Rewired []string
+}
+
+// Applies reports whether the message is of a version this build
+// understands.
+func (m *DeltaMsg) Applies() bool { return m != nil && m.Version == WatchVersion }
+
 // Message kind strings, used for per-kind traffic accounting.
 const (
 	KindClone     = "clone"
@@ -552,6 +598,8 @@ const (
 	KindFetchReq  = "fetch-req"
 	KindFetchResp = "fetch-resp"
 	KindTune      = "tune"
+	KindWatch     = "watch"
+	KindDelta     = "delta"
 )
 
 // envelope wraps every message so a single gob stream can carry any kind.
@@ -565,6 +613,8 @@ type envelope struct {
 	FetchReq  *FetchReq
 	FetchResp *FetchResp
 	Tune      *TuneMsg
+	Watch     *WatchMsg
+	Delta     *DeltaMsg
 }
 
 // wrap classifies msg into its envelope, the shared front half of Send
@@ -587,6 +637,10 @@ func wrap(msg any) (envelope, error) {
 		return envelope{Kind: KindFetchResp, FetchResp: m}, nil
 	case *TuneMsg:
 		return envelope{Kind: KindTune, Tune: m}, nil
+	case *WatchMsg:
+		return envelope{Kind: KindWatch, Watch: m}, nil
+	case *DeltaMsg:
+		return envelope{Kind: KindDelta, Delta: m}, nil
 	}
 	return envelope{}, fmt.Errorf("wire: cannot send %T", msg)
 }
@@ -1173,6 +1227,16 @@ func unwrap(env *envelope) (any, error) {
 			return nil, fmt.Errorf("wire: empty %s envelope", env.Kind)
 		}
 		return env.Tune, nil
+	case KindWatch:
+		if env.Watch == nil {
+			return nil, fmt.Errorf("wire: empty %s envelope", env.Kind)
+		}
+		return env.Watch, nil
+	case KindDelta:
+		if env.Delta == nil {
+			return nil, fmt.Errorf("wire: empty %s envelope", env.Kind)
+		}
+		return env.Delta, nil
 	}
 	return nil, fmt.Errorf("wire: unknown message kind %q", env.Kind)
 }

@@ -186,6 +186,67 @@ var (
 	ErrPartial = client.ErrPartial
 )
 
+// Continuous queries over a mutating web: register a standing query with
+// Deployment.Watch, drive the seeded mutation schedule with
+// Deployment.Mutate, and consume typed add/remove row deltas.
+type (
+	// Watch is one standing query: a delta-maintained result set that
+	// tracks the mutating web, with a change feed (Watch.Deltas /
+	// Watch.Stream), epoch barriers (Watch.WaitEpoch) and snapshots in
+	// Query.Results shape (Watch.Results).
+	Watch = client.Watch
+	// WatchOptions configure one standing query (Deployment.Watch).
+	WatchOptions = core.WatchOptions
+	// WatchConfig is the deployment-wide continuous-query group
+	// (Config.Watch): the mutation schedule and the default re-derivation
+	// budget.
+	WatchConfig = core.WatchConfig
+	// Delta is one standing-result change: the epoch that produced it,
+	// the add/remove op, the node-query stage and the row.
+	Delta = client.Delta
+	// DeltaOp types a Delta as an addition or a removal.
+	DeltaOp = client.DeltaOp
+	// MutationPlan is a seeded, deterministic web mutation schedule
+	// (Config.Watch.Mutations); the zero value is a frozen web.
+	MutationPlan = webgraph.MutationPlan
+	// Mutation is one applied web change (Deployment.Mutate).
+	Mutation = webgraph.Mutation
+	// MutationKind classifies a Mutation: text edit, link rewire, page
+	// birth or page death.
+	MutationKind = webgraph.MutationKind
+	// ExecConfig is the execution option group of Config (Config.Exec):
+	// transport, server options, client behaviour and tracing, previously
+	// spread over flat Config fields.
+	ExecConfig = core.ExecConfig
+)
+
+// Delta operations.
+const (
+	DeltaRemove = client.DeltaRemove
+	DeltaAdd    = client.DeltaAdd
+)
+
+// Web mutation kinds (MutationPlan op mix; Mutation.Kind).
+const (
+	MutEditText   = webgraph.MutEditText
+	MutRewireLink = webgraph.MutRewireLink
+	MutAddPage    = webgraph.MutAddPage
+	MutRemovePage = webgraph.MutRemovePage
+)
+
+// Watch-specific errors, matchable with errors.Is.
+var (
+	// ErrWatchOutput: grouped/ordered queries cannot be watched — their
+	// output contract is not incrementally maintainable row-by-row.
+	ErrWatchOutput = client.ErrWatchOutput
+	// ErrWatchCorrelated: correlated stages (a later predicate reading an
+	// earlier stage's document) are not watchable.
+	ErrWatchCorrelated = client.ErrWatchCorrelated
+	// ErrWatchClosed: the watch was closed (final error of a drained
+	// delta feed).
+	ErrWatchClosed = client.ErrWatchClosed
+)
+
 // Log-table dedup modes (paper Section 3.1.1 and extensions).
 const (
 	DedupOff     = nodeproc.DedupOff
